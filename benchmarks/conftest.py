@@ -1,0 +1,44 @@
+"""Benchmark fixtures.
+
+Benchmarks regenerate every paper artifact at the paper-scale (``medium``)
+world by default; set ``REPRO_BENCH_SCALE=small`` for a quick pass.  The
+scenario's datasets are materialised once in the session fixture so each
+benchmark times the *analysis* that produces a figure, not the shared
+dataset synthesis (which is timed separately in
+``test_bench_substrate.py``).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments import default_scenario
+
+
+def bench_scale() -> str:
+    return os.environ.get("REPRO_BENCH_SCALE", "medium")
+
+
+@pytest.fixture(scope="session")
+def scenario():
+    scenario = default_scenario(bench_scale(), 0)
+    # Materialise the shared datasets so per-figure benchmarks measure
+    # only their own analysis step.
+    scenario.joined_2018
+    scenario.joined_2018_ip
+    scenario.joined_2020
+    scenario.asn_volumes_2018
+    scenario.server_logs
+    scenario.client_measurements
+    scenario.atlas
+    scenario.cdn
+    scenario.isi_result
+    scenario.author_result
+    return scenario
+
+
+def run_once(benchmark, func, *args):
+    """Time one clean invocation (analyses are deterministic, seconds-long)."""
+    return benchmark.pedantic(func, args=args, rounds=1, iterations=1, warmup_rounds=0)

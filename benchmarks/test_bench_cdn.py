@@ -1,0 +1,49 @@
+"""Benchmarks regenerating the CDN figures (Figs. 1, 4, 5, 14)."""
+
+from repro.experiments import run_experiment
+
+from .conftest import run_once
+
+
+def test_bench_fig01_rings_and_users(benchmark, scenario):
+    result = run_once(benchmark, run_experiment, "fig01", scenario)
+    # Fig. 1: rings sit near user mass — larger rings cover more users.
+    assert result.data["R110/coverage_1000km"] >= result.data["R28/coverage_1000km"]
+
+
+def test_bench_fig04a_ring_latency(benchmark, scenario):
+    result = run_once(benchmark, run_experiment, "fig04a", scenario)
+    # §5.2: more front-ends, lower latency; the R28→R110 page-load gap is
+    # on the order of 100 ms.
+    assert result.data["R28/median_rtt"] >= result.data["R110/median_rtt"]
+    assert result.data["page_gap_smallest_largest"] > 20.0
+
+
+def test_bench_fig04b_ring_transitions(benchmark, scenario):
+    result = run_once(benchmark, run_experiment, "fig04b", scenario)
+    # §5.2: growing the ring almost never hurts a location by >10 ms.
+    for key in (k for k in result.data if k.endswith("frac_regress_10ms")):
+        assert result.data[key] < 0.05
+
+
+def test_bench_fig05a_cdn_geographic_inflation(benchmark, scenario):
+    result = run_once(benchmark, run_experiment, "fig05a", scenario)
+    # §6: most CDN users see zero geographic inflation; root users don't.
+    assert result.data["R110/zero_mass"] > 0.5
+    assert result.data["roots/zero_mass"] < 0.2
+    assert result.data["R110/frac_under_10ms"] > 0.8
+
+
+def test_bench_fig05b_cdn_latency_inflation(benchmark, scenario):
+    result = run_once(benchmark, run_experiment, "fig05b", scenario)
+    # §6: latency inflation is small and roughly ring-independent.
+    values = [result.data[f"{r}/frac_under_100ms"] for r in ("R28", "R74", "R110")]
+    assert min(values) > 0.85
+    assert max(values) - min(values) < 0.1
+
+
+def test_bench_fig14_relative_latency_map(benchmark, scenario):
+    result = run_once(benchmark, run_experiment, "fig14", scenario)
+    # Fig. 14: latency grows with distance from the nearest front-end.
+    if "near_median_ms" in result.data:
+        assert result.data["near_median_ms"] < result.data["far_median_ms"]

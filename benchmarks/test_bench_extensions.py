@@ -1,0 +1,99 @@
+"""Benchmarks for the extension studies (resilience, hijack, RFC 8806,
+anycast-vs-unicast) — the paper's §7.3/§4.1/§3 discussion made runnable."""
+
+from repro.anycast import (
+    fail_pops,
+    failure_impact,
+    hijack_cdn,
+    hijack_letter,
+    withdraw_sites,
+)
+from repro.core import compare_with_unicast, simulate_local_root_adoption
+from repro.topology import ASKind
+
+
+def test_bench_ext_letter_failure_drill(benchmark, scenario):
+    deployment = scenario.letters_2018["K"]
+
+    def drill():
+        degraded = withdraw_sites(deployment, [0, 1, 2])
+        return failure_impact(deployment, degraded, scenario.user_base)
+
+    impact = benchmark.pedantic(drill, rounds=1, iterations=1, warmup_rounds=0)
+    # Failures reroute users and never improve median latency.
+    assert impact.rerouted_fraction > 0.0
+    assert impact.median_rtt_after_ms >= impact.median_rtt_before_ms - 2.0
+
+
+def test_bench_ext_cdn_metro_outage(benchmark, scenario):
+    fabric = scenario.cdn.fabric
+    region = fabric.pops[0].region_id
+    failed = [p.site_id for p in fabric.pops if p.region_id == region]
+
+    def drill():
+        degraded = fail_pops(scenario.cdn, failed)
+        return failure_impact(
+            scenario.cdn.largest_ring, degraded.largest_ring, scenario.user_base
+        )
+
+    impact = benchmark.pedantic(drill, rounds=1, iterations=1, warmup_rounds=0)
+    assert impact.users_measured > 0
+
+
+def test_bench_ext_hijack_capture(benchmark, scenario):
+    hijacker = scenario.internet.topology.ases_of_kind(ASKind.TRANSIT)[0]
+
+    def attack():
+        cdn = hijack_cdn(scenario.cdn.fabric, hijacker).measure(scenario.user_base)
+        letter = hijack_letter(scenario.letters_2018["K"], hijacker).measure(
+            scenario.user_base
+        )
+        return cdn, letter
+
+    cdn_result, letter_result = benchmark.pedantic(
+        attack, rounds=1, iterations=1, warmup_rounds=0
+    )
+    assert letter_result.user_capture_fraction > 0.0
+    # Directly peered users are immune: capture stays well below 100%.
+    assert cdn_result.user_capture_fraction < 0.6
+
+
+def test_bench_ext_local_root_adoption(benchmark, scenario):
+    outcome = benchmark.pedantic(
+        simulate_local_root_adoption,
+        args=(scenario.joined_2018, scenario.zone),
+        kwargs={"adoption_fraction": 0.1, "strategy": "by_volume"},
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
+    # RFC 8806 at the heaviest 10% of recursives removes most root load.
+    assert outcome.traffic_reduction > 0.2
+
+
+def test_bench_ext_unicast_comparison(benchmark, scenario):
+    comparison = benchmark.pedantic(
+        compare_with_unicast,
+        args=(scenario.letters_2018["M"], scenario.user_base),
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
+    # Anycast's own site-selection penalty is bounded and usually small.
+    assert comparison.anycast_penalty.values.min() >= 0.0
+    assert comparison.median_penalty_ms < 150.0
+
+
+def test_bench_ext_ddos_dilution(benchmark, scenario):
+    """Table 1's DDoS driver: attack concentration falls with deployment
+    size (letters B→L and the largest ring)."""
+    from repro.anycast import build_botnet, simulate_attack
+
+    def sweep():
+        botnet = build_botnet(scenario.internet, n_bots=800, seed=11)
+        outcomes = {
+            name: simulate_attack(scenario.letters_2018[name], botnet)
+            for name in ("B", "C", "K", "L")
+        }
+        outcomes["R-max"] = simulate_attack(scenario.cdn.largest_ring, botnet)
+        return outcomes
+
+    outcomes = benchmark.pedantic(sweep, rounds=1, iterations=1, warmup_rounds=0)
+    assert outcomes["L"].max_site_share < outcomes["B"].max_site_share
+    assert outcomes["R-max"].max_site_share < outcomes["B"].max_site_share

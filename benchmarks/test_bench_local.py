@@ -1,0 +1,35 @@
+"""Benchmarks for the local-view artifacts (Figs. 12/13, App. C, Table 5)."""
+
+from repro.experiments import run_experiment
+
+from .conftest import run_once
+
+
+def test_bench_fig12_resolver_latency_cdf(benchmark, scenario):
+    result = run_once(benchmark, run_experiment, "fig12", scenario)
+    # App. D: about half of client queries answered from cache (<1 ms).
+    assert result.data["frac_sub_ms"] > 0.25
+    assert result.data["overall_miss_rate"] < 0.05
+
+
+def test_bench_fig13_root_latency_exposure(benchmark, scenario):
+    result = run_once(benchmark, run_experiment, "fig13", scenario)
+    # App. D: <1% of queries generate a root request; <0.1% wait >100 ms.
+    assert result.data["frac_touching_root"] < 0.05
+    assert result.data["frac_over_100ms"] < 0.005
+
+
+def test_bench_appc_rtts_per_page_load(benchmark, scenario):
+    result = run_once(benchmark, run_experiment, "appc", scenario)
+    # App. C: 10 RTTs is a sound lower bound; 90% of loads within 20.
+    assert 8 <= result.data["lower_bound"] <= 12
+    assert result.data["frac_within_20"] > 0.6
+
+
+def test_bench_table5_redundant_queries(benchmark, scenario):
+    result = run_once(benchmark, run_experiment, "table5", scenario)
+    # App. E: most root queries at the instrumented resolver are
+    # redundant and follow the bug pattern; an episode is reproducible.
+    assert result.data["fraction_redundant"] > 0.4
+    assert result.data["fraction_bug_pattern"] > 0.5
+    assert result.data.get("episode_steps", 0) >= 4

@@ -1,0 +1,68 @@
+"""Benchmarks regenerating the root-DNS figures (Figs. 2, 3, 8–11).
+
+Each benchmark prints/asserts the paper's qualitative result so a
+benchmark run doubles as a reproduction check; EXPERIMENTS.md records the
+numbers side by side with the paper's.
+"""
+
+from repro.experiments import run_experiment
+
+from .conftest import run_once
+
+
+def test_bench_fig02a_root_geographic_inflation(benchmark, scenario):
+    result = run_once(benchmark, run_experiment, "fig02a", scenario)
+    # §3.2: nearly every user sees some inflation to at least one root.
+    assert result.data["all/frac_any_inflation"] > 0.85
+
+
+def test_bench_fig02b_root_latency_inflation(benchmark, scenario):
+    result = run_once(benchmark, run_experiment, "fig02b", scenario)
+    worst = max(
+        result.data[f"{name}/frac_over_100ms"] for name in result.data["letters"]
+    )
+    # §3.2: 20–40% of users >100 ms to some individual letters, while
+    # letter preference keeps the All-Roots view far lower.
+    assert worst > 0.10
+    assert result.data["all/frac_over_100ms"] < worst
+
+
+def test_bench_fig03_queries_per_user(benchmark, scenario):
+    result = run_once(benchmark, run_experiment, "fig03", scenario)
+    # §4.3: most users wait for about one root query per day; the Ideal
+    # line sits orders of magnitude below.
+    assert 0.05 < result.data["cdn/median"] < 20.0
+    assert result.data["ideal/median"] < result.data["cdn/median"] / 50.0
+
+
+def test_bench_fig08_junk_inclusive_amortisation(benchmark, scenario):
+    fig03 = run_experiment("fig03", scenario)
+    result = run_once(benchmark, run_experiment, "fig08", scenario)
+    # App. B.1: re-including junk shifts the median by an order of magnitude.
+    assert result.data["cdn/median"] > 4.0 * fig03.data["cdn/median"]
+
+
+def test_bench_fig09_unjoined_amortisation(benchmark, scenario):
+    fig03 = run_experiment("fig03", scenario)
+    result = run_once(benchmark, run_experiment, "fig09", scenario)
+    # App. B.2: without the /24 join the estimate collapses.
+    assert result.data["cdn/median"] < fig03.data["cdn/median"]
+
+
+def test_bench_fig10_favorite_sites(benchmark, scenario):
+    result = run_once(benchmark, run_experiment, "fig10", scenario)
+    fractions = [v for k, v in result.data.items() if k.endswith("frac_single_site")]
+    # App. B.2: >80% of /24s keep all queries on one site per letter.
+    assert min(fractions) > 0.5
+
+
+def test_bench_fig11a_2020_amortisation(benchmark, scenario):
+    fig03 = run_experiment("fig03", scenario)
+    result = run_once(benchmark, run_experiment, "fig11a", scenario)
+    # App. B.3: conclusions stable across DITL years.
+    assert 0.1 < result.data["cdn/median"] / fig03.data["cdn/median"] < 10.0
+
+
+def test_bench_fig11b_2020_inflation(benchmark, scenario):
+    result = run_once(benchmark, run_experiment, "fig11b", scenario)
+    assert result.data["all/frac_over_20ms"] < 0.6

@@ -1,0 +1,37 @@
+"""Benchmarks for the cross-system analyses (Figs. 6 and 7)."""
+
+from repro.experiments import run_experiment
+
+from .conftest import run_once
+
+
+def test_bench_fig06a_as_path_lengths(benchmark, scenario):
+    result = run_once(benchmark, run_experiment, "fig06a", scenario)
+    # §7.1: the CDN is far more directly connected than any root letter.
+    assert result.data["CDN/share_2as"] > 0.3
+    assert result.data["CDN/share_2as"] > 1.2 * result.data["all_roots/share_2as"]
+
+
+def test_bench_fig06b_inflation_vs_path_length(benchmark, scenario):
+    result = run_once(benchmark, run_experiment, "fig06b", scenario)
+    # §7.1: short paths are less inflated (checked on the CDN buckets).
+    if "CDN/2/median" in result.data and "CDN/4/median" in result.data:
+        assert result.data["CDN/2/median"] <= result.data["CDN/4/median"] + 5.0
+
+
+def test_bench_fig07a_efficiency_vs_latency(benchmark, scenario):
+    result = run_once(benchmark, run_experiment, "fig07a", scenario)
+    # §7.2: bigger deployments have lower latency but lower efficiency;
+    # B root shows high efficiency with terrible latency.
+    assert result.data["R28/latency"] >= result.data["R110/latency"] - 1.0
+    assert result.data["R28/efficiency"] >= result.data["R110/efficiency"] - 0.05
+    if "B/latency" in result.data:
+        assert result.data["B/latency"] > 2.0 * result.data["R110/latency"]
+
+
+def test_bench_fig07b_coverage(benchmark, scenario):
+    result = run_once(benchmark, run_experiment, "fig07b", scenario)
+    # §7.2: the root system as a whole covers users about as well as the
+    # largest ring, despite never being planned for them.
+    assert result.data["All Roots/at_1000km"] >= result.data["R110/at_1000km"] - 0.1
+    assert result.data["All Roots/at_500km"] > 0.6

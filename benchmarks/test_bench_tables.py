@@ -1,0 +1,32 @@
+"""Benchmarks for Tables 1–4."""
+
+from repro.experiments import run_experiment
+
+from .conftest import run_once
+
+
+def test_bench_table1_operator_survey(benchmark, scenario):
+    result = run_once(benchmark, run_experiment, "table1", scenario)
+    # §7.3: DDoS resilience and (surprisingly) latency drive growth.
+    assert result.data["growth/DDoS Resilience"] == 9
+    assert result.data["growth/Latency"] == 8
+
+
+def test_bench_table2_dataset_summary(benchmark, scenario):
+    result = run_once(benchmark, run_experiment, "table2", scenario)
+    # §2.1's drop accounting: junk dominates, v6 ~12%, private ~7%.
+    assert 0.4 < result.data["fraction_invalid"] < 0.95
+    assert 0.05 < result.data["fraction_ipv6"] < 0.2
+    assert 0.02 < result.data["fraction_private"] < 0.15
+
+
+def test_bench_table3_dataset_catalogue(benchmark, scenario):
+    result = run_once(benchmark, run_experiment, "table3", scenario)
+    assert result.data["n_datasets"] == 9
+
+
+def test_bench_table4_join_overlap(benchmark, scenario):
+    result = run_once(benchmark, run_experiment, "table4", scenario)
+    # App. B.2: the /24 join multiplies representativeness.
+    assert result.data["slash24/ditl_volume"] > 2.0 * result.data["ip/ditl_volume"]
+    assert result.data["slash24/cdn_users"] > 0.5

@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Counterfactual: what if root letters were engineered like the CDN?
+
+The paper's central question — "is inflation inherent to anycast, or can
+it be limited when it matters?" — answered constructively: rebuild every
+2018 root letter with the *same site counts* but CDN-style choices
+(population placement, aggressive peering), re-run the Eq. 1 inflation
+analysis over the same users, and compare against the historical
+deployments.
+
+If inflation were inherent to anycast, the engineered letters would look
+like the originals.  They don't.
+
+Usage::
+
+    python examples/counterfactual_roots.py [--scale small|medium]
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import replace
+
+from repro.anycast import LETTERS_2018, build_root_system
+from repro.core import WeightedCdf, format_table, root_geographic_inflation
+from repro.experiments import Scenario
+
+
+def user_latency_cdf(deployment, user_base) -> WeightedCdf:
+    rtts, weights = [], []
+    for location in user_base:
+        flow = deployment.resolve(location.asn, location.region_id)
+        if flow is not None:
+            rtts.append(flow.base_rtt_ms)
+            weights.append(float(location.users))
+    return WeightedCdf(rtts, weights)
+
+
+def engineered_specs():
+    """The same letters, re-deployed with CDN-style incentives."""
+    specs = {}
+    for name, spec in LETTERS_2018.items():
+        specs[name] = replace(
+            spec,
+            placement="population",
+            peer_fraction=0.95,
+            peers_per_site=12,
+            origin_asn=spec.origin_asn + 500,
+        )
+    return specs
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", choices=("small", "medium"), default="small")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+    scenario = Scenario(scale=args.scale, seed=args.seed)
+
+    historical = root_geographic_inflation(scenario.joined_2018, scenario.letters_2018)
+    engineered_letters = build_root_system(
+        scenario.internet, engineered_specs(), seed=scenario.seed + 5
+    )
+    engineered = root_geographic_inflation(scenario.joined_2018, engineered_letters)
+
+    rows = []
+    latency_gains = []
+    for name in sorted(set(historical.names) & set(engineered.names)):
+        before = historical.per_deployment[name]
+        after = engineered.per_deployment[name]
+        latency_before = user_latency_cdf(scenario.letters_2018[name], scenario.user_base)
+        latency_after = user_latency_cdf(engineered_letters[name], scenario.user_base)
+        latency_gains.append(latency_before.median - latency_after.median)
+        rows.append(
+            {
+                "letter": name,
+                "sites": str(scenario.letters_2018[name].n_global_sites),
+                "median_user_RTT": f"{latency_before.median:.0f} → {latency_after.median:.0f} ms",
+                "p90_user_RTT": (
+                    f"{latency_before.quantile(0.9):.0f} → "
+                    f"{latency_after.quantile(0.9):.0f} ms"
+                ),
+                "median_inflation": f"{before.median:.1f} → {after.median:.1f} ms",
+                "efficiency": f"{historical.efficiency(name):.0%} → {engineered.efficiency(name):.0%}",
+            }
+        )
+    print("Historical vs engineered (population-placed, heavily peered) letters")
+    print(format_table(rows))
+    print()
+    improved = sum(1 for gain in latency_gains if gain > 0)
+    print(
+        f"User latency improves for {improved}/{len(latency_gains)} letters — "
+        "placement near users plus peering buys what users actually feel."
+    )
+    print(
+        "\nBut note the inflation column: spreading sites worldwide shrinks\n"
+        "Eq. 1's closest-site floor, so *measured inflation can rise while\n"
+        "latency falls* — the paper's §7.2 point that efficiency/inflation\n"
+        "are poor performance metrics, recreated.  Matching the CDN's low\n"
+        "inflation additionally needs its interconnection breadth (peering\n"
+        "with most eyeball networks, not one IXP per site) and traffic\n"
+        "engineering — connectivity, not just site placement."
+    )
+
+
+if __name__ == "__main__":
+    main()

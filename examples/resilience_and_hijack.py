@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""Resilience drills: site failures and prefix hijacks (§7.3 extension).
+
+Root operators told the paper that resilience — not latency — drives
+much of their growth.  This example runs the drills that claim implies:
+
+1. **Metro outage** — withdraw a letter's busiest site and the largest
+   ring's busiest PoP; measure latency degradation, rerouted users, and
+   load concentration on the survivors (the DDoS-capacity question).
+2. **Prefix hijack** — let a transit AS originate each system's anycast
+   prefix; measure user capture, and split it by whether users' networks
+   peer directly with the victim (direct peering is hijack armor).
+
+Usage::
+
+    python examples/resilience_and_hijack.py [--scale small|medium]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.anycast import (
+    fail_pops,
+    failure_impact,
+    hijack_cdn,
+    hijack_letter,
+    withdraw_sites,
+)
+from repro.core import format_table
+from repro.experiments import Scenario
+from repro.topology import ASKind
+
+
+def busiest_site(deployment, user_base):
+    load: dict[int, int] = {}
+    for location in user_base:
+        flow = deployment.resolve(location.asn, location.region_id)
+        if flow is not None:
+            load[flow.site.site_id] = load.get(flow.site.site_id, 0) + location.users
+    return max(load, key=load.get)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", choices=("small", "medium"), default="small")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+    scenario = Scenario(scale=args.scale, seed=args.seed)
+    user_base = scenario.user_base
+    topology = scenario.internet.topology
+
+    # ---- 1. metro outages -------------------------------------------------
+    rows = []
+    letter = scenario.letters_2018["K"]
+    failed = busiest_site(letter, user_base)
+    impact = failure_impact(
+        letter, withdraw_sites(letter, [failed], seed=args.seed), user_base
+    )
+    rows.append(_impact_row("K root, busiest site", impact))
+
+    ring = scenario.cdn.largest_ring
+    busiest_pop = busiest_site(ring, user_base)  # site ids == pop ids in R-max
+    # A metro outage takes down every PoP in that region at once.
+    outage_region = scenario.cdn.fabric.pops[busiest_pop].region_id
+    failed_pops = [
+        p.site_id for p in scenario.cdn.fabric.pops if p.region_id == outage_region
+    ]
+    degraded_cdn = fail_pops(scenario.cdn, failed_pops)
+    impact = failure_impact(ring, degraded_cdn.largest_ring, user_base)
+    rows.append(_impact_row(f"CDN, busiest metro ({len(failed_pops)} PoPs)", impact))
+
+    print("Metro-outage drills (busiest site withdrawn)")
+    print(format_table(rows))
+    print()
+
+    # ---- 2. prefix hijack -------------------------------------------------
+    hijacker = topology.ases_of_kind(ASKind.TRANSIT)[0]
+    peered_with_cdn = {
+        a.host_asn for a in scenario.cdn.fabric.routing.attachments.values()
+    }
+    cdn_result = hijack_cdn(scenario.cdn.fabric, hijacker).measure(user_base)
+    letter_result = hijack_letter(letter, hijacker).measure(user_base)
+
+    peered_users = captured_peered = 0
+    unpeered_users = captured_unpeered = 0
+    for location in user_base:
+        captured = cdn_result.captures(location.asn)
+        if location.asn in peered_with_cdn:
+            peered_users += location.users
+            captured_peered += location.users if captured else 0
+        else:
+            unpeered_users += location.users
+            captured_unpeered += location.users if captured else 0
+
+    print(f"Prefix hijack by Transit AS{hijacker}")
+    print(format_table([
+        {"victim": "K root", "users captured": f"{letter_result.user_capture_fraction:.1%}",
+         "ASes captured": f"{letter_result.as_capture_fraction:.1%}"},
+        {"victim": "CDN fabric", "users captured": f"{cdn_result.user_capture_fraction:.1%}",
+         "ASes captured": f"{cdn_result.as_capture_fraction:.1%}"},
+    ]))
+    print()
+    print("CDN capture split by direct peering with the victim:")
+    print(format_table([
+        {"population": "users in directly-peered ASes",
+         "captured": f"{captured_peered / max(1, peered_users):.1%}"},
+        {"population": "users in non-peered ASes",
+         "captured": f"{captured_unpeered / max(1, unpeered_users):.1%}"},
+    ]))
+    print(
+        "\nDirect peering is hijack armor (peer routes beat leaked provider\n"
+        "routes), but a transit-free victim has no customer routes of its\n"
+        "own — its non-peered users are the exposed surface, which is why\n"
+        "peering-first networks pair topology with RPKI."
+    )
+
+
+def _impact_row(name: str, impact) -> dict[str, str]:
+    return {
+        "drill": name,
+        "users rerouted": f"{impact.rerouted_fraction:.1%}",
+        "median RTT": f"{impact.median_rtt_before_ms:.1f} → {impact.median_rtt_after_ms:.1f} ms",
+        "p95 RTT": f"{impact.p95_rtt_before_ms:.1f} → {impact.p95_rtt_after_ms:.1f} ms",
+        "max site load": f"{impact.max_site_share_before:.1%} → {impact.max_site_share_after:.1%}",
+    }
+
+
+if __name__ == "__main__":
+    main()

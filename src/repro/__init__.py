@@ -1,0 +1,21 @@
+"""Reproduction of "Anycast in Context: A Tale of Two Systems" (SIGCOMM 2021).
+
+The package builds a synthetic Internet (geography, AS topology, BGP),
+deploys the paper's two anycast systems on it -- the root DNS letters and
+a Microsoft-style anycast CDN with nested rings -- synthesises the paper's
+datasets (DITL captures, CDN telemetry, Atlas probes), and re-runs the
+paper's entire analysis pipeline: inflation (Eq. 1/2), query amortisation,
+cache-miss rates, AS-path statistics, efficiency/coverage, and the
+appendix studies.
+
+Quickstart::
+
+    from repro.experiments import default_scenario, run_experiment
+    scenario = default_scenario(scale="small")
+    result = run_experiment("fig02a", scenario)
+    print(result.to_text())
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

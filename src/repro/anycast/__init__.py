@@ -1,0 +1,53 @@
+"""Anycast deployments: root letters and the CDN ring system."""
+
+from .builders import CdnSpec, CdnSystem, LetterSpec, build_cdn, build_letter, sample_site_regions
+from .cdn import CdnFabric, CdnRing
+from .ddos import AttackOutcome, Botnet, build_botnet, simulate_attack
+from .deployment import Deployment, IndependentDeployment, ServedFlow
+from .hijack import HijackResult, hijack_cdn, hijack_letter, simulate_hijack
+from .resilience import (
+    FailureImpact,
+    fail_pops,
+    fail_region,
+    failure_impact,
+    withdraw_sites,
+)
+from .rootdns import (
+    LATENCY_LETTERS_2018,
+    LETTERS_2018,
+    LETTERS_2020,
+    build_root_system,
+)
+from .site import Site
+
+__all__ = [
+    "AttackOutcome",
+    "Botnet",
+    "build_botnet",
+    "simulate_attack",
+    "HijackResult",
+    "hijack_cdn",
+    "hijack_letter",
+    "simulate_hijack",
+    "FailureImpact",
+    "fail_pops",
+    "fail_region",
+    "failure_impact",
+    "withdraw_sites",
+    "CdnSpec",
+    "CdnSystem",
+    "LetterSpec",
+    "build_cdn",
+    "build_letter",
+    "sample_site_regions",
+    "CdnFabric",
+    "CdnRing",
+    "Deployment",
+    "IndependentDeployment",
+    "ServedFlow",
+    "LATENCY_LETTERS_2018",
+    "LETTERS_2018",
+    "LETTERS_2020",
+    "build_root_system",
+    "Site",
+]

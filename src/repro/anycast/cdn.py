@@ -1,0 +1,200 @@
+"""Microsoft-style anycast CDN: shared backbone fabric and nested rings.
+
+The CDN differs from root letters in three ways the paper calls out:
+
+* **Shared ingress.** All rings are announced from every PoP, so a user
+  prefix ingresses at the same PoP regardless of ring (§2.2).  We model
+  this with one BGP propagation for the whole fabric; rings are views.
+* **Collocation.** Front-ends are collocated with peering locations, so
+  the nearest egress of a directly peered AS is (for the largest ring,
+  always) the nearest front-end (§7.1).
+* **Engineering.** Over the near-optimal private WAN, traffic entering a
+  PoP is carried to the nearest ring front-end; where BGP makes an AS
+  ingress badly, traffic engineering (selective announcements) corrects
+  it for most ASes (§7.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..bgp import Attachment, FlowResolution, RoutingTable, propagate, resolve_flow
+from ..geo import GeoPoint, optimal_rtt_ms, path_rtt_ms
+from ..topology.graph import Topology
+from .deployment import EXTERNAL_HOP_COST_MS, EXTERNAL_STRETCH, Deployment, ServedFlow
+from .site import Site
+
+__all__ = ["CdnFabric", "CdnRing"]
+
+#: Private-WAN routes are near-optimal (paper cites SWAN/B4-class WANs).
+WAN_STRETCH = 1.05
+#: Fixed WAN forwarding cost per round trip, ms.
+WAN_HOP_COST_MS = 0.4
+
+_MASK64 = (1 << 64) - 1
+
+
+def _mix(*values: int) -> float:
+    """Stateless hash of ints to a uniform [0, 1) float."""
+    z = 0x9E3779B97F4A7C15
+    for value in values:
+        z = (z ^ (value & _MASK64)) * 0xBF58476D1CE4E5B9 & _MASK64
+        z = (z ^ (z >> 27)) * 0x94D049BB133111EB & _MASK64
+        z ^= z >> 31
+    return z / float(1 << 64)
+
+
+@dataclass(frozen=True, slots=True)
+class Ingress:
+    """Where a client's traffic enters the CDN backbone."""
+
+    pop_id: int
+    as_path: tuple[int, ...]
+    #: Client → ... → ingress PoP (external waypoints).
+    external_waypoints: tuple[GeoPoint, ...]
+    corrected: bool  # True when traffic engineering overrode BGP's choice
+
+
+class CdnFabric:
+    """The CDN's PoPs, external routing, and traffic-engineering policy."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        origin_asn: int,
+        pops: tuple[Site, ...],
+        attachments: list[Attachment],
+        pop_of_attachment: dict[int, int],
+        te_quality: float = 0.8,
+        te_threshold_km: float = 1500.0,
+        seed: int = 0,
+    ):
+        if not pops:
+            raise ValueError("a CDN fabric needs at least one PoP")
+        if not 0.0 <= te_quality <= 1.0:
+            raise ValueError(f"te_quality out of range: {te_quality}")
+        self.topology = topology
+        self.origin_asn = origin_asn
+        self.pops = pops
+        self.pop_of_attachment = pop_of_attachment
+        self.te_quality = te_quality
+        self.te_threshold_km = te_threshold_km
+        self._seed = seed
+        self.routing: RoutingTable = propagate(topology, origin_asn, attachments, seed=seed)
+        world = topology.world
+        self._pop_lats = np.array([world.region(p.region_id).location.lat for p in pops])
+        self._pop_lons = np.array([world.region(p.region_id).location.lon for p in pops])
+        self._ingress_cache: dict[tuple[int, int], Ingress | None] = {}
+        self._nearest_pop_by_region: np.ndarray | None = None
+
+    def pop_location(self, pop_id: int) -> GeoPoint:
+        return self.topology.world.region(self.pops[pop_id].region_id).location
+
+    def nearest_pop_to_region(self, region_id: int) -> int:
+        if self._nearest_pop_by_region is None:
+            matrix = self.topology.world.distances_to_points_km(self._pop_lats, self._pop_lons)
+            self._nearest_pop_by_region = matrix.argmin(axis=1)
+        return int(self._nearest_pop_by_region[region_id])
+
+    def ingress(self, client_asn: int, region_id: int) -> Ingress | None:
+        """Resolve (and cache) a client's ingress PoP, applying TE."""
+        key = (client_asn, region_id)
+        if key not in self._ingress_cache:
+            self._ingress_cache[key] = self._ingress_uncached(client_asn, region_id)
+        return self._ingress_cache[key]
+
+    def _ingress_uncached(self, client_asn: int, region_id: int) -> Ingress | None:
+        location = self.topology.world.region(region_id).location
+        flow: FlowResolution | None = resolve_flow(
+            self.topology, self.routing, client_asn, location
+        )
+        if flow is None:
+            return None
+        pop_id = self.pop_of_attachment[flow.attachment.attachment_id]
+        best_pop = self.nearest_pop_to_region(region_id)
+        corrected = False
+        if pop_id != best_pop:
+            chosen_km = self.pop_location(pop_id).distance_km(location)
+            best_km = self.pop_location(best_pop).distance_km(location)
+            badly_routed = chosen_km - best_km > self.te_threshold_km
+            if badly_routed and _mix(self._seed, client_asn, region_id) < self.te_quality:
+                # Selective announcements steer the AS to the right PoP;
+                # the AS-level path is unchanged, only the exit moves.
+                pop_id = best_pop
+                waypoints = flow.waypoints[:-1] + (self.pop_location(best_pop),)
+                return Ingress(
+                    pop_id=pop_id,
+                    as_path=flow.route.path,
+                    external_waypoints=waypoints,
+                    corrected=True,
+                )
+        return Ingress(
+            pop_id=pop_id,
+            as_path=flow.route.path,
+            external_waypoints=flow.waypoints,
+            corrected=corrected,
+        )
+
+
+class CdnRing(Deployment):
+    """One anycast ring: a subset of fabric PoPs acting as front-ends."""
+
+    def __init__(self, fabric: CdnFabric, name: str, front_end_pop_ids: tuple[int, ...]):
+        self.fabric = fabric
+        front_ends = tuple(
+            Site(site_id=i, region_id=fabric.pops[pop_id].region_id,
+                 name=f"{name}-fe{i}", is_global=True)
+            for i, pop_id in enumerate(front_end_pop_ids)
+        )
+        super().__init__(fabric.topology, name, fabric.origin_asn, front_ends)
+        self._front_end_pop_ids = front_end_pop_ids
+        self._fe_of_pop: dict[int, int] = {}
+
+    def front_end_nearest_pop(self, pop_id: int) -> int:
+        """Ring front-end (site id) the WAN delivers to from ``pop_id``.
+
+        The backbone anycasts the ring address internally, so traffic is
+        carried to the ring site nearest the ingress PoP.
+        """
+        cached = self._fe_of_pop.get(pop_id)
+        if cached is not None:
+            return cached
+        ingress_location = self.fabric.pop_location(pop_id)
+        world = self.topology.world
+        best_site = 0
+        best_km = float("inf")
+        for site in self.sites:
+            km = world.region(site.region_id).location.distance_km(ingress_location)
+            if km < best_km:
+                best_km = km
+                best_site = site.site_id
+        self._fe_of_pop[pop_id] = best_site
+        return best_site
+
+    def _resolve_uncached(self, client_asn: int, region_id: int) -> ServedFlow | None:
+        ingress = self.fabric.ingress(client_asn, region_id)
+        if ingress is None:
+            return None
+        front_end = self.sites[self.front_end_nearest_pop(ingress.pop_id)]
+        external = path_rtt_ms(
+            ingress.external_waypoints,
+            rng=None,
+            stretch=EXTERNAL_STRETCH,
+            hop_cost_ms=EXTERNAL_HOP_COST_MS,
+            jitter_frac=0.0,
+        )
+        ingress_location = self.fabric.pop_location(ingress.pop_id)
+        front_end_location = self.site_location(front_end.site_id)
+        wan_km = ingress_location.distance_km(front_end_location)
+        wan = optimal_rtt_ms(wan_km) * WAN_STRETCH + (WAN_HOP_COST_MS if wan_km > 0 else 0.0)
+        waypoints = ingress.external_waypoints + (
+            (front_end_location,) if wan_km > 0 else ()
+        )
+        return ServedFlow(
+            site=front_end,
+            as_path=ingress.as_path,
+            waypoints=waypoints,
+            base_rtt_ms=external + wan,
+        )

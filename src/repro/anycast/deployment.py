@@ -1,0 +1,180 @@
+"""Anycast deployments: the common interface and independent-sites model.
+
+A :class:`Deployment` answers the two questions the whole analysis
+pipeline asks:
+
+* ``resolve(client_asn, region_id)`` — which site serves a client there,
+  through which AS path, and at what baseline RTT;
+* ``min_global_distance_km(region_id)`` — distance to the closest
+  *global* site, the lower bound both inflation equations use.
+
+:class:`IndependentDeployment` models the root-letter style: every site
+is independently attached to the Internet (transit and/or peering) and
+the BGP catchment terminates directly at the site.  The CDN backbone
+style lives in :mod:`repro.anycast.cdn`.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..bgp import Attachment, RoutingTable, propagate, resolve_flow
+from ..geo import GeoPoint, optimal_rtt_ms, path_rtt_ms
+from ..topology.graph import Topology
+from .site import Site
+
+__all__ = ["ServedFlow", "Deployment", "IndependentDeployment"]
+
+#: Multiplicative fiber-route stretch on the public Internet.
+EXTERNAL_STRETCH = 1.2
+#: Per-AS-hop round-trip processing cost on the public Internet, ms.
+EXTERNAL_HOP_COST_MS = 1.0
+
+
+@dataclass(frozen=True, slots=True)
+class ServedFlow:
+    """How a client is served: site, AS path, geometry, baseline RTT."""
+
+    site: Site
+    as_path: tuple[int, ...]
+    waypoints: tuple[GeoPoint, ...]
+    base_rtt_ms: float
+
+    @property
+    def as_hops(self) -> int:
+        return len(self.as_path)
+
+    def measured_rtt_ms(self, rng: np.random.Generator, jitter_frac: float = 0.05) -> float:
+        """One noisy RTT sample around the deterministic baseline."""
+        return self.base_rtt_ms * float(rng.lognormal(mean=0.0, sigma=jitter_frac))
+
+
+class Deployment(abc.ABC):
+    """Shared behaviour for anycast deployments over one topology."""
+
+    def __init__(self, topology: Topology, name: str, origin_asn: int, sites: tuple[Site, ...]):
+        if not sites:
+            raise ValueError(f"deployment {name!r} has no sites")
+        self.topology = topology
+        self.name = name
+        self.origin_asn = origin_asn
+        self.sites = sites
+        self._resolve_cache: dict[tuple[int, int], ServedFlow | None] = {}
+        global_sites = [s for s in sites if s.is_global]
+        if not global_sites:
+            raise ValueError(f"deployment {name!r} has no global sites")
+        self._global_sites = tuple(global_sites)
+        world = topology.world
+        self._global_lats = np.array(
+            [world.region(s.region_id).location.lat for s in global_sites]
+        )
+        self._global_lons = np.array(
+            [world.region(s.region_id).location.lon for s in global_sites]
+        )
+        self._min_km_by_region: np.ndarray | None = None
+
+    # -- geometry ----------------------------------------------------------
+    @property
+    def global_sites(self) -> tuple[Site, ...]:
+        return self._global_sites
+
+    @property
+    def n_global_sites(self) -> int:
+        return len(self._global_sites)
+
+    def site(self, site_id: int) -> Site:
+        return self.sites[site_id]
+
+    def site_location(self, site_id: int) -> GeoPoint:
+        return self.topology.world.region(self.sites[site_id].region_id).location
+
+    def _region_min_km(self) -> np.ndarray:
+        if self._min_km_by_region is None:
+            matrix = self.topology.world.distances_to_points_km(
+                self._global_lats, self._global_lons
+            )
+            self._min_km_by_region = matrix.min(axis=1)
+        return self._min_km_by_region
+
+    def min_global_distance_km(self, region_id: int) -> float:
+        """Distance from a region to its closest *global* site (Eq. 1/2)."""
+        return float(self._region_min_km()[region_id])
+
+    def nearest_global_site(self, region_id: int) -> Site:
+        matrix = self.topology.world.distances_to_points_km(
+            self._global_lats, self._global_lons
+        )
+        return self._global_sites[int(matrix[region_id].argmin())]
+
+    def coverage_fraction(self, radius_km: float) -> float:
+        """Fraction of world user population within ``radius_km`` of a site."""
+        populations = self.topology.world.populations().astype(float)
+        covered = self._region_min_km() <= radius_km
+        return float(populations[covered].sum() / populations.sum())
+
+    # -- service -----------------------------------------------------------
+    def resolve(self, client_asn: int, region_id: int) -> ServedFlow | None:
+        """Resolve service for a client of ``client_asn`` in ``region_id``.
+
+        Returns ``None`` when the client AS holds no route (possible for
+        purely local announcements).  Results are cached per
+        ``(asn, region)`` — routing is stable over an analysis run, which
+        also matches the site-affinity observation the paper confirms.
+        """
+        key = (client_asn, region_id)
+        if key not in self._resolve_cache:
+            self._resolve_cache[key] = self._resolve_uncached(client_asn, region_id)
+        return self._resolve_cache[key]
+
+    @abc.abstractmethod
+    def _resolve_uncached(self, client_asn: int, region_id: int) -> ServedFlow | None:
+        """Deployment-specific resolution."""
+
+
+class IndependentDeployment(Deployment):
+    """Root-letter style: independently attached sites, direct termination."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        name: str,
+        origin_asn: int,
+        sites: tuple[Site, ...],
+        attachments: list[Attachment],
+        site_of_attachment: dict[int, int],
+        seed: int = 0,
+    ):
+        super().__init__(topology, name, origin_asn, sites)
+        unknown = set(site_of_attachment.values()) - {s.site_id for s in sites}
+        if unknown:
+            raise ValueError(f"attachments reference unknown sites: {sorted(unknown)}")
+        self.site_of_attachment = site_of_attachment
+        self.seed = seed
+        self.routing: RoutingTable = propagate(topology, origin_asn, attachments, seed=seed)
+
+    def _resolve_uncached(self, client_asn: int, region_id: int) -> ServedFlow | None:
+        location = self.topology.world.region(region_id).location
+        flow = resolve_flow(self.topology, self.routing, client_asn, location)
+        if flow is None:
+            return None
+        site = self.sites[self.site_of_attachment[flow.attachment.attachment_id]]
+        base = path_rtt_ms(
+            flow.waypoints,
+            rng=None,
+            stretch=EXTERNAL_STRETCH,
+            hop_cost_ms=EXTERNAL_HOP_COST_MS,
+            jitter_frac=0.0,
+        )
+        return ServedFlow(
+            site=site,
+            as_path=flow.route.path,
+            waypoints=flow.waypoints,
+            base_rtt_ms=base,
+        )
+
+    def optimal_rtt_to_deployment_ms(self, region_id: int) -> float:
+        """Eq. 2's achievable lower bound toward this deployment."""
+        return optimal_rtt_ms(self.min_global_distance_km(region_id))

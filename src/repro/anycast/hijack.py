@@ -1,0 +1,147 @@
+"""Anycast prefix hijack simulation.
+
+Section 7.1 notes in passing that a customer route toward Microsoft
+"will only exist during a route leak/hijack".  This module makes that
+scenario first-class: a hijacker AS originates the victim's anycast
+prefix, its announcement competes with the legitimate attachments under
+normal BGP policy, and we measure which users it captures.
+
+The policy mechanics produce a nuanced result.  A hijacker's
+announcement enters the hierarchy as a *customer* route at its
+providers, which beats the victim's *peer* routes there (local
+preference).  ASes that peer *directly* with the victim keep their peer
+route in preference to any provider route — direct peering is hijack
+armor for the CDN's peered majority.  But for everyone else, a
+peering-only (transit-free) victim has no customer routes of its own to
+compete in the top preference class, so its non-peered users are *more*
+exposed than a transit-hosted root letter's — which is why such networks
+lean on RPKI and scoped announcements rather than topology alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..bgp import Attachment, RoutingTable, propagate
+from ..topology import Relationship, Topology
+from ..users.population import UserBase
+from .cdn import CdnFabric
+from .deployment import IndependentDeployment
+
+__all__ = ["HijackResult", "simulate_hijack", "hijack_letter", "hijack_cdn"]
+
+#: Attachment id reserved for the hijacker's bogus origin.
+HIJACK_ATTACHMENT_ID = 1_000_000
+
+
+@dataclass(slots=True)
+class HijackResult:
+    """Outcome of one hijack scenario."""
+
+    victim: str
+    hijacker_asn: int
+    routing: RoutingTable
+    topology: Topology
+    #: user-weighted capture statistics (populated by ``measure``)
+    users_total: int = 0
+    users_captured: int = 0
+    ases_captured: int = 0
+    ases_total: int = 0
+
+    @property
+    def user_capture_fraction(self) -> float:
+        return self.users_captured / self.users_total if self.users_total else 0.0
+
+    @property
+    def as_capture_fraction(self) -> float:
+        return self.ases_captured / self.ases_total if self.ases_total else 0.0
+
+    def captures(self, client_asn: int, region_id: int | None = None) -> bool:
+        """Whether a client AS's *selected route* leads to the hijacker.
+
+        Capture is a control-plane question: the client's BGP route
+        terminates at the bogus origination.  (Flow-level early exit is
+        deliberately not applied here — when the hijacker also has a
+        legitimate interconnect to the victim, its data plane may still
+        deliver, but the path was captured; that is an interception.)
+        """
+        del region_id  # kept for API symmetry with Deployment.resolve
+        route = self.routing.route(client_asn)
+        return route is not None and route.attachment_id == HIJACK_ATTACHMENT_ID
+
+    def measure(self, user_base: UserBase) -> "HijackResult":
+        """Weight the capture by the user population."""
+        seen_as: dict[int, bool] = {}
+        for location in user_base:
+            captured = seen_as.get(location.asn)
+            if captured is None:
+                captured = self.captures(location.asn, location.region_id)
+                seen_as[location.asn] = captured
+            self.users_total += location.users
+            if captured:
+                self.users_captured += location.users
+        self.ases_total = len(seen_as)
+        self.ases_captured = sum(1 for captured in seen_as.values() if captured)
+        return self
+
+
+def simulate_hijack(
+    topology: Topology,
+    origin_asn: int,
+    legit_attachments: list[Attachment],
+    hijacker_asn: int,
+    prepend: int = 0,
+    seed: int = 0,
+) -> HijackResult:
+    """Re-propagate the prefix with a hijacked origination added.
+
+    The hijacker AS claims a direct (customer-style) adjacency to the
+    origin, so its providers receive customer routes — the classic
+    origin-hijack propagation pattern.
+    """
+    if hijacker_asn not in topology:
+        raise KeyError(f"hijacker AS{hijacker_asn} not in topology")
+    if any(a.attachment_id == HIJACK_ATTACHMENT_ID for a in legit_attachments):
+        raise ValueError("legit attachments collide with the hijack id")
+    bogus = Attachment(
+        attachment_id=HIJACK_ATTACHMENT_ID,
+        host_asn=hijacker_asn,
+        origin_role=Relationship.CUSTOMER,
+        region_id=topology.node(hijacker_asn).home_region,
+        prepend=prepend,
+    )
+    routing = propagate(
+        topology, origin_asn, list(legit_attachments) + [bogus], seed=seed
+    )
+    return HijackResult(
+        victim=f"AS{origin_asn}", hijacker_asn=hijacker_asn,
+        routing=routing, topology=topology,
+    )
+
+
+def hijack_letter(
+    deployment: IndependentDeployment, hijacker_asn: int, seed: int = 0
+) -> HijackResult:
+    """Hijack a root letter's prefix."""
+    result = simulate_hijack(
+        deployment.topology,
+        deployment.origin_asn,
+        list(deployment.routing.attachments.values()),
+        hijacker_asn,
+        seed=seed,
+    )
+    result.victim = deployment.name
+    return result
+
+
+def hijack_cdn(fabric: CdnFabric, hijacker_asn: int, seed: int = 0) -> HijackResult:
+    """Hijack the CDN's anycast prefix (all rings share the fabric)."""
+    result = simulate_hijack(
+        fabric.topology,
+        fabric.origin_asn,
+        list(fabric.routing.attachments.values()),
+        hijacker_asn,
+        seed=seed,
+    )
+    result.victim = "CDN fabric"
+    return result

@@ -1,0 +1,220 @@
+"""Site-failure resilience drills.
+
+Root operators told the paper (§7.3, Table 1) that *resilience* — DDoS
+capacity and staying reachable when cut off — drives growth at least as
+much as latency.  This module makes that analyzable: withdraw sites (or
+a whole region's worth) from a deployment, recompute routing, and
+measure what failures do to latency and to load concentration.
+
+The mechanics mirror a real event: withdrawing a site withdraws its BGP
+attachments, and the survivors' catchments absorb the traffic.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from ..bgp import Attachment
+from ..users.population import UserBase
+from .builders import CdnSystem
+from .cdn import CdnFabric, CdnRing
+from .deployment import Deployment, IndependentDeployment
+
+__all__ = [
+    "withdraw_sites",
+    "fail_region",
+    "fail_pops",
+    "FailureImpact",
+    "failure_impact",
+]
+
+
+def withdraw_sites(
+    deployment: IndependentDeployment,
+    failed_site_ids: Iterable[int],
+    seed: int | None = None,
+) -> IndependentDeployment:
+    """Rebuild a letter-style deployment without the failed sites.
+
+    Surviving sites keep their identity (region, global/local flag) but
+    are re-numbered, as the new deployment is a fresh announcement set.
+    The tiebreak seed defaults to the original deployment's, so the
+    *only* change is the withdrawal itself.  Raises if no global site
+    survives (the service would be dark).
+    """
+    if seed is None:
+        seed = deployment.seed
+    failed = set(failed_site_ids)
+    unknown = failed - {s.site_id for s in deployment.sites}
+    if unknown:
+        raise ValueError(f"unknown site ids: {sorted(unknown)}")
+    survivors = [s for s in deployment.sites if s.site_id not in failed]
+    if not any(s.is_global for s in survivors):
+        raise ValueError("cannot withdraw every global site")
+
+    from .site import Site
+
+    new_id_of_old = {site.site_id: i for i, site in enumerate(survivors)}
+    new_sites = tuple(
+        Site(site_id=i, region_id=s.region_id, name=s.name, is_global=s.is_global)
+        for i, s in enumerate(survivors)
+    )
+    attachments: list[Attachment] = []
+    site_of_attachment: dict[int, int] = {}
+    for attachment in deployment.routing.attachments.values():
+        old_site = deployment.site_of_attachment[attachment.attachment_id]
+        if old_site in failed:
+            continue
+        attachments.append(attachment)
+        site_of_attachment[attachment.attachment_id] = new_id_of_old[old_site]
+    return IndependentDeployment(
+        topology=deployment.topology,
+        name=f"{deployment.name} (-{len(failed)} sites)",
+        origin_asn=deployment.origin_asn,
+        sites=new_sites,
+        attachments=attachments,
+        site_of_attachment=site_of_attachment,
+        seed=seed,
+    )
+
+
+def fail_region(
+    deployment: IndependentDeployment, region_id: int, seed: int | None = None
+) -> IndependentDeployment:
+    """Withdraw every site in one region (a metro-scale outage)."""
+    failed = [s.site_id for s in deployment.sites if s.region_id == region_id]
+    if not failed:
+        raise ValueError(f"deployment has no site in region {region_id}")
+    return withdraw_sites(deployment, failed, seed=seed)
+
+
+def fail_pops(
+    cdn: CdnSystem, failed_pop_ids: Iterable[int], seed: int | None = None
+) -> CdnSystem:
+    """Rebuild the CDN without the failed PoPs (fabric and all rings).
+
+    Failing a PoP removes its peering/transit attachments *and* its
+    front-end from every ring that contained it.  The tiebreak/TE seed
+    defaults to the original fabric's so only the withdrawal changes.
+    """
+    failed = set(failed_pop_ids)
+    fabric = cdn.fabric
+    if seed is None:
+        seed = fabric._seed
+    unknown = failed - {p.site_id for p in fabric.pops}
+    if unknown:
+        raise ValueError(f"unknown pop ids: {sorted(unknown)}")
+    survivors = [p for p in fabric.pops if p.site_id not in failed]
+    if not survivors:
+        raise ValueError("cannot fail every PoP")
+
+    from .site import Site
+
+    new_id_of_old = {p.site_id: i for i, p in enumerate(survivors)}
+    new_pops = tuple(
+        Site(site_id=i, region_id=p.region_id, name=p.name, is_global=True)
+        for i, p in enumerate(survivors)
+    )
+    attachments: list[Attachment] = []
+    pop_of_attachment: dict[int, int] = {}
+    for attachment in fabric.routing.attachments.values():
+        old_pop = fabric.pop_of_attachment[attachment.attachment_id]
+        if old_pop in failed:
+            continue
+        attachments.append(attachment)
+        pop_of_attachment[attachment.attachment_id] = new_id_of_old[old_pop]
+
+    new_fabric = CdnFabric(
+        topology=fabric.topology,
+        origin_asn=fabric.origin_asn,
+        pops=new_pops,
+        attachments=attachments,
+        pop_of_attachment=pop_of_attachment,
+        te_quality=fabric.te_quality,
+        te_threshold_km=fabric.te_threshold_km,
+        seed=seed,
+    )
+    degraded = CdnSystem(fabric=new_fabric)
+    for name, ring in cdn.rings.items():
+        surviving_fes = tuple(
+            new_id_of_old[pop_id]
+            for pop_id in ring._front_end_pop_ids
+            if pop_id not in failed
+        )
+        if surviving_fes:
+            degraded.rings[name] = CdnRing(new_fabric, name, surviving_fes)
+    return degraded
+
+
+@dataclass(slots=True)
+class FailureImpact:
+    """Before/after comparison of one failure drill."""
+
+    name: str
+    users_measured: int
+    users_rerouted: int
+    median_rtt_before_ms: float
+    median_rtt_after_ms: float
+    p95_rtt_before_ms: float
+    p95_rtt_after_ms: float
+    #: largest share of users on any single site, before/after — the
+    #: DDoS-capacity concentration question.
+    max_site_share_before: float
+    max_site_share_after: float
+
+    @property
+    def rerouted_fraction(self) -> float:
+        return self.users_rerouted / self.users_measured if self.users_measured else 0.0
+
+    @property
+    def median_degradation_ms(self) -> float:
+        return self.median_rtt_after_ms - self.median_rtt_before_ms
+
+
+def failure_impact(
+    before: Deployment, after: Deployment, user_base: UserBase
+) -> FailureImpact:
+    """Measure a failure's user impact over the whole user base."""
+    from ..core.cdf import WeightedCdf
+
+    rtts_before: list[float] = []
+    rtts_after: list[float] = []
+    weights: list[float] = []
+    rerouted = 0
+    measured = 0
+    load_before: dict[int, float] = {}
+    load_after: dict[int, float] = {}
+    for location in user_base:
+        flow_before = before.resolve(location.asn, location.region_id)
+        flow_after = after.resolve(location.asn, location.region_id)
+        if flow_before is None or flow_after is None:
+            continue
+        measured += location.users
+        if flow_before.site.region_id != flow_after.site.region_id:
+            rerouted += location.users
+        rtts_before.append(flow_before.base_rtt_ms)
+        rtts_after.append(flow_after.base_rtt_ms)
+        weights.append(float(location.users))
+        load_before[flow_before.site.site_id] = (
+            load_before.get(flow_before.site.site_id, 0.0) + location.users
+        )
+        load_after[flow_after.site.site_id] = (
+            load_after.get(flow_after.site.site_id, 0.0) + location.users
+        )
+    if not weights:
+        raise ValueError("no users could be measured against both deployments")
+    cdf_before = WeightedCdf(rtts_before, weights)
+    cdf_after = WeightedCdf(rtts_after, weights)
+    total = sum(weights)
+    return FailureImpact(
+        name=f"{before.name} → {after.name}",
+        users_measured=measured,
+        users_rerouted=rerouted,
+        median_rtt_before_ms=cdf_before.median,
+        median_rtt_after_ms=cdf_after.median,
+        p95_rtt_before_ms=cdf_before.quantile(0.95),
+        p95_rtt_after_ms=cdf_after.quantile(0.95),
+        max_site_share_before=max(load_before.values()) / total,
+        max_site_share_after=max(load_after.values()) / total,
+    )

@@ -1,0 +1,97 @@
+"""Root DNS letter catalogues (2018 and 2020 DITL deployments).
+
+Global/total site counts come from the paper's Fig. 2 and Fig. 10 legends
+(2018) and Fig. 11b (2020).  Placement and peering styles are modelled on
+the letters' public deployment characters the paper discusses:
+
+* **B** — two sites, both in North America (its 49% efficiency but 160 ms
+  median latency anchor Fig. 7a's "high efficiency ≠ low latency").
+* **C** — transit-only operator, no open peering (largest latency-
+  inflation tail, Fig. 2b).
+* **F** — partnered with a global CDN (Cloudflare): wide footprint, very
+  open peering, lowest median latency despite mediocre efficiency.
+* **L** — open hosting: many volunteer sites loosely correlated with
+  population.
+* **E, D** — mid-size global footprints with large *local*-site programs.
+
+``tcp_ok=False`` marks D and L, whose 2018 DITL pcaps were malformed and
+are therefore excluded from latency-inflation analysis (Fig. 2b), and
+letters G/I are absent entirely (no data / fully anonymised), exactly as
+in the paper.
+"""
+
+from __future__ import annotations
+
+from ..topology import GeneratedInternet
+from .builders import LetterSpec, build_letter
+from .deployment import IndependentDeployment
+
+__all__ = [
+    "LETTERS_2018",
+    "LETTERS_2020",
+    "LATENCY_LETTERS_2018",
+    "build_root_system",
+]
+
+_ORIGIN_BASE = 64000
+
+
+def _specs(entries: list[tuple]) -> dict[str, LetterSpec]:
+    specs = {}
+    for index, entry in enumerate(entries):
+        letter, n_global, n_local, placement, peer_fraction, peers_per_site, tcp_ok = entry
+        specs[letter] = LetterSpec(
+            letter=letter,
+            n_global=n_global,
+            n_local=n_local,
+            placement=placement,
+            peer_fraction=peer_fraction,
+            peers_per_site=peers_per_site,
+            tcp_ok=tcp_ok,
+            origin_asn=_ORIGIN_BASE + index,
+        )
+    return specs
+
+
+#: 2018 DITL deployments:
+#: (letter, global, local, placement, peer fraction, peers/site, tcp_ok).
+LETTERS_2018: dict[str, LetterSpec] = _specs([
+    ("A", 5, 0, "na_eu", 0.40, 6, True),
+    ("B", 2, 0, "na", 0.35, 4, True),
+    ("C", 10, 0, "na_eu", 0.15, 3, True),
+    ("D", 20, 97, "na", 0.40, 6, False),
+    ("E", 15, 70, "na", 0.40, 6, True),
+    ("F", 94, 47, "population", 0.95, 12, True),
+    ("H", 1, 0, "na", 0.30, 4, True),
+    ("J", 68, 42, "population", 0.60, 8, True),
+    ("K", 52, 1, "eu", 0.60, 8, True),
+    ("L", 138, 0, "open_hosting", 0.50, 8, False),
+    ("M", 5, 1, "asia", 0.50, 6, True),
+])
+
+#: 2020 DITL deployments (Fig. 11): fewer letters usable, several grown.
+LETTERS_2020: dict[str, LetterSpec] = _specs([
+    ("A", 51, 0, "na_eu", 0.45, 6, True),
+    ("C", 10, 0, "na_eu", 0.15, 3, True),
+    ("D", 23, 120, "na", 0.40, 6, True),
+    ("H", 8, 0, "na", 0.30, 4, True),
+    ("J", 127, 60, "population", 0.60, 8, True),
+    ("K", 75, 1, "eu", 0.60, 8, True),
+    ("M", 8, 1, "asia", 0.50, 6, True),
+])
+
+#: Letters with usable TCP RTTs in 2018 (Fig. 2b's letter set).
+LATENCY_LETTERS_2018: tuple[str, ...] = ("B", "A", "M", "C", "E", "K", "J", "F")
+
+
+def build_root_system(
+    internet: GeneratedInternet,
+    specs: dict[str, LetterSpec] | None = None,
+    seed: int = 0,
+) -> dict[str, IndependentDeployment]:
+    """Build every letter of a root-system catalogue, keyed by letter."""
+    specs = specs if specs is not None else LETTERS_2018
+    return {
+        letter: build_letter(internet, spec, seed=seed)
+        for letter, spec in sorted(specs.items())
+    }

@@ -1,0 +1,23 @@
+"""Anycast sites."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Site"]
+
+
+@dataclass(frozen=True, slots=True)
+class Site:
+    """One anycast site (root-letter instance or CDN front-end/PoP).
+
+    ``is_global`` distinguishes globally announced sites from *local*
+    sites whose announcements are scoped to the hosting AS and its
+    customer cone (§2.1 of the paper); the inflation equations only
+    consider global sites.
+    """
+
+    site_id: int
+    region_id: int
+    name: str
+    is_global: bool = True

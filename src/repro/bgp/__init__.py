@@ -1,0 +1,20 @@
+"""BGP substrate: routes, policy tiebreaking, valley-free propagation."""
+
+from .flows import FlowResolution, resolve_flow
+from .pathlat import route_rtt_ms, route_waypoints
+from .policy import DefaultTieBreaker
+from .propagation import RoutingTable, propagate
+from .route import Attachment, Route, RouteClass
+
+__all__ = [
+    "FlowResolution",
+    "resolve_flow",
+    "route_rtt_ms",
+    "route_waypoints",
+    "DefaultTieBreaker",
+    "RoutingTable",
+    "propagate",
+    "Attachment",
+    "Route",
+    "RouteClass",
+]

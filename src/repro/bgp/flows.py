@@ -1,0 +1,90 @@
+"""Flow-level resolution of anycast catchments.
+
+Per-AS BGP (one selected route per AS) is the right granularity for *path*
+questions, but the final "which attachment point does this flow hit" is
+decided inside the last AS before the origin by its IGP: each of its
+border routers early-exits to the nearest interconnection.  That is
+per-flow, not per-AS — two customers of the same transit on opposite
+coasts can exit to different anycast sites even though the transit "has
+one best route".
+
+:func:`resolve_flow` walks a client's selected AS path geographically
+(early exit at every intermediate AS) and then applies nearest-exit logic
+among the terminal AS's attachments to the origin.  This models both
+
+* hot-potato delivery inside a transit hosting several root-letter sites,
+* Microsoft's collocation of front-ends with peering points, where the
+  nearest egress is the nearest site (§7.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..geo import GeoPoint
+from ..topology.graph import Topology
+from .propagation import RoutingTable
+from .route import Attachment, Route
+
+__all__ = ["FlowResolution", "resolve_flow"]
+
+
+@dataclass(frozen=True, slots=True)
+class FlowResolution:
+    """Where a client flow actually lands."""
+
+    route: Route
+    attachment: Attachment
+    #: Waypoints from the client up to (and including) the point where the
+    #: flow enters the origin's infrastructure (the attachment region).
+    waypoints: tuple[GeoPoint, ...]
+
+    @property
+    def as_hops(self) -> int:
+        return self.route.as_hops
+
+
+def resolve_flow(
+    topology: Topology,
+    routing: RoutingTable,
+    client_asn: int,
+    client_location: GeoPoint,
+) -> FlowResolution | None:
+    """Resolve the attachment a flow from ``client_asn`` reaches.
+
+    Returns ``None`` when the client AS holds no route to the prefix.
+    """
+    route = routing.route(client_asn)
+    if route is None:
+        return None
+
+    # Walk intermediate ASes with early exit (client and origin excluded).
+    waypoints: list[GeoPoint] = [client_location]
+    current = client_location
+    for asn in route.path[1:-1]:
+        node = topology.node(asn)
+        pop_region = node.nearest_pop(current, topology.world)
+        current = topology.world.region(pop_region).location
+        waypoints.append(current)
+
+    # The terminal AS (adjacent to the origin) early-exits among *its*
+    # attachments to this prefix; fall back to the route's recorded
+    # attachment when it has only one.
+    terminal_asn = route.path[-2] if len(route.path) >= 2 else client_asn
+    candidates = routing.attachments_by_host.get(terminal_asn, [])
+    if not candidates:
+        chosen = routing.attachments[route.attachment_id]
+    elif len(candidates) == 1:
+        chosen = candidates[0]
+    else:
+        world = topology.world
+        chosen = min(
+            candidates,
+            key=lambda a: (
+                world.region(a.region_id).location.distance_km(current),
+                a.attachment_id,
+            ),
+        )
+    entry = topology.world.region(chosen.region_id).location
+    waypoints.append(entry)
+    return FlowResolution(route=route, attachment=chosen, waypoints=tuple(waypoints))

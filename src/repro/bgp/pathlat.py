@@ -1,0 +1,67 @@
+"""AS-path to latency: waypoint extraction and RTT synthesis.
+
+A selected BGP route is an AS-level path.  To turn it into a latency we
+walk the path geographically: traffic leaves the client's region, enters
+each intermediate AS at that AS's PoP nearest to where the traffic
+currently is (early-exit/hot-potato forwarding), and finally reaches the
+terminal location.  The resulting waypoint chain feeds
+:func:`repro.geo.latency.path_rtt_ms`.
+
+This is where path inflation becomes latency inflation: a route whose
+intermediate AS has no nearby PoP — or whose chosen attachment is on
+another continent — accumulates real great-circle detour kilometres.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..geo import GeoPoint, path_rtt_ms
+from ..topology.graph import Topology
+from .route import Route
+
+__all__ = ["route_waypoints", "route_rtt_ms"]
+
+
+def route_waypoints(
+    topology: Topology,
+    route: Route,
+    source: GeoPoint,
+    terminal: GeoPoint,
+) -> list[GeoPoint]:
+    """Geographic waypoints for ``route`` from ``source`` to ``terminal``.
+
+    ``route.path`` is ``(client_asn, ..., origin_asn)``; the client AS and
+    the origin are represented by ``source`` and ``terminal`` directly, and
+    each intermediate AS contributes its early-exit PoP.
+    """
+    waypoints = [source]
+    current = source
+    for asn in route.path[1:-1]:
+        node = topology.node(asn)
+        pop_region = node.nearest_pop(current, topology.world)
+        current = topology.world.region(pop_region).location
+        waypoints.append(current)
+    waypoints.append(terminal)
+    return waypoints
+
+
+def route_rtt_ms(
+    topology: Topology,
+    route: Route,
+    source: GeoPoint,
+    terminal: GeoPoint,
+    rng: np.random.Generator | None = None,
+    stretch: float = 1.2,
+    hop_cost_ms: float = 1.0,
+    jitter_frac: float = 0.05,
+) -> float:
+    """Simulated measured RTT along ``route`` between two locations."""
+    waypoints = route_waypoints(topology, route, source, terminal)
+    return path_rtt_ms(
+        waypoints,
+        rng=rng,
+        stretch=stretch,
+        hop_cost_ms=hop_cost_ms,
+        jitter_frac=jitter_frac,
+    )

@@ -1,0 +1,81 @@
+"""Route-selection tiebreaking.
+
+When BGP's local preference and AS-path length leave several routes tied,
+real routers fall back to IGP cost (hot-potato / early exit) and finally
+to opaque identifiers (router id, oldest route).  The paper's §7.1 hinges
+on this distinction:
+
+* An AS *directly adjacent* to the anycast origin at several locations
+  picks its nearest egress (hot-potato).  Because Microsoft collocates
+  front-ends with peering locations, early exit aligns with the nearest
+  site — which is why extensive peering yields low inflation.
+* Ties among routes heard *through other ASes* are broken by criteria
+  uncorrelated with geography; we model them with a deterministic hash.
+  This is exactly the mechanism that inflates transit-reached deployments
+  such as most root letters.
+"""
+
+from __future__ import annotations
+
+from ..geo import GeoPoint
+from ..topology.graph import Topology
+from .route import Attachment, Route
+
+__all__ = ["DefaultTieBreaker"]
+
+_MASK64 = (1 << 64) - 1
+
+
+def _mix(*values: int) -> int:
+    """SplitMix64-style stateless hash of a tuple of ints."""
+    z = 0x9E3779B97F4A7C15
+    for value in values:
+        z = (z ^ (value & _MASK64)) * 0xBF58476D1CE4E5B9 & _MASK64
+        z = (z ^ (z >> 27)) * 0x94D049BB133111EB & _MASK64
+        z ^= z >> 31
+    return z
+
+
+class DefaultTieBreaker:
+    """Hot-potato for direct adjacencies, opaque hash otherwise."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        attachments: dict[int, Attachment],
+        seed: int = 0,
+    ) -> None:
+        self._topology = topology
+        self._attachments = attachments
+        self._seed = seed
+
+    def _attachment_location(self, attachment_id: int) -> GeoPoint:
+        region_id = self._attachments[attachment_id].region_id
+        return self._topology.world.region(region_id).location
+
+    def choose(self, asn: int, candidates: list[Route]) -> Route:
+        """Pick one route among equally preferred candidates."""
+        if not candidates:
+            raise ValueError("no candidates to choose from")
+        if len(candidates) == 1:
+            return candidates[0]
+        if all(route.as_hops == 2 for route in candidates):
+            # Directly adjacent to the origin at several attachment points:
+            # IGP cost decides, i.e. nearest attachment to this AS's
+            # primary location (early exit).
+            here = self._topology.location_of(asn)
+            return min(
+                candidates,
+                key=lambda route: (
+                    self._attachment_location(route.attachment_id).distance_km(here),
+                    route.attachment_id,
+                ),
+            )
+        # Routes heard through other ASes: opaque, geography-blind tiebreak.
+        return min(
+            candidates,
+            key=lambda route: _mix(
+                self._seed, asn, route.next_hop if route.as_hops >= 2 else 0,
+                route.attachment_id,
+            ),
+        )

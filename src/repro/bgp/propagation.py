@@ -1,0 +1,214 @@
+"""Gao–Rexford path-vector propagation for anycast prefixes.
+
+Computes, for every AS in the topology, the route it selects toward an
+anycast prefix announced from a set of :class:`Attachment` points.  The
+three-phase algorithm is the standard valley-free formulation:
+
+1. **Customer routes** climb customer→provider edges from attachments
+   where the origin buys transit.  Everyone exports customer routes to
+   everyone, so these spread globally.
+2. **Peer routes** cross exactly one peer edge: an AS learns from a peer
+   only what that peer learned from its customers (or originates).  Direct
+   peering with the origin is the one-hop special case.
+3. **Provider routes** descend provider→customer edges carrying each
+   provider's best route.
+
+Selection follows local preference (customer > peer > provider), then
+announced AS-path length (prepending included), then the tiebreaker from
+:mod:`repro.bgp.policy`.
+
+The propagation is per-announcement-set, not per ring: nested CDN rings
+share one external routing solution (traffic ingresses at the same PoP
+regardless of ring — §2.2 of the paper), which :mod:`repro.anycast`
+exploits.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Iterable
+
+from ..topology.graph import Topology
+from ..topology.kinds import Relationship
+from .policy import DefaultTieBreaker
+from .route import Attachment, Route, RouteClass
+
+__all__ = ["RoutingTable", "propagate"]
+
+
+class RoutingTable:
+    """Selected route per AS for one anycast prefix."""
+
+    def __init__(self, origin_asn: int, routes: dict[int, Route], attachments: dict[int, Attachment]):
+        self.origin_asn = origin_asn
+        self._routes = routes
+        self.attachments = attachments
+        self.attachments_by_host: dict[int, list[Attachment]] = {}
+        for attachment in attachments.values():
+            self.attachments_by_host.setdefault(attachment.host_asn, []).append(attachment)
+
+    def route(self, asn: int) -> Route | None:
+        return self._routes.get(asn)
+
+    def attachment_of(self, asn: int) -> Attachment | None:
+        route = self._routes.get(asn)
+        return self.attachments[route.attachment_id] if route else None
+
+    def __len__(self) -> int:
+        return len(self._routes)
+
+    def __contains__(self, asn: int) -> bool:
+        return asn in self._routes
+
+    def items(self) -> Iterable[tuple[int, Route]]:
+        return self._routes.items()
+
+    def coverage(self, topology: Topology) -> float:
+        """Fraction of ASes holding a route to the prefix."""
+        return len(self._routes) / max(1, len(topology))
+
+
+def _finalize_level(
+    pending: dict[int, list[Route]],
+    finalized: dict[int, Route],
+    tiebreaker: DefaultTieBreaker,
+) -> list[int]:
+    """Resolve all ASes that received candidates this level; return them."""
+    settled = []
+    for asn, candidates in pending.items():
+        if asn in finalized:
+            continue
+        finalized[asn] = tiebreaker.choose(asn, candidates)
+        settled.append(asn)
+    return settled
+
+
+def propagate(
+    topology: Topology,
+    origin_asn: int,
+    attachments: list[Attachment],
+    seed: int = 0,
+) -> RoutingTable:
+    """Run the three-phase propagation and return per-AS selected routes."""
+    if not attachments:
+        raise ValueError("cannot announce a prefix with no attachments")
+    ids = [a.attachment_id for a in attachments]
+    if len(set(ids)) != len(ids):
+        raise ValueError("attachment ids must be unique")
+    by_id = {a.attachment_id: a for a in attachments}
+    for attachment in attachments:
+        if attachment.host_asn not in topology:
+            raise KeyError(f"attachment host AS{attachment.host_asn} not in topology")
+
+    tiebreaker = DefaultTieBreaker(topology, by_id, seed=seed)
+
+    # ---- phase 1: customer routes ---------------------------------------
+    customer_routes: dict[int, Route] = {}
+    levels: dict[int, dict[int, list[Route]]] = defaultdict(lambda: defaultdict(list))
+    for attachment in attachments:
+        if attachment.origin_role is Relationship.CUSTOMER:
+            announced = 2 + attachment.prepend
+            route = Route(
+                cls=RouteClass.CUSTOMER,
+                path=(attachment.host_asn, origin_asn),
+                attachment_id=attachment.attachment_id,
+                announced_len=announced,
+                local=attachment.local,
+            )
+            levels[announced][attachment.host_asn].append(route)
+
+    while levels:
+        level = min(levels)
+        pending = levels.pop(level)
+        for asn in _finalize_level(pending, customer_routes, tiebreaker):
+            selected = customer_routes[asn]
+            if selected.local:
+                continue  # scoped announcement: never exported upward
+            for provider in topology.providers_of(asn):
+                if provider in customer_routes:
+                    continue
+                route = Route(
+                    cls=RouteClass.CUSTOMER,
+                    path=(provider,) + selected.path,
+                    attachment_id=selected.attachment_id,
+                    announced_len=selected.announced_len + 1,
+                )
+                levels[selected.announced_len + 1][provider].append(route)
+
+    # ---- phase 2: peer routes (single peer crossing) ---------------------
+    peer_routes: dict[int, Route] = {}
+    peer_candidates: dict[int, list[Route]] = defaultdict(list)
+    for attachment in attachments:
+        if attachment.origin_role is Relationship.PEER:
+            peer_candidates[attachment.host_asn].append(
+                Route(
+                    cls=RouteClass.PEER,
+                    path=(attachment.host_asn, origin_asn),
+                    attachment_id=attachment.attachment_id,
+                    announced_len=2 + attachment.prepend,
+                    local=attachment.local,
+                )
+            )
+    for asn, customer_route in customer_routes.items():
+        if customer_route.local:
+            continue  # scoped announcement: never exported to peers
+        for peer in topology.peers_of(asn):
+            if peer in customer_routes:
+                continue  # the peer prefers its own customer route
+            peer_candidates[peer].append(
+                Route(
+                    cls=RouteClass.PEER,
+                    path=(peer,) + customer_route.path,
+                    attachment_id=customer_route.attachment_id,
+                    announced_len=customer_route.announced_len + 1,
+                )
+            )
+    for asn, candidates in peer_candidates.items():
+        if asn in customer_routes:
+            continue
+        best_len = min(route.announced_len for route in candidates)
+        shortlist = [route for route in candidates if route.announced_len == best_len]
+        peer_routes[asn] = tiebreaker.choose(asn, shortlist)
+
+    # ---- phase 3: provider routes ----------------------------------------
+    best: dict[int, Route] = dict(customer_routes)
+    best.update(peer_routes)
+    provider_levels: dict[int, dict[int, list[Route]]] = defaultdict(lambda: defaultdict(list))
+    for asn, route in best.items():
+        for customer in topology.customers_of(asn):
+            if customer in best:
+                continue
+            provider_levels[route.announced_len + 1][customer].append(
+                Route(
+                    cls=RouteClass.PROVIDER,
+                    path=(customer,) + route.path,
+                    attachment_id=route.attachment_id,
+                    announced_len=route.announced_len + 1,
+                    local=route.local,
+                )
+            )
+    provider_routes: dict[int, Route] = {}
+    while provider_levels:
+        level = min(provider_levels)
+        pending = provider_levels.pop(level)
+        for asn in _finalize_level(pending, provider_routes, tiebreaker):
+            if asn in best:
+                # Already has a customer/peer route; provider candidate loses.
+                del provider_routes[asn]
+                continue
+            selected = provider_routes[asn]
+            best[asn] = selected
+            for customer in topology.customers_of(asn):
+                if customer in best or customer in provider_routes:
+                    continue
+                provider_levels[selected.announced_len + 1][customer].append(
+                    Route(
+                        cls=RouteClass.PROVIDER,
+                        path=(customer,) + selected.path,
+                        attachment_id=selected.attachment_id,
+                        announced_len=selected.announced_len + 1,
+                        local=selected.local,
+                    )
+                )
+
+    return RoutingTable(origin_asn=origin_asn, routes=best, attachments=by_id)

@@ -1,0 +1,83 @@
+"""Route and attachment types for the BGP simulator."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..topology.kinds import Relationship
+
+__all__ = ["RouteClass", "Attachment", "Route"]
+
+
+class RouteClass(enum.IntEnum):
+    """Local-preference class of a route (higher value = preferred).
+
+    Encodes the Gao–Rexford ranking: routes learned from customers beat
+    routes learned from peers beat routes learned from providers,
+    regardless of AS-path length.
+    """
+
+    PROVIDER = 0
+    PEER = 1
+    CUSTOMER = 2
+    ORIGIN = 3  # the announcing AS itself
+
+
+@dataclass(frozen=True, slots=True)
+class Attachment:
+    """One adjacency between an anycast origin AS and the topology.
+
+    ``attachment_id`` identifies the site (independent-sites deployments)
+    or the ingress PoP (backbone deployments).  ``host_asn`` is the
+    neighbor the origin connects to there, and ``origin_role`` is the
+    origin's role from the host's perspective: ``CUSTOMER`` when the origin
+    buys transit at this location, ``PEER`` for settlement-free peering.
+    ``prepend`` adds that many extra origin hops to the announced path —
+    the classic traffic-engineering lever for demoting a site.
+    """
+
+    attachment_id: int
+    host_asn: int
+    origin_role: Relationship
+    region_id: int
+    prepend: int = 0
+    #: Local (scoped) sites restrict BGP propagation to the hosting AS and
+    #: its customer cone — the root-letter "local site" mechanism (§2.1).
+    local: bool = False
+
+    def __post_init__(self) -> None:
+        if self.origin_role not in (Relationship.CUSTOMER, Relationship.PEER):
+            raise ValueError("an origin attaches as customer or peer, never provider")
+        if self.prepend < 0:
+            raise ValueError("prepend must be non-negative")
+
+
+@dataclass(frozen=True, slots=True)
+class Route:
+    """The route an AS selected toward an anycast prefix.
+
+    ``path`` starts at the selecting AS and ends at the origin AS, so
+    ``len(path)`` is the number of ASes traversed — the quantity Fig. 6a
+    reports.  ``announced_len`` includes any prepending (what BGP compared);
+    ``path`` holds the real hops.
+    """
+
+    cls: RouteClass
+    path: tuple[int, ...]
+    attachment_id: int
+    announced_len: int
+    #: True when derived from a local-scope attachment; such routes are
+    #: never exported upward or across peer edges.
+    local: bool = False
+
+    @property
+    def next_hop(self) -> int:
+        if len(self.path) < 2:
+            raise ValueError("origin routes have no next hop")
+        return self.path[1]
+
+    @property
+    def as_hops(self) -> int:
+        """Number of ASes traversed, origin and source included."""
+        return len(self.path)

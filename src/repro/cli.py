@@ -1,0 +1,225 @@
+"""Command-line interface.
+
+Examples::
+
+    anycast-repro list
+    anycast-repro run fig02a --scale small
+    anycast-repro all --scale medium --out results.txt
+    anycast-repro summary
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from .experiments import Scenario, list_experiments, run_experiment, write_series_csv
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="anycast-repro",
+        description=(
+            "Reproduce the tables and figures of 'Anycast in Context: "
+            "A Tale of Two Systems' (SIGCOMM 2021) on a synthetic Internet."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+
+    run = sub.add_parser("run", help="run one experiment")
+    run.add_argument("experiment", help="experiment id, e.g. fig02a")
+    run.add_argument("--json", action="store_true",
+                     help="emit the machine-readable data dict as JSON")
+    run.add_argument("--csv", metavar="DIR",
+                     help="also write the figure's line series as CSVs")
+    run.add_argument("--plot", action="store_true",
+                     help="render the figure's line series as a terminal chart")
+    _add_scenario_args(run)
+
+    everything = sub.add_parser("all", help="run every experiment")
+    _add_scenario_args(everything)
+    everything.add_argument("--out", help="write the report to this file")
+
+    summary = sub.add_parser("summary", help="key headline numbers only")
+    _add_scenario_args(summary)
+
+    drills = sub.add_parser(
+        "drills",
+        help="extension studies: failure, hijack, RFC 8806, unicast",
+    )
+    _add_scenario_args(drills)
+
+    validate = sub.add_parser(
+        "validate",
+        help="check every qualitative claim of the paper against this world",
+    )
+    _add_scenario_args(validate)
+
+    return parser
+
+
+def _add_scenario_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scale", choices=("small", "medium"), default="small",
+        help="world size: small (seconds) or medium (paper scale, minutes)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="scenario seed")
+
+
+#: The headline claims the paper leads with, as (experiment, key, label).
+_HEADLINES = (
+    ("fig02a", "all/frac_any_inflation", "root users with some geographic inflation"),
+    ("fig02b", "all/frac_over_100ms", "root users >100 ms latency inflation (All Roots)"),
+    ("fig03", "cdn/median", "median root queries per user per day"),
+    ("fig05a", "R110/zero_mass", "CDN users with zero geographic inflation (R110)"),
+    ("fig05b", "R110/frac_under_100ms", "CDN users <100 ms latency inflation (R110)"),
+    ("fig06a", "CDN/share_2as", "2-AS paths to the CDN"),
+    ("appc", "lower_bound", "RTTs per page load (lower bound)"),
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.command == "list":
+        for experiment_id in list_experiments():
+            print(experiment_id)
+        return 0
+
+    scenario = Scenario(scale=args.scale, seed=args.seed)
+
+    if args.command == "run":
+        if args.experiment not in list_experiments():
+            print(f"unknown experiment: {args.experiment}", file=sys.stderr)
+            print(f"known: {', '.join(list_experiments())}", file=sys.stderr)
+            return 2
+        result = run_experiment(args.experiment, scenario)
+        if args.csv:
+            for path in write_series_csv(result, args.csv):
+                print(f"wrote {path}", file=sys.stderr)
+        if args.plot and result.series:
+            from .core import render_series
+
+            logx = args.experiment in ("fig03", "fig08", "fig09")
+            print(render_series(result.series, x_label="ms" if not logx else "q/user/day",
+                                logx=logx))
+            print()
+        if args.json:
+            payload = {
+                "experiment": result.experiment_id,
+                "title": result.title,
+                "data": {k: v for k, v in result.data.items()
+                         if isinstance(v, (int, float, str, list, tuple))},
+            }
+            print(json.dumps(payload, indent=2, default=list))
+        else:
+            print(result.to_text())
+        return 0
+
+    if args.command == "all":
+        chunks = []
+        for experiment_id in list_experiments():
+            started = time.time()
+            result = run_experiment(experiment_id, scenario)
+            chunks.append(result.to_text())
+            chunks.append(f"(elapsed: {time.time() - started:.1f}s)\n")
+        report = "\n".join(chunks)
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as handle:
+                handle.write(report)
+            print(f"wrote {args.out}")
+        else:
+            print(report)
+        return 0
+
+    if args.command == "summary":
+        cache: dict[str, dict] = {}
+        for experiment_id, key, label in _HEADLINES:
+            if experiment_id not in cache:
+                cache[experiment_id] = run_experiment(experiment_id, scenario).data
+            value = cache[experiment_id].get(key)
+            if isinstance(value, float):
+                rendered = f"{value:.3f}"
+            else:
+                rendered = str(value)
+            print(f"{label:>55}: {rendered}")
+        return 0
+
+    if args.command == "drills":
+        _run_drills(scenario)
+        return 0
+
+    if args.command == "validate":
+        from .experiments import validate_scenario
+
+        report = validate_scenario(scenario)
+        print(report.to_text())
+        return 0 if report.all_passed else 1
+
+    return 2  # pragma: no cover - argparse enforces the choices
+
+
+def _run_drills(scenario: Scenario) -> None:
+    """The extension studies, summarised."""
+    from .anycast import (
+        failure_impact,
+        hijack_cdn,
+        hijack_letter,
+        withdraw_sites,
+    )
+    from .core import compare_with_unicast, simulate_local_root_adoption
+    from .topology import ASKind
+
+    letter = scenario.letters_2018["K"]
+    degraded = withdraw_sites(letter, [0, 1])
+    impact = failure_impact(letter, degraded, scenario.user_base)
+    print(
+        f"failure drill (K root, 2 sites): {impact.rerouted_fraction:.1%} of "
+        f"users rerouted, median {impact.median_rtt_before_ms:.1f} -> "
+        f"{impact.median_rtt_after_ms:.1f} ms"
+    )
+
+    hijacker = scenario.internet.topology.ases_of_kind(ASKind.TRANSIT)[0]
+    cdn_hit = hijack_cdn(scenario.cdn.fabric, hijacker).measure(scenario.user_base)
+    letter_hit = hijack_letter(letter, hijacker).measure(scenario.user_base)
+    print(
+        f"prefix hijack by AS{hijacker}: captures {letter_hit.user_capture_fraction:.1%} "
+        f"of K-root users, {cdn_hit.user_capture_fraction:.1%} of CDN users"
+    )
+
+    adoption = simulate_local_root_adoption(scenario.joined_2018, scenario.zone, 0.1)
+    print(
+        f"RFC 8806 at the top 10% of recursives: root traffic "
+        f"-{adoption.traffic_reduction:.1%}, Fig.3 median "
+        f"{adoption.qpud_before.median:.2f} -> {adoption.qpud_after.median:.4f} q/user/day"
+    )
+
+    comparison = compare_with_unicast(scenario.letters_2018["M"], scenario.user_base)
+    print(
+        f"anycast vs best unicast (M root): median penalty "
+        f"{comparison.median_penalty_ms:.1f} ms; "
+        f"{comparison.fraction_optimal_site:.0%} of users already at their "
+        f"best-unicast site"
+    )
+
+    from .anycast import build_botnet, simulate_attack
+
+    botnet = build_botnet(scenario.internet, n_bots=600, seed=scenario.seed + 21)
+    small_hit = simulate_attack(scenario.letters_2018["B"], botnet)
+    large_hit = simulate_attack(scenario.letters_2018["L"], botnet)
+    print(
+        f"DDoS dilution: B root's busiest site absorbs "
+        f"{small_hit.max_site_share:.0%} of the attack vs "
+        f"{large_hit.max_site_share:.0%} for L root "
+        f"({small_hit.n_global_sites} vs {large_hit.n_global_sites} sites)"
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

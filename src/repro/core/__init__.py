@@ -1,0 +1,83 @@
+"""The paper's analysis pipeline: inflation, amortisation, paths, coverage."""
+
+from .amortization import AmortizationResult, amortize_apnic, amortize_cdn, amortize_ideal
+from .cdf import WeightedCdf
+from .coverage import CoverageCurve, combined_coverage_curve, coverage_curve
+from .efficiency import DeploymentPoint, efficiency_vs_latency, latency_size_correlation
+from .localroot import AdoptionOutcome, simulate_local_root_adoption
+from .unicast import UnicastComparison, compare_with_unicast
+from .viz import render_cdf_grid, render_series
+from .inflation import (
+    EFFICIENCY_EPS_MS,
+    InflationResult,
+    cdn_geographic_inflation,
+    cdn_latency_inflation,
+    root_geographic_inflation,
+    root_latency_inflation,
+)
+from .pageload_analysis import (
+    RTTS_PER_PAGE_LOAD,
+    RingLatencyResult,
+    RingTransition,
+    ring_latency_cdfs,
+    ring_transitions,
+)
+from .paths import (
+    PathLengthDistribution,
+    inflation_by_path_length,
+    modal_length_by_location,
+    path_length_distribution,
+)
+from .redundant import RedundancyStats, Table5Episode, analyze_redundancy, find_bug_episode
+from .report import format_cdf_series, format_cdf_summary, format_table
+from .representativeness import OverlapTable, favorite_site_cdf, overlap_table
+from .stats import BoxStats, box_stats, weighted_mean, weighted_median
+
+__all__ = [
+    "AdoptionOutcome",
+    "simulate_local_root_adoption",
+    "UnicastComparison",
+    "compare_with_unicast",
+    "render_cdf_grid",
+    "render_series",
+    "AmortizationResult",
+    "amortize_apnic",
+    "amortize_cdn",
+    "amortize_ideal",
+    "WeightedCdf",
+    "CoverageCurve",
+    "combined_coverage_curve",
+    "coverage_curve",
+    "DeploymentPoint",
+    "efficiency_vs_latency",
+    "latency_size_correlation",
+    "EFFICIENCY_EPS_MS",
+    "InflationResult",
+    "cdn_geographic_inflation",
+    "cdn_latency_inflation",
+    "root_geographic_inflation",
+    "root_latency_inflation",
+    "RTTS_PER_PAGE_LOAD",
+    "RingLatencyResult",
+    "RingTransition",
+    "ring_latency_cdfs",
+    "ring_transitions",
+    "PathLengthDistribution",
+    "inflation_by_path_length",
+    "modal_length_by_location",
+    "path_length_distribution",
+    "RedundancyStats",
+    "Table5Episode",
+    "analyze_redundancy",
+    "find_bug_episode",
+    "format_cdf_series",
+    "format_cdf_summary",
+    "format_table",
+    "OverlapTable",
+    "favorite_site_cdf",
+    "overlap_table",
+    "BoxStats",
+    "box_stats",
+    "weighted_mean",
+    "weighted_median",
+]

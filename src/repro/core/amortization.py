@@ -1,0 +1,101 @@
+"""Query amortisation over user populations (§4.3, Fig. 3/8/9/11a).
+
+The paper's methodological contribution for "does root latency matter":
+divide each recursive's daily root query volume by the number of users
+it serves, then look at the user-weighted CDF.  Three lines:
+
+* **CDN** — DITL∩CDN joined rows with Microsoft-style user counts;
+* **APNIC** — DITL volumes grouped by origin AS, divided by APNIC-style
+  per-AS user estimates;
+* **Ideal** — a hypothetical resolver querying each TLD exactly once per
+  TTL, amortised over the same user counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..dns.records import RootZone
+from ..ditl.join import JoinedRecursive
+from ..users.counts import ApnicUserCounts
+from .cdf import WeightedCdf
+
+__all__ = ["AmortizationResult", "amortize_cdn", "amortize_apnic", "amortize_ideal"]
+
+
+@dataclass(slots=True)
+class AmortizationResult:
+    """Queries-per-user-per-day CDF plus its provenance."""
+
+    label: str
+    cdf: WeightedCdf
+    covered_users: float
+
+    @property
+    def median(self) -> float:
+        return self.cdf.median
+
+    def fraction_at_most(self, queries_per_day: float) -> float:
+        return self.cdf.fraction_at_most(queries_per_day)
+
+
+def amortize_cdn(
+    rows: list[JoinedRecursive], include_junk: bool = False, label: str = "CDN"
+) -> AmortizationResult:
+    """Amortise DITL volumes over the joined CDN user counts.
+
+    ``include_junk`` switches to the Appendix-B.1 variant (Fig. 8) that
+    keeps invalid-TLD and PTR queries in the numerator.
+    """
+    values: list[float] = []
+    weights: list[float] = []
+    for row in rows:
+        if row.users <= 0:
+            continue
+        queries = row.daily_all_queries if include_junk else row.daily_valid_queries
+        if queries <= 0:
+            continue
+        values.append(queries / row.users)
+        weights.append(float(row.users))
+    if not values:
+        raise ValueError("no joined rows with users and queries")
+    cdf = WeightedCdf(values, weights)
+    return AmortizationResult(label=label, cdf=cdf, covered_users=cdf.total_weight)
+
+
+def amortize_apnic(
+    volumes_by_asn: dict[int, float],
+    apnic: ApnicUserCounts,
+    label: str = "APNIC",
+) -> AmortizationResult:
+    """Amortise per-AS DITL volumes over APNIC user estimates."""
+    values: list[float] = []
+    weights: list[float] = []
+    for asn, queries in volumes_by_asn.items():
+        users = apnic.users_of(asn)
+        if users <= 0 or queries <= 0:
+            continue
+        values.append(queries / users)
+        weights.append(float(users))
+    if not values:
+        raise ValueError("no AS volumes matched APNIC estimates")
+    cdf = WeightedCdf(values, weights)
+    return AmortizationResult(label=label, cdf=cdf, covered_users=cdf.total_weight)
+
+
+def amortize_ideal(
+    rows: list[JoinedRecursive], zone: RootZone, label: str = "Ideal"
+) -> AmortizationResult:
+    """The once-per-TTL hypothetical, over the same user population."""
+    ideal_daily = zone.ideal_daily_root_queries()
+    values: list[float] = []
+    weights: list[float] = []
+    for row in rows:
+        if row.users <= 0:
+            continue
+        values.append(ideal_daily / row.users)
+        weights.append(float(row.users))
+    if not values:
+        raise ValueError("no joined rows with users")
+    cdf = WeightedCdf(values, weights)
+    return AmortizationResult(label=label, cdf=cdf, covered_users=cdf.total_weight)

@@ -1,0 +1,98 @@
+"""Weighted empirical CDFs.
+
+Every figure in the paper is a CDF "of users" or "of probes": values are
+weighted by the population they represent.  :class:`WeightedCdf` is the
+common currency every analysis module returns.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+__all__ = ["WeightedCdf"]
+
+
+class WeightedCdf:
+    """An empirical CDF over weighted samples."""
+
+    def __init__(self, values: Sequence[float], weights: Sequence[float] | None = None):
+        values = np.asarray(values, dtype=float)
+        if values.size == 0:
+            raise ValueError("cannot build a CDF from no samples")
+        if weights is None:
+            weights = np.ones_like(values)
+        else:
+            weights = np.asarray(weights, dtype=float)
+        if weights.shape != values.shape:
+            raise ValueError("values and weights must align")
+        if (weights < 0).any():
+            raise ValueError("negative weights")
+        total = weights.sum()
+        if total <= 0:
+            raise ValueError("weights sum to zero")
+        order = np.argsort(values, kind="stable")
+        self._values = values[order]
+        self._cum = np.cumsum(weights[order]) / total
+        self.total_weight = float(total)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    @property
+    def values(self) -> np.ndarray:
+        return self._values
+
+    @property
+    def cumulative(self) -> np.ndarray:
+        return self._cum
+
+    def quantile(self, q: float) -> float:
+        """Smallest value with cumulative weight ≥ q."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile out of range: {q}")
+        index = int(np.searchsorted(self._cum, q, side="left"))
+        index = min(index, len(self._values) - 1)
+        return float(self._values[index])
+
+    @property
+    def median(self) -> float:
+        return self.quantile(0.5)
+
+    def fraction_at_most(self, x: float) -> float:
+        """Weighted fraction of samples with value ≤ x."""
+        index = int(np.searchsorted(self._values, x, side="right"))
+        return float(self._cum[index - 1]) if index > 0 else 0.0
+
+    def fraction_above(self, x: float) -> float:
+        return 1.0 - self.fraction_at_most(x)
+
+    def fraction_at_zero(self, eps: float = 1e-9) -> float:
+        """The y-axis intercept of the figure (mass at ~zero)."""
+        return self.fraction_at_most(eps)
+
+    def series(self, points: Sequence[float]) -> list[tuple[float, float]]:
+        """(x, F(x)) pairs at the requested x values — figure regeneration."""
+        return [(float(x), self.fraction_at_most(float(x))) for x in points]
+
+    def scaled(self, factor: float) -> "WeightedCdf":
+        """CDF of ``factor × value`` (e.g. per-RTT → per-page-load)."""
+        if factor <= 0:
+            raise ValueError("scale factor must be positive")
+        cdf = WeightedCdf.__new__(WeightedCdf)
+        cdf._values = self._values * factor
+        cdf._cum = self._cum
+        cdf.total_weight = self.total_weight
+        return cdf
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "p10": self.quantile(0.10),
+            "p25": self.quantile(0.25),
+            "median": self.median,
+            "p75": self.quantile(0.75),
+            "p90": self.quantile(0.90),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+        }

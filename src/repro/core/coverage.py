@@ -1,0 +1,86 @@
+"""Site coverage of user populations (§7.2, Fig. 7b).
+
+"Covered" means the closest (global) site of a deployment is within X km
+of the users; the figure sweeps X and reports the covered share of the
+user population.  The surprising datum the figure carries: the root
+system as a whole covers users about as well as the CDN's largest ring,
+despite never being planned for them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..anycast.deployment import Deployment
+from ..users.population import UserBase
+
+__all__ = ["CoverageCurve", "coverage_curve", "combined_coverage_curve"]
+
+#: Radii (km) at which Fig. 7b samples the curves.
+DEFAULT_RADII_KM = (250, 500, 750, 1000, 1250, 1500, 1750, 2000)
+
+
+@dataclass(slots=True)
+class CoverageCurve:
+    """Covered user share as a function of radius."""
+
+    name: str
+    radii_km: tuple[float, ...]
+    covered_fraction: tuple[float, ...]
+
+    def at(self, radius_km: float) -> float:
+        for radius, fraction in zip(self.radii_km, self.covered_fraction):
+            if radius >= radius_km:
+                return fraction
+        return self.covered_fraction[-1]
+
+
+def _population_weights(user_base: UserBase, n_regions: int) -> np.ndarray:
+    weights = np.zeros(n_regions)
+    for location in user_base:
+        weights[location.region_id] += location.users
+    return weights
+
+
+def coverage_curve(
+    deployment: Deployment,
+    user_base: UserBase,
+    radii_km: tuple[float, ...] = DEFAULT_RADII_KM,
+) -> CoverageCurve:
+    """Coverage of the *user base* (not raw region population)."""
+    world = deployment.topology.world
+    weights = _population_weights(user_base, len(world))
+    min_km = np.array([
+        deployment.min_global_distance_km(region_id) for region_id in range(len(world))
+    ])
+    total = weights.sum()
+    fractions = tuple(
+        float(weights[min_km <= radius].sum() / total) for radius in radii_km
+    )
+    return CoverageCurve(deployment.name, tuple(float(r) for r in radii_km), fractions)
+
+
+def combined_coverage_curve(
+    deployments: list[Deployment],
+    user_base: UserBase,
+    name: str = "All Roots",
+    radii_km: tuple[float, ...] = DEFAULT_RADII_KM,
+) -> CoverageCurve:
+    """Coverage by the union of several deployments' global sites."""
+    if not deployments:
+        raise ValueError("need at least one deployment")
+    world = deployments[0].topology.world
+    weights = _population_weights(user_base, len(world))
+    min_km = np.full(len(world), np.inf)
+    for deployment in deployments:
+        candidate = np.array([
+            deployment.min_global_distance_km(region_id) for region_id in range(len(world))
+        ])
+        min_km = np.minimum(min_km, candidate)
+    total = weights.sum()
+    fractions = tuple(
+        float(weights[min_km <= radius].sum() / total) for radius in radii_km
+    )
+    return CoverageCurve(name, tuple(float(r) for r in radii_km), fractions)

@@ -1,0 +1,64 @@
+"""Efficiency versus latency versus deployment size (§7.2, Fig. 7a).
+
+*Efficiency* is the fraction of users with zero geographic inflation —
+the y-intercepts of Fig. 2a/5a.  The paper's counter-intuitive finding:
+larger deployments have *lower* latency and *lower* efficiency, so
+efficiency is a poor performance metric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .inflation import InflationResult
+
+__all__ = ["DeploymentPoint", "efficiency_vs_latency"]
+
+
+@dataclass(frozen=True, slots=True)
+class DeploymentPoint:
+    """One point in each Fig. 7a panel."""
+
+    name: str
+    n_global_sites: int
+    median_latency_ms: float
+    efficiency: float
+
+
+def efficiency_vs_latency(
+    geographic: InflationResult,
+    median_latency_ms: dict[str, float],
+    n_sites: dict[str, int],
+) -> list[DeploymentPoint]:
+    """Join the three per-deployment series into Fig. 7a points.
+
+    ``median_latency_ms`` comes from Atlas pings (median per probe, then
+    median across probes); ``n_sites`` is the global-site count.
+    """
+    points: list[DeploymentPoint] = []
+    for name in geographic.names:
+        if name not in median_latency_ms or name not in n_sites:
+            continue
+        points.append(
+            DeploymentPoint(
+                name=name,
+                n_global_sites=n_sites[name],
+                median_latency_ms=float(median_latency_ms[name]),
+                efficiency=geographic.efficiency(name),
+            )
+        )
+    points.sort(key=lambda p: p.n_global_sites)
+    return points
+
+
+def latency_size_correlation(points: list[DeploymentPoint]) -> float:
+    """Spearman-style sign check: does latency fall as size grows?"""
+    if len(points) < 3:
+        raise ValueError("need at least three deployments")
+    sizes = np.array([p.n_global_sites for p in points], dtype=float)
+    latencies = np.array([p.median_latency_ms for p in points])
+    size_ranks = sizes.argsort().argsort().astype(float)
+    latency_ranks = latencies.argsort().argsort().astype(float)
+    return float(np.corrcoef(size_ranks, latency_ranks)[0, 1])

@@ -1,0 +1,103 @@
+"""RFC 8806 ("local root") adoption study.
+
+Section 4.1 cites proposals to largely replace root queries with local
+copies of the root zone (RFC 8806) or to eliminate the root entirely.
+This extension quantifies the proposal on our DITL∩CDN dataset: if the
+top-N% of recursives (by query volume or by users) served the root zone
+locally, their root queries would collapse to one zone refresh per TTL,
+and the global query distribution of Fig. 3 reshapes accordingly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..dns.records import RootZone
+from ..ditl.join import JoinedRecursive
+from .cdf import WeightedCdf
+
+__all__ = ["AdoptionOutcome", "simulate_local_root_adoption"]
+
+_STRATEGIES = ("by_volume", "by_users")
+
+
+@dataclass(slots=True)
+class AdoptionOutcome:
+    """Effect of a local-root adoption scenario."""
+
+    strategy: str
+    adoption_fraction: float
+    adopters: int
+    recursives: int
+    traffic_before_qpd: float
+    traffic_after_qpd: float
+    qpud_before: WeightedCdf
+    qpud_after: WeightedCdf
+
+    @property
+    def traffic_reduction(self) -> float:
+        if self.traffic_before_qpd <= 0:
+            return 0.0
+        return 1.0 - self.traffic_after_qpd / self.traffic_before_qpd
+
+    @property
+    def median_shift(self) -> float:
+        """How far the Fig. 3 median moves (before − after)."""
+        return self.qpud_before.median - self.qpud_after.median
+
+
+def simulate_local_root_adoption(
+    rows: list[JoinedRecursive],
+    zone: RootZone,
+    adoption_fraction: float = 0.1,
+    strategy: str = "by_volume",
+) -> AdoptionOutcome:
+    """Convert the heaviest recursives to local-root service.
+
+    ``strategy`` picks adopters by daily valid query volume (the
+    operator-pain view) or by user count (the user-benefit view).
+    Adopters' daily root traffic becomes one zone refresh per TTL
+    (``zone.ideal_daily_root_queries()``), the RFC 8806 steady state.
+    """
+    if not 0.0 <= adoption_fraction <= 1.0:
+        raise ValueError(f"adoption_fraction out of range: {adoption_fraction}")
+    if strategy not in _STRATEGIES:
+        raise ValueError(f"unknown strategy {strategy!r}; use one of {_STRATEGIES}")
+    usable = [row for row in rows if row.users > 0 and row.daily_valid_queries > 0]
+    if not usable:
+        raise ValueError("no usable joined rows")
+
+    key = (
+        (lambda row: row.daily_valid_queries)
+        if strategy == "by_volume"
+        else (lambda row: row.users)
+    )
+    ranked = sorted(usable, key=key, reverse=True)
+    n_adopters = int(round(len(ranked) * adoption_fraction))
+    adopters = {id(row) for row in ranked[:n_adopters]}
+
+    refresh = zone.ideal_daily_root_queries()
+    before_values: list[float] = []
+    after_values: list[float] = []
+    weights: list[float] = []
+    traffic_before = 0.0
+    traffic_after = 0.0
+    for row in usable:
+        queries = row.daily_valid_queries
+        adjusted = min(queries, refresh) if id(row) in adopters else queries
+        traffic_before += queries
+        traffic_after += adjusted
+        before_values.append(queries / row.users)
+        after_values.append(adjusted / row.users)
+        weights.append(float(row.users))
+
+    return AdoptionOutcome(
+        strategy=strategy,
+        adoption_fraction=adoption_fraction,
+        adopters=n_adopters,
+        recursives=len(usable),
+        traffic_before_qpd=traffic_before,
+        traffic_after_qpd=traffic_after,
+        qpud_before=WeightedCdf(before_values, weights),
+        qpud_after=WeightedCdf(after_values, weights),
+    )

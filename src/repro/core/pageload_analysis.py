@@ -1,0 +1,106 @@
+"""CDN latency in page-load terms (§5, Fig. 4a/4b).
+
+Per-RTT anycast latency is scaled by the Appendix-C lower bound (≥10
+RTTs per page load) to show what inflation costs a user fetching web
+content — the quantity that makes the CDN's incentive story concrete.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..measurement.clientside import ClientSideMeasurements
+from .cdf import WeightedCdf
+
+__all__ = [
+    "RTTS_PER_PAGE_LOAD",
+    "RingLatencyResult",
+    "ring_latency_cdfs",
+    "RingTransition",
+    "ring_transitions",
+]
+
+#: Appendix C's conservative estimate.
+RTTS_PER_PAGE_LOAD = 10
+
+
+@dataclass(slots=True)
+class RingLatencyResult:
+    """Per-ring latency CDFs in both units (blue and red axes)."""
+
+    per_rtt: dict[str, WeightedCdf] = field(default_factory=dict)
+
+    def per_page_load(self, ring: str, rtts: int = RTTS_PER_PAGE_LOAD) -> WeightedCdf:
+        return self.per_rtt[ring].scaled(float(rtts))
+
+    @property
+    def rings(self) -> list[str]:
+        return sorted(self.per_rtt, key=lambda name: int(name.lstrip("R")))
+
+
+def ring_latency_cdfs(
+    samples_by_ring: dict[str, list[float]],
+    weights_by_ring: dict[str, list[float]] | None = None,
+) -> RingLatencyResult:
+    """Build per-ring CDFs from per-probe (or per-location) medians."""
+    result = RingLatencyResult()
+    for ring, samples in samples_by_ring.items():
+        if not samples:
+            continue
+        weights = weights_by_ring.get(ring) if weights_by_ring else None
+        result.per_rtt[ring] = WeightedCdf(samples, weights)
+    return result
+
+
+@dataclass(slots=True)
+class RingTransition:
+    """Fig. 4b: latency change from a ring to the next larger one."""
+
+    smaller: str
+    bigger: str
+    #: per-⟨region, AS⟩ (smaller − bigger) median latency delta, ms/RTT
+    delta_cdf: WeightedCdf
+
+    @property
+    def label(self) -> str:
+        return f"{self.smaller} - {self.bigger}"
+
+    def fraction_improved_or_equal(self, tolerance_ms: float = 0.5) -> float:
+        """Share of locations that do not regress when the ring grows."""
+        return self.delta_cdf.fraction_above(-tolerance_ms)
+
+    def fraction_regressing_more_than(self, ms: float) -> float:
+        """Share of locations that get *worse* by more than ``ms``."""
+        return self.delta_cdf.fraction_at_most(-ms)
+
+
+def ring_transitions(
+    measurements: ClientSideMeasurements, ring_order: list[str]
+) -> list[RingTransition]:
+    """Per-location latency deltas between consecutive rings.
+
+    Positive deltas mean the bigger ring is faster (the common case);
+    small negative deltas are the fairness cost the paper bounds (90% of
+    users lose at most a few ms, 99% less than 10 ms).
+    """
+    by_location = measurements.by_location()
+    transitions: list[RingTransition] = []
+    for smaller, bigger in zip(ring_order, ring_order[1:]):
+        deltas: list[float] = []
+        weights: list[float] = []
+        for rows in by_location.values():
+            small_row = rows.get(smaller)
+            big_row = rows.get(bigger)
+            if small_row is None or big_row is None:
+                continue
+            deltas.append(small_row.median_fetch_ms - big_row.median_fetch_ms)
+            weights.append(float(small_row.users))
+        if deltas:
+            transitions.append(
+                RingTransition(
+                    smaller=smaller,
+                    bigger=bigger,
+                    delta_cdf=WeightedCdf(deltas, weights),
+                )
+            )
+    return transitions

@@ -1,0 +1,110 @@
+"""AS-path-length analysis (§7.1, Fig. 6).
+
+From Atlas traceroutes: clean hops (drop IXP/private/unresponsive,
+merge organization siblings), group by ⟨region, AS⟩ location — or
+⟨region, AS, root⟩ for the All Roots aggregate — and relate the modal
+path length of a location to its geographic inflation.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from ..measurement.atlas import Traceroute
+from ..topology.orgs import OrgTable
+from .stats import BoxStats, box_stats
+
+__all__ = [
+    "PathLengthDistribution",
+    "path_length_distribution",
+    "modal_length_by_location",
+    "inflation_by_path_length",
+]
+
+#: Path-length buckets as shown in Fig. 6a.
+LENGTH_BUCKETS = (2, 3, 4, 5)  # 5 means "5 or more"
+
+
+@dataclass(slots=True)
+class PathLengthDistribution:
+    """Share of ⟨region, AS⟩ locations per AS-path-length bucket."""
+
+    destination: str
+    shares: dict[int, float] = field(default_factory=dict)  # bucket → share
+
+    def share(self, bucket: int) -> float:
+        return self.shares.get(bucket, 0.0)
+
+    @property
+    def two_as_share(self) -> float:
+        return self.share(2)
+
+
+def _clean_length(route: Traceroute, orgs: OrgTable) -> int:
+    """Organizations traversed after sibling merging (≥ 2)."""
+    merged = orgs.merge_path(route.as_sequence())
+    return max(2, len(merged))
+
+
+def _bucket(length: int) -> int:
+    return min(length, LENGTH_BUCKETS[-1])
+
+
+def modal_length_by_location(
+    routes: list[Traceroute], orgs: OrgTable, world=None
+) -> dict[tuple[int, int], int]:
+    """Most common cleaned path length per ⟨region, AS⟩ location."""
+    lengths: dict[tuple[int, int], Counter] = {}
+    for route in routes:
+        key = (route.probe.region_id, route.probe.asn)
+        lengths.setdefault(key, Counter())[_clean_length(route, orgs)] += 1
+    return {
+        key: counter.most_common(1)[0][0] for key, counter in lengths.items()
+    }
+
+
+def path_length_distribution(
+    routes: list[Traceroute], orgs: OrgTable, destination: str
+) -> PathLengthDistribution:
+    """Fig. 6a: location-weighted shares per length bucket.
+
+    Each ⟨region, AS⟩ location carries equal weight; when its probes
+    measure several lengths, its weight splits evenly across them.
+    """
+    per_location: dict[tuple[int, int], Counter] = {}
+    for route in routes:
+        key = (route.probe.region_id, route.probe.asn)
+        per_location.setdefault(key, Counter())[_bucket(_clean_length(route, orgs))] += 1
+    shares: dict[int, float] = dict.fromkeys(LENGTH_BUCKETS, 0.0)
+    if not per_location:
+        return PathLengthDistribution(destination=destination, shares=shares)
+    for counter in per_location.values():
+        total = sum(counter.values())
+        for bucket, count in counter.items():
+            shares[bucket] += count / total
+    n_locations = len(per_location)
+    shares = {bucket: share / n_locations for bucket, share in shares.items()}
+    return PathLengthDistribution(destination=destination, shares=shares)
+
+
+def inflation_by_path_length(
+    routes: list[Traceroute],
+    orgs: OrgTable,
+    inflation_by_location: dict[tuple[int, int], float],
+    max_bucket: int = 4,
+) -> dict[int, BoxStats]:
+    """Fig. 6b: five-number inflation summary per path-length bucket.
+
+    ``inflation_by_location`` is the user-weighted mean geographic
+    inflation per ⟨region, AS⟩ from the Eq. 1 analysis; path length is
+    the modal cleaned length of that location's probes.
+    """
+    modal = modal_length_by_location(routes, orgs)
+    grouped: dict[int, list[float]] = {}
+    for key, length in modal.items():
+        inflation = inflation_by_location.get(key)
+        if inflation is None:
+            continue
+        grouped.setdefault(min(length, max_bucket), []).append(inflation)
+    return {bucket: box_stats(values) for bucket, values in sorted(grouped.items())}

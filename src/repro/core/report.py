@@ -1,0 +1,42 @@
+"""Plain-text rendering of analysis results (tables and CDF summaries)."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from .cdf import WeightedCdf
+
+__all__ = ["format_table", "format_cdf_summary", "format_cdf_series"]
+
+
+def format_table(rows: Sequence[dict[str, str]], columns: Sequence[str] | None = None) -> str:
+    """Render dict rows as an aligned ASCII table."""
+    if not rows:
+        return "(empty table)"
+    columns = list(columns) if columns else list(rows[0])
+    widths = {c: max(len(c), *(len(str(r.get(c, ""))) for r in rows)) for c in columns}
+    header = "  ".join(c.ljust(widths[c]) for c in columns)
+    ruler = "  ".join("-" * widths[c] for c in columns)
+    lines = [header, ruler]
+    for row in rows:
+        lines.append("  ".join(str(row.get(c, "")).ljust(widths[c]) for c in columns))
+    return "\n".join(lines)
+
+
+def format_cdf_summary(label: str, cdf: WeightedCdf, unit: str = "ms") -> str:
+    """One-line percentile summary of a CDF."""
+    s = cdf.summary()
+    return (
+        f"{label:>12}: p10={s['p10']:.2f}{unit} p25={s['p25']:.2f}{unit} "
+        f"median={s['median']:.2f}{unit} p90={s['p90']:.2f}{unit} "
+        f"p95={s['p95']:.2f}{unit} p99={s['p99']:.2f}{unit} "
+        f"(zero-mass={cdf.fraction_at_zero(0.5):.2f})"
+    )
+
+
+def format_cdf_series(
+    label: str, cdf: WeightedCdf, points: Sequence[float], unit: str = "ms"
+) -> str:
+    """Sampled (x, F(x)) pairs — the series a figure would plot."""
+    pairs = ", ".join(f"{x:g}{unit}:{f:.3f}" for x, f in cdf.series(points))
+    return f"{label}: {pairs}"

@@ -1,0 +1,93 @@
+"""Methodology-validation analyses (Appendix B.2: Table 4 and Fig. 10)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..ditl.join import JoinStats
+from ..ditl.preprocess import FilteredDitl
+from .cdf import WeightedCdf
+
+__all__ = ["OverlapTable", "overlap_table", "favorite_site_cdf"]
+
+
+@dataclass(slots=True)
+class OverlapTable:
+    """Table 4: representativeness with and without the /24 join."""
+
+    by_ip: JoinStats
+    by_slash24: JoinStats
+
+    def rows(self) -> list[dict[str, str]]:
+        def pct(x: float) -> str:
+            return f"{100.0 * x:.1f}%"
+
+        return [
+            {
+                "statistic": "DITL Recursives",
+                "exact_ip": pct(self.by_ip.frac_ditl_recursives),
+                "by_slash24": pct(self.by_slash24.frac_ditl_recursives),
+            },
+            {
+                "statistic": "DITL Volume",
+                "exact_ip": pct(self.by_ip.frac_ditl_volume),
+                "by_slash24": pct(self.by_slash24.frac_ditl_volume),
+            },
+            {
+                "statistic": "CDN Recursives",
+                "exact_ip": pct(self.by_ip.frac_cdn_recursives),
+                "by_slash24": pct(self.by_slash24.frac_cdn_recursives),
+            },
+            {
+                "statistic": "CDN Volume (users)",
+                "exact_ip": pct(self.by_ip.frac_cdn_users),
+                "by_slash24": pct(self.by_slash24.frac_cdn_users),
+            },
+        ]
+
+
+def overlap_table(by_ip: JoinStats, by_slash24: JoinStats) -> OverlapTable:
+    return OverlapTable(by_ip=by_ip, by_slash24=by_slash24)
+
+
+def favorite_site_cdf(
+    filtered: FilteredDitl, letter: str, min_ips: int = 2, point_mass: bool = False
+) -> WeightedCdf | None:
+    """Fig. 10's Eq. 3: fraction of a /24's queries missing its favorite site.
+
+    For each /24 (with at least ``min_ips`` source IPs, as in the paper),
+    compute ``1 − Σ_i q_i,F / Q`` where F is the /24's most-queried site.
+    Returns ``None`` when no /24 qualifies.
+
+    ``point_mass`` applies Appendix B.2's control for per-IP path
+    instability: each IP's query distribution is replaced by a point
+    mass at that IP's own favorite site before aggregating, isolating
+    *across-IP* routing incoherence from per-IP flapping.  The paper
+    finds >90% of /24s become fully single-site under this control.
+    """
+    volumes = filtered.per_letter[letter]
+    per_slash24_site: dict[int, dict[int, int]] = {}
+    ips_per_slash24: dict[int, set[int]] = {}
+    for ip, site_map in volumes.site_by_ip.items():
+        slash24 = ip >> 8
+        ips_per_slash24.setdefault(slash24, set()).add(ip)
+        accumulator = per_slash24_site.setdefault(slash24, {})
+        if point_mass:
+            total = sum(site_map.values())
+            favorite = max(site_map, key=site_map.get)
+            accumulator[favorite] = accumulator.get(favorite, 0) + total
+        else:
+            for site, count in site_map.items():
+                accumulator[site] = accumulator.get(site, 0) + count
+    fractions: list[float] = []
+    for slash24, site_map in per_slash24_site.items():
+        if len(ips_per_slash24[slash24]) < min_ips:
+            continue
+        total = sum(site_map.values())
+        if total <= 0:
+            continue
+        favorite = max(site_map.values())
+        fractions.append(1.0 - favorite / total)
+    if not fractions:
+        return None
+    return WeightedCdf(fractions)

@@ -1,0 +1,59 @@
+"""Small statistics helpers shared by analysis modules."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["BoxStats", "box_stats", "weighted_mean", "weighted_median"]
+
+
+@dataclass(frozen=True, slots=True)
+class BoxStats:
+    """Five-number summary, as in Fig. 6b's box-and-whisker plot."""
+
+    minimum: float
+    q1: float
+    median: float
+    q3: float
+    maximum: float
+    count: int
+
+    def as_tuple(self) -> tuple[float, float, float, float, float]:
+        return (self.minimum, self.q1, self.median, self.q3, self.maximum)
+
+
+def box_stats(values: Sequence[float]) -> BoxStats:
+    array = np.asarray(values, dtype=float)
+    if array.size == 0:
+        raise ValueError("no values")
+    return BoxStats(
+        minimum=float(array.min()),
+        q1=float(np.percentile(array, 25)),
+        median=float(np.percentile(array, 50)),
+        q3=float(np.percentile(array, 75)),
+        maximum=float(array.max()),
+        count=int(array.size),
+    )
+
+
+def weighted_mean(values: Sequence[float], weights: Sequence[float]) -> float:
+    values = np.asarray(values, dtype=float)
+    weights = np.asarray(weights, dtype=float)
+    total = weights.sum()
+    if total <= 0:
+        raise ValueError("weights sum to zero")
+    return float((values * weights).sum() / total)
+
+
+def weighted_median(values: Sequence[float], weights: Sequence[float]) -> float:
+    values = np.asarray(values, dtype=float)
+    weights = np.asarray(weights, dtype=float)
+    order = np.argsort(values)
+    cumulative = np.cumsum(weights[order])
+    if cumulative[-1] <= 0:
+        raise ValueError("weights sum to zero")
+    index = int(np.searchsorted(cumulative, cumulative[-1] / 2.0))
+    return float(values[order][min(index, len(values) - 1)])

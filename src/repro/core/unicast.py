@@ -1,0 +1,131 @@
+"""Anycast versus the best unicast alternative.
+
+Prior work (Li et al.) split inflation into "unicast" and "anycast"
+components; the paper declined, partly because it could not measure the
+best unicast alternative at scale (§3).  On the simulator we *can*: each
+site is announced as its own unicast prefix, every client's route to
+every site is computed, and anycast's choice is compared against the
+client's best unicast option.
+
+This isolates the quantity the SIGCOMM'18 debate was about: how much
+latency does *anycast's site selection* specifically leave on the table,
+separate from path inflation that any unicast deployment would also pay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..bgp import Attachment, propagate, resolve_flow
+from ..geo import path_rtt_ms
+from ..users.population import UserBase
+from ..anycast.deployment import (
+    EXTERNAL_HOP_COST_MS,
+    EXTERNAL_STRETCH,
+    IndependentDeployment,
+)
+from .cdf import WeightedCdf
+
+__all__ = ["UnicastComparison", "compare_with_unicast"]
+
+
+@dataclass(slots=True)
+class UnicastComparison:
+    """Per-user anycast-vs-best-unicast latency comparison."""
+
+    deployment: str
+    #: anycast RTT − best unicast-alternative RTT, per user (ms)
+    anycast_penalty: WeightedCdf
+    #: fraction of users whose anycast site IS their best unicast site
+    fraction_optimal_site: float
+    users_measured: float
+
+    @property
+    def median_penalty_ms(self) -> float:
+        return self.anycast_penalty.median
+
+    def fraction_penalty_over(self, ms: float) -> float:
+        return self.anycast_penalty.fraction_above(ms)
+
+
+def _unicast_routes(deployment: IndependentDeployment, seed: int):
+    """One routing table per site, announced as a standalone prefix."""
+    topology = deployment.topology
+    tables = {}
+    by_site: dict[int, list[Attachment]] = {}
+    for attachment in deployment.routing.attachments.values():
+        site_id = deployment.site_of_attachment[attachment.attachment_id]
+        if not deployment.sites[site_id].is_global:
+            continue
+        by_site.setdefault(site_id, []).append(attachment)
+    for site_id, attachments in by_site.items():
+        tables[site_id] = propagate(
+            topology, deployment.origin_asn, attachments, seed=seed
+        )
+    return tables
+
+
+def compare_with_unicast(
+    deployment: IndependentDeployment,
+    user_base: UserBase,
+    seed: int = 0,
+    max_locations: int | None = None,
+) -> UnicastComparison:
+    """Compute the anycast penalty for (a sample of) the user base."""
+    unicast_tables = _unicast_routes(deployment, seed)
+
+    penalties: list[float] = []
+    weights: list[float] = []
+    optimal_users = 0.0
+    locations = list(user_base)
+    if max_locations is not None:
+        locations = locations[:max_locations]
+    cache: dict[tuple[int, int], tuple[float, float, bool] | None] = {}
+    for location in locations:
+        key = (location.asn, location.region_id)
+        if key not in cache:
+            cache[key] = _penalty_for(
+                deployment, unicast_tables, location.asn, location.region_id
+            )
+        entry = cache[key]
+        if entry is None:
+            continue
+        penalty, _, at_best_site = entry
+        penalties.append(penalty)
+        weights.append(float(location.users))
+        if at_best_site:
+            optimal_users += location.users
+    if not penalties:
+        raise ValueError("no measurable user locations")
+    total = sum(weights)
+    return UnicastComparison(
+        deployment=deployment.name,
+        anycast_penalty=WeightedCdf(penalties, weights),
+        fraction_optimal_site=optimal_users / total,
+        users_measured=total,
+    )
+
+
+def _penalty_for(deployment, unicast_tables, asn: int, region_id: int):
+    topology = deployment.topology
+    location = topology.world.region(region_id).location
+    anycast_flow = deployment.resolve(asn, region_id)
+    if anycast_flow is None:
+        return None
+    best_rtt = float("inf")
+    best_site = None
+    for site_id, table in unicast_tables.items():
+        flow = resolve_flow(topology, table, asn, location)
+        if flow is None:
+            continue
+        rtt = path_rtt_ms(
+            flow.waypoints, rng=None, stretch=EXTERNAL_STRETCH,
+            hop_cost_ms=EXTERNAL_HOP_COST_MS, jitter_frac=0.0,
+        )
+        if rtt < best_rtt:
+            best_rtt = rtt
+            best_site = site_id
+    if best_site is None:
+        return None
+    penalty = max(0.0, anycast_flow.base_rtt_ms - best_rtt)
+    return penalty, best_rtt, anycast_flow.site.site_id == best_site

@@ -1,0 +1,98 @@
+"""Terminal rendering of figure line series.
+
+The experiments expose the exact (x, y) points each figure would plot
+(:attr:`ExperimentResult.series`); this module draws them as Unicode
+line charts so a reproduction can be *looked at* without matplotlib —
+`anycast-repro run fig02a --plot`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = ["render_series", "render_cdf_grid"]
+
+#: Markers cycled across lines, mirroring a figure legend.
+_MARKERS = "ox+*#@%&$~^"
+
+
+def _scale(value: float, low: float, high: float, cells: int) -> int:
+    if high <= low:
+        return 0
+    position = (value - low) / (high - low)
+    return min(cells - 1, max(0, int(round(position * (cells - 1)))))
+
+
+def render_series(
+    series: dict[str, list[tuple[float, float]]],
+    width: int = 72,
+    height: int = 18,
+    x_label: str = "x",
+    y_label: str = "CDF",
+    logx: bool = False,
+) -> str:
+    """Draw one or more lines on a shared character grid.
+
+    Points are plotted at their nearest cell; the legend maps markers to
+    line labels.  ``logx`` uses a log10 x-axis (Fig. 3/8/9-style plots).
+    """
+    import math
+
+    if not series:
+        return "(no series)"
+    points = [(x, y) for line in series.values() for x, y in line]
+    xs = [math.log10(x) if logx else x for x, _ in points if not logx or x > 0]
+    ys = [y for _, y in points]
+    if not xs:
+        return "(no plottable points)"
+    x_low, x_high = min(xs), max(xs)
+    y_low, y_high = min(0.0, min(ys)), max(1.0, max(ys))
+
+    grid = [[" "] * width for _ in range(height)]
+    legend: list[str] = []
+    for index, (label, line) in enumerate(series.items()):
+        marker = _MARKERS[index % len(_MARKERS)]
+        legend.append(f"  {marker} {label}")
+        for x, y in line:
+            if logx:
+                if x <= 0:
+                    continue
+                x = math.log10(x)
+            column = _scale(x, x_low, x_high, width)
+            row = height - 1 - _scale(y, y_low, y_high, height)
+            grid[row][column] = marker
+
+    lines = []
+    for row_index, row in enumerate(grid):
+        fraction = y_high - (y_high - y_low) * row_index / (height - 1)
+        prefix = f"{fraction:4.2f} |" if row_index % 4 == 0 else "     |"
+        lines.append(prefix + "".join(row))
+    lines.append("     +" + "-" * width)
+    left = f"10^{x_low:.1f}" if logx else f"{x_low:g}"
+    right = f"10^{x_high:.1f}" if logx else f"{x_high:g}"
+    pad = max(1, width - len(left) - len(right))
+    lines.append("      " + left + " " * pad + right + f"  ({x_label})")
+    lines.append(f"      y: {y_label}")
+    lines.extend(legend)
+    return "\n".join(lines)
+
+
+def render_cdf_grid(
+    series: dict[str, list[tuple[float, float]]],
+    columns: Sequence[float],
+) -> str:
+    """A compact tabular view: F(x) per line at chosen x values."""
+    header = ["line".ljust(18)] + [f"{x:>8g}" for x in columns]
+    rows = ["".join(header)]
+    for label, line in series.items():
+        lookup = dict(line)
+        cells = [label[:18].ljust(18)]
+        for x in columns:
+            value = lookup.get(x)
+            if value is None:
+                # nearest available point at or below x
+                below = [y for px, y in line if px <= x]
+                value = below[-1] if below else 0.0
+            cells.append(f"{value:8.3f}")
+        rows.append("".join(cells))
+    return "\n".join(rows)

@@ -1,0 +1,109 @@
+"""DITL capture data model.
+
+A capture is the aggregate view a root operator contributes to DITL:
+daily query counts per (source IP, anycast site, traffic category) and a
+subset of TCP-handshake RTT samples.  We store counts, not packets — the
+2018 event saw 51.9 billion queries per day and the paper's entire
+analysis operates on aggregates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["QueryRow", "TcpRttRow", "LetterCapture", "DitlCapture", "CATEGORIES"]
+
+#: Traffic categories the preprocessing pipeline distinguishes (§2.1):
+#: ``valid`` (existing-TLD, user-relevant), ``invalid`` (junk/NXDOMAIN,
+#: Chromium probes), ``ptr`` (reverse lookups).
+CATEGORIES = ("valid", "invalid", "ptr")
+
+
+@dataclass(frozen=True, slots=True)
+class QueryRow:
+    """Daily query count from one source IP to one site of one letter."""
+
+    source_ip: int
+    site_id: int
+    category: str
+    queries: int
+    ipv6: bool = False
+
+    def __post_init__(self) -> None:
+        if self.category not in CATEGORIES:
+            raise ValueError(f"unknown category {self.category!r}")
+        if self.queries < 0:
+            raise ValueError("negative query count")
+
+    @property
+    def slash24(self) -> int:
+        return self.source_ip >> 8
+
+
+@dataclass(frozen=True, slots=True)
+class TcpRttRow:
+    """Median TCP-handshake RTT samples for one (source /24, site)."""
+
+    slash24: int
+    site_id: int
+    rtt_ms: float
+    samples: int
+
+
+@dataclass(slots=True)
+class LetterCapture:
+    """One letter's contribution to a DITL event."""
+
+    letter: str
+    rows: list[QueryRow] = field(default_factory=list)
+    tcp: list[TcpRttRow] = field(default_factory=list)
+    #: Whether this letter's pcaps carry usable TCP handshakes (D and L
+    #: roots were malformed in 2018).
+    tcp_ok: bool = True
+    anonymized: bool = False
+
+    @property
+    def total_queries(self) -> int:
+        return sum(row.queries for row in self.rows)
+
+    def queries_by_category(self) -> dict[str, int]:
+        totals = dict.fromkeys(CATEGORIES, 0)
+        for row in self.rows:
+            totals[row.category] += row.queries
+        return totals
+
+    def distinct_slash24s(self) -> set[int]:
+        return {row.slash24 for row in self.rows}
+
+
+@dataclass(slots=True)
+class DitlCapture:
+    """A full DITL event: one capture per participating letter."""
+
+    year: int
+    duration_days: float
+    letters: dict[str, LetterCapture] = field(default_factory=dict)
+
+    def letter(self, name: str) -> LetterCapture:
+        return self.letters[name]
+
+    @property
+    def letter_names(self) -> list[str]:
+        return sorted(self.letters)
+
+    @property
+    def total_daily_queries(self) -> float:
+        return sum(c.total_queries for c in self.letters.values())
+
+    def distinct_slash24s(self) -> set[int]:
+        blocks: set[int] = set()
+        for capture in self.letters.values():
+            blocks |= capture.distinct_slash24s()
+        return blocks
+
+    def queries_by_category(self) -> dict[str, int]:
+        totals = dict.fromkeys(CATEGORIES, 0)
+        for capture in self.letters.values():
+            for category, count in capture.queries_by_category().items():
+                totals[category] += count
+        return totals

@@ -1,0 +1,249 @@
+"""DITL capture synthesis.
+
+Turns the resolver population plus the deployed root letters into the
+aggregate two-day captures the analysis pipeline consumes.  The
+generating processes mirror what the paper identifies in the real data:
+
+* legitimate TLD-refresh traffic, orders of magnitude above once-per-TTL
+  because of cache sharding, evictions and resolver bugs
+  (``cache_inefficiency``);
+* junk — invalid-TLD and Chromium captive-portal queries — that is the
+  *majority* of root traffic and concentrates at high-user /24s;
+* PTR lookups, IPv6 queries, private-source leakage, and spoofed
+  sources, each of which §2.1's preprocessing must strip;
+* per-letter volumes skewed toward each resolver's low-latency letters
+  (recursives preferentially query fast letters);
+* per-site affinity: most /24s put all queries on one "favorite" site,
+  a minority split across two (Appendix B.2 / Fig. 10);
+* TCP handshakes for a small share of queries, giving the RTT samples
+  behind latency inflation (Fig. 2b) — except for letters whose pcaps
+  are malformed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..anycast import IndependentDeployment
+from ..dns.records import RootZone
+from ..geo import make_rng, optimal_rtt_ms
+from ..topology import GeneratedInternet
+from ..users.recursives import RecursivePopulation
+from .capture import DitlCapture, LetterCapture, QueryRow, TcpRttRow
+
+__all__ = ["DitlGenParams", "generate_ditl"]
+
+
+@dataclass(frozen=True, slots=True)
+class DitlGenParams:
+    """Volume-model knobs (fractions are of total query volume)."""
+
+    tcp_fraction: float = 0.03
+    site_split_prob: float = 0.18
+    spoof_fraction: float = 0.01
+    private_fraction: float = 0.07
+    ipv6_fraction: float = 0.12
+    letter_pref_gamma: float = 2.0
+    letter_pref_floor: float = 0.015
+    #: Off-path (load-balanced secondary) route latency model: stretch
+    #: over the optimal RTT plus fixed extra hops.
+    secondary_stretch: float = 1.35
+    secondary_extra_ms: float = 4.0
+
+
+def _letter_weights(
+    rtts: dict[str, float], gamma: float, floor: float
+) -> dict[str, float]:
+    """Steady-state letter preference: fast letters take most queries."""
+    letters = sorted(rtts)
+    inverse = np.array([1.0 / max(1.0, rtts[l]) for l in letters])
+    weights = inverse**gamma
+    weights = weights / weights.sum()
+    weights = weights * (1.0 - floor * len(letters)) + floor
+    weights = weights / weights.sum()
+    return dict(zip(letters, weights))
+
+
+def generate_ditl(
+    internet: GeneratedInternet,
+    letters: dict[str, IndependentDeployment],
+    recursives: RecursivePopulation,
+    zone: RootZone,
+    year: int = 2018,
+    params: DitlGenParams | None = None,
+    seed: int = 0,
+    duration_days: float = 2.0,
+) -> DitlCapture:
+    """Synthesise one DITL event over the deployed letters."""
+    params = params or DitlGenParams()
+    rng = make_rng(seed, f"ditl:{year}")
+    world = internet.world
+    captures = {
+        name: LetterCapture(letter=name, tcp_ok=not _tcp_broken(deployment))
+        for name, deployment in letters.items()
+    }
+    ideal_daily = zone.ideal_daily_root_queries()
+
+    for cluster in recursives:
+        if not cluster.captured_in_ditl:
+            continue  # forwarders never query the roots
+        flows = {}
+        rtts = {}
+        for name, deployment in letters.items():
+            flow = deployment.resolve(cluster.asn, cluster.region_id)
+            if flow is None:
+                continue
+            flows[name] = flow
+            rtts[name] = flow.base_rtt_ms
+        if not flows:
+            continue
+        weights = _letter_weights(rtts, params.letter_pref_gamma, params.letter_pref_floor)
+
+        legit_daily = ideal_daily * cluster.cache_inefficiency
+        # Junk follows users (Chromium probes, misconfigured hosts) plus a
+        # small floor from the resolver's own automation.
+        junk_daily = cluster.users * cluster.junk_per_user_daily + legit_daily * 0.10
+        ptr_daily = cluster.users * cluster.ptr_per_user_daily + legit_daily * 0.01
+
+        backends = list(cluster.backend_ips)
+        ip_shares = rng.dirichlet(np.full(len(backends), 1.2))
+
+        for name, weight in weights.items():
+            deployment = letters[name]
+            flow = flows[name]
+            capture = captures[name]
+            favorite = flow.site.site_id
+
+            # Site split: most /24s are single-site; some split to a
+            # secondary global site via upstream load balancing.
+            split = rng.uniform() < params.site_split_prob and deployment.n_global_sites > 1
+            if split:
+                others = [s.site_id for s in deployment.global_sites if s.site_id != favorite]
+                secondary = int(rng.choice(others))
+                secondary_share = float(rng.beta(2.0, 6.0))
+                per_ip_mode = rng.uniform() < 0.5
+            else:
+                secondary = favorite
+                secondary_share = 0.0
+                per_ip_mode = False
+
+            volumes = {
+                "valid": legit_daily * weight,
+                "invalid": junk_daily * weight,
+                "ptr": ptr_daily * weight,
+            }
+            for category, expected in volumes.items():
+                if expected <= 0:
+                    continue
+                for ip, share in zip(backends, ip_shares):
+                    count = int(rng.poisson(expected * share))
+                    if count <= 0:
+                        continue
+                    if split and per_ip_mode:
+                        # Whole IPs deviate to the secondary site.
+                        site = secondary if rng.uniform() < secondary_share else favorite
+                        capture.rows.append(QueryRow(ip, site, category, count))
+                    elif split:
+                        to_secondary = int(round(count * secondary_share))
+                        if to_secondary:
+                            capture.rows.append(
+                                QueryRow(ip, secondary, category, to_secondary)
+                            )
+                        if count - to_secondary:
+                            capture.rows.append(
+                                QueryRow(ip, favorite, category, count - to_secondary)
+                            )
+                    else:
+                        capture.rows.append(QueryRow(ip, favorite, category, count))
+
+            # IPv6 share, reported separately and dropped by preprocessing.
+            total = sum(volumes.values())
+            v6 = int(rng.poisson(total * params.ipv6_fraction / (1.0 - params.ipv6_fraction)))
+            if v6 > 0:
+                capture.rows.append(QueryRow(backends[0], favorite, "valid", v6, ipv6=True))
+
+            # TCP-handshake RTT samples (only letters with sane pcaps).
+            if capture.tcp_ok:
+                base_valid = volumes["valid"]
+                favorite_samples = int(rng.poisson(
+                    base_valid * (1.0 - secondary_share) * params.tcp_fraction
+                ))
+                if favorite_samples > 0:
+                    capture.tcp.append(
+                        TcpRttRow(
+                            slash24=cluster.slash24,
+                            site_id=favorite,
+                            rtt_ms=flow.measured_rtt_ms(rng),
+                            samples=favorite_samples,
+                        )
+                    )
+                if split:
+                    secondary_samples = int(rng.poisson(
+                        base_valid * secondary_share * params.tcp_fraction
+                    ))
+                    if secondary_samples > 0:
+                        here = world.region(cluster.region_id).location
+                        there = deployment.site_location(secondary)
+                        rtt = (
+                            optimal_rtt_ms(here.distance_km(there)) * params.secondary_stretch
+                            + params.secondary_extra_ms
+                        ) * float(rng.lognormal(0.0, 0.05))
+                        capture.tcp.append(
+                            TcpRttRow(
+                                slash24=cluster.slash24,
+                                site_id=secondary,
+                                rtt_ms=rtt,
+                                samples=secondary_samples,
+                            )
+                        )
+
+    _add_noise_sources(internet, letters, captures, params, rng)
+    return DitlCapture(year=year, duration_days=duration_days, letters=captures)
+
+
+def _tcp_broken(deployment: IndependentDeployment) -> bool:
+    """D and L roots delivered malformed pcaps in 2018; we mirror that by
+    marking deployments whose names start with those letters."""
+    return deployment.name.split()[0] in ("D", "L")
+
+
+def _add_noise_sources(
+    internet: GeneratedInternet,
+    letters: dict[str, IndependentDeployment],
+    captures: dict[str, LetterCapture],
+    params: DitlGenParams,
+    rng: np.random.Generator,
+) -> None:
+    """Spoofed-source and private-source traffic (§3.1's caveats)."""
+    for name, capture in captures.items():
+        deployment = letters[name]
+        total = capture.total_queries
+        if total == 0:
+            continue
+        n_sites = deployment.n_global_sites
+
+        # Spoofed sources look like valid traffic, so size them against
+        # the valid volume — they are a small caveat (§3.1), not a flood.
+        valid_total = sum(
+            row.queries for row in capture.rows
+            if row.category == "valid" and not row.ipv6
+        )
+        spoof_total = valid_total * params.spoof_fraction
+        n_spoof_rows = max(1, int(rng.integers(20, 60)))
+        for _ in range(n_spoof_rows):
+            source = int(rng.integers(0x0B000000, 0xDF000000))  # arbitrary space
+            site = deployment.global_sites[int(rng.integers(0, n_sites))].site_id
+            count = int(rng.poisson(spoof_total / n_spoof_rows))
+            if count > 0:
+                capture.rows.append(QueryRow(source, site, "valid", count))
+
+        private_total = total * params.private_fraction
+        n_private_rows = max(1, int(rng.integers(10, 30)))
+        for _ in range(n_private_rows):
+            source = int(rng.integers(0x0A000000, 0x0B000000))  # 10.0.0.0/8
+            site = deployment.global_sites[int(rng.integers(0, n_sites))].site_id
+            count = int(rng.poisson(private_total / n_private_rows))
+            if count > 0:
+                capture.rows.append(QueryRow(source, site, "valid", count))

@@ -1,0 +1,129 @@
+"""DITL preprocessing (§2.1).
+
+Of the raw capture we drop, in order: IPv6 traffic (no v6 user data),
+queries from private/special-purpose sources, then split the remainder
+into *valid* (existing-TLD, user-relevant) versus *invalid* (junk) and
+*PTR* volumes — the paper discards the latter two for its user-latency
+analysis but Appendix B.1 re-adds them to show how much the choice
+matters, so we keep both views.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..net import is_private
+from .capture import DitlCapture
+
+__all__ = ["PreprocessStats", "LetterVolumes", "FilteredDitl", "preprocess"]
+
+
+@dataclass(slots=True)
+class PreprocessStats:
+    """Accounting of what preprocessing dropped (the §2.1 numbers)."""
+
+    total_queries: int = 0
+    dropped_ipv6: int = 0
+    dropped_private: int = 0
+    invalid_queries: int = 0
+    ptr_queries: int = 0
+    valid_queries: int = 0
+
+    @property
+    def fraction_ipv6(self) -> float:
+        return self.dropped_ipv6 / self.total_queries if self.total_queries else 0.0
+
+    @property
+    def fraction_private(self) -> float:
+        return self.dropped_private / self.total_queries if self.total_queries else 0.0
+
+    @property
+    def fraction_invalid(self) -> float:
+        kept = self.invalid_queries + self.ptr_queries + self.valid_queries
+        return self.invalid_queries / kept if kept else 0.0
+
+
+@dataclass(slots=True)
+class LetterVolumes:
+    """Per-letter filtered volumes at the granularities the analyses use."""
+
+    letter: str
+    tcp_ok: bool = True
+    #: valid daily queries per source /24
+    valid_by_slash24: dict[int, int] = field(default_factory=dict)
+    #: valid+invalid+ptr daily queries per source /24 (Appendix B.1 view)
+    all_by_slash24: dict[int, int] = field(default_factory=dict)
+    #: valid daily queries per /24 per site (inflation weighting, Eq. 1)
+    site_valid_by_slash24: dict[int, dict[int, int]] = field(default_factory=dict)
+    #: valid daily queries per source IP per site (Fig. 10's Eq. 3)
+    site_by_ip: dict[int, dict[int, int]] = field(default_factory=dict)
+
+    @property
+    def total_valid(self) -> int:
+        return sum(self.valid_by_slash24.values())
+
+
+@dataclass(slots=True)
+class FilteredDitl:
+    """The preprocessed event: per-letter volumes plus drop accounting."""
+
+    year: int
+    duration_days: float
+    per_letter: dict[str, LetterVolumes] = field(default_factory=dict)
+    stats: PreprocessStats = field(default_factory=PreprocessStats)
+
+    @property
+    def letter_names(self) -> list[str]:
+        return sorted(self.per_letter)
+
+    def daily_valid_by_slash24(self) -> dict[int, float]:
+        """Valid queries per day per /24, summed over letters."""
+        totals: dict[int, float] = {}
+        for volumes in self.per_letter.values():
+            for slash24, count in volumes.valid_by_slash24.items():
+                totals[slash24] = totals.get(slash24, 0.0) + count / self.duration_days
+        return totals
+
+    def daily_all_by_slash24(self) -> dict[int, float]:
+        """All (valid+junk+PTR) queries per day per /24 (Appendix B.1)."""
+        totals: dict[int, float] = {}
+        for volumes in self.per_letter.values():
+            for slash24, count in volumes.all_by_slash24.items():
+                totals[slash24] = totals.get(slash24, 0.0) + count / self.duration_days
+        return totals
+
+
+def preprocess(capture: DitlCapture) -> FilteredDitl:
+    """Run the §2.1 pipeline over a raw capture."""
+    result = FilteredDitl(year=capture.year, duration_days=capture.duration_days)
+    stats = result.stats
+    for name, letter_capture in capture.letters.items():
+        volumes = LetterVolumes(letter=name, tcp_ok=letter_capture.tcp_ok)
+        result.per_letter[name] = volumes
+        for row in letter_capture.rows:
+            stats.total_queries += row.queries
+            if row.ipv6:
+                stats.dropped_ipv6 += row.queries
+                continue
+            if is_private(row.source_ip):
+                stats.dropped_private += row.queries
+                continue
+            slash24 = row.slash24
+            volumes.all_by_slash24[slash24] = (
+                volumes.all_by_slash24.get(slash24, 0) + row.queries
+            )
+            if row.category == "invalid":
+                stats.invalid_queries += row.queries
+                continue
+            if row.category == "ptr":
+                stats.ptr_queries += row.queries
+                continue
+            stats.valid_queries += row.queries
+            volumes.valid_by_slash24[slash24] = (
+                volumes.valid_by_slash24.get(slash24, 0) + row.queries
+            )
+            site_map = volumes.site_valid_by_slash24.setdefault(slash24, {})
+            site_map[row.site_id] = site_map.get(row.site_id, 0) + row.queries
+            ip_map = volumes.site_by_ip.setdefault(row.source_ip, {})
+            ip_map[row.site_id] = ip_map.get(row.site_id, 0) + row.queries
+    return result

@@ -1,0 +1,44 @@
+"""DNS substrate: zone, caches, workload, packet-level recursive."""
+
+from .cache import TtlCache
+from .localview import (
+    AuthorMachineExperiment,
+    AuthorResult,
+    IsiResolverExperiment,
+    IsiResult,
+)
+from .records import DEFAULT_TLD_TTL_S, INVALID_TLDS, Question, QType, RootZone
+from .resolver import (
+    LetterPreference,
+    ResolverConfig,
+    RootLatencyModel,
+    SimulatedRecursive,
+    StaticRootLatency,
+)
+from .trace import ClientQuery, DnsTrace, UpstreamQuery
+from .workload import BrowsingWorkload, Domain, DomainUniverse, TimedQuestion
+
+__all__ = [
+    "TtlCache",
+    "AuthorMachineExperiment",
+    "AuthorResult",
+    "IsiResolverExperiment",
+    "IsiResult",
+    "DEFAULT_TLD_TTL_S",
+    "INVALID_TLDS",
+    "Question",
+    "QType",
+    "RootZone",
+    "LetterPreference",
+    "ResolverConfig",
+    "RootLatencyModel",
+    "SimulatedRecursive",
+    "StaticRootLatency",
+    "ClientQuery",
+    "DnsTrace",
+    "UpstreamQuery",
+    "BrowsingWorkload",
+    "Domain",
+    "DomainUniverse",
+    "TimedQuestion",
+]

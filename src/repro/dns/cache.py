@@ -1,0 +1,75 @@
+"""TTL cache used by the simulated recursive resolver."""
+
+from __future__ import annotations
+
+__all__ = ["TtlCache"]
+
+
+class TtlCache:
+    """A name→expiry cache with optional capacity-based eviction.
+
+    Time is explicit (seconds as floats) so the resolver simulation can
+    drive it from its own clock; there is no wall-clock dependence.
+    """
+
+    def __init__(self, capacity: int | None = None):
+        if capacity is not None and capacity < 1:
+            raise ValueError("capacity must be positive")
+        self._expiry: dict[str, float] = {}
+        self._value: dict[str, object] = {}
+        self._capacity = capacity
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._expiry)
+
+    def contains(self, key: str, now: float) -> bool:
+        """Whether ``key`` is cached and fresh at time ``now``."""
+        expiry = self._expiry.get(key)
+        if expiry is None or expiry <= now:
+            self.misses += 1
+            return False
+        self.hits += 1
+        return True
+
+    def peek(self, key: str, now: float) -> bool:
+        """Like :meth:`contains` but without touching hit/miss counters."""
+        expiry = self._expiry.get(key)
+        return expiry is not None and expiry > now
+
+    def get(self, key: str, now: float) -> object | None:
+        if not self.peek(key, now):
+            return None
+        return self._value.get(key)
+
+    def put(self, key: str, now: float, ttl_s: float, value: object = None) -> None:
+        if ttl_s <= 0:
+            return
+        if (
+            self._capacity is not None
+            and key not in self._expiry
+            and len(self._expiry) >= self._capacity
+        ):
+            self._evict_one(now)
+        self._expiry[key] = now + ttl_s
+        self._value[key] = value
+
+    def _evict_one(self, now: float) -> None:
+        """Drop the stalest entry (earliest expiry)."""
+        stalest = min(self._expiry, key=self._expiry.get)
+        del self._expiry[stalest]
+        self._value.pop(stalest, None)
+
+    def expire(self, now: float) -> int:
+        """Remove entries no longer fresh; returns how many were dropped."""
+        dead = [key for key, expiry in self._expiry.items() if expiry <= now]
+        for key in dead:
+            del self._expiry[key]
+            self._value.pop(key, None)
+        return len(dead)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

@@ -1,0 +1,214 @@
+"""Local-perspective experiments (§4.3 local, Appendix D).
+
+Two setups, mirroring the paper's:
+
+* :class:`IsiResolverExperiment` — a shared recursive serving a small
+  population (the USC/ISI trace): measures the *root cache miss rate*
+  (root queries as a fraction of client queries) and the latency CDFs of
+  Fig. 12/13.
+* :class:`AuthorMachineExperiment` — a single user running a local
+  non-forwarding resolver with no shared cache, plus browser-style
+  bookkeeping: how does daily root-DNS wait compare to daily page-load
+  time and active browsing time?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..geo import make_rng
+from .records import Question, QType, RootZone
+from .resolver import ResolverConfig, RootLatencyModel, SimulatedRecursive
+from .trace import DnsTrace
+from .workload import BrowsingWorkload, DomainUniverse, TimedQuestion
+
+__all__ = ["IsiResolverExperiment", "IsiResult", "AuthorMachineExperiment", "AuthorResult"]
+
+
+def _daily_miss_rates(trace: DnsTrace) -> list[float]:
+    """Root cache miss rate for each simulated day."""
+    per_day_client: dict[int, int] = {}
+    per_day_root: dict[int, int] = {}
+    for query in trace:
+        day = int(query.t // 86_400)
+        per_day_client[day] = per_day_client.get(day, 0) + 1
+        per_day_root[day] = per_day_root.get(day, 0) + len(query.root_queries)
+    return [
+        per_day_root.get(day, 0) / count
+        for day, count in sorted(per_day_client.items())
+        if count > 0
+    ]
+
+
+@dataclass(slots=True)
+class IsiResult:
+    """Outputs of the shared-resolver experiment."""
+
+    trace: DnsTrace
+    daily_miss_rates: list[float]
+
+    @property
+    def overall_miss_rate(self) -> float:
+        return self.trace.root_cache_miss_rate
+
+    @property
+    def median_daily_miss_rate(self) -> float:
+        return float(np.median(self.daily_miss_rates)) if self.daily_miss_rates else 0.0
+
+    def latency_cdf_ms(self) -> np.ndarray:
+        return np.sort(np.array(self.trace.client_latencies_ms()))
+
+    def root_latency_cdf_ms(self) -> np.ndarray:
+        return np.sort(np.array(self.trace.root_latencies_ms()))
+
+    def fraction_queries_touching_root(self) -> float:
+        touched = sum(1 for q in self.trace if q.root_queries)
+        return touched / max(1, len(self.trace))
+
+    def fraction_root_latency_over_ms(self, threshold_ms: float) -> float:
+        over = sum(1 for q in self.trace if q.root_latency_ms > threshold_ms)
+        return over / max(1, len(self.trace))
+
+
+class IsiResolverExperiment:
+    """Shared recursive serving a small population for many days."""
+
+    def __init__(
+        self,
+        zone: RootZone,
+        universe: DomainUniverse,
+        root_latency: RootLatencyModel,
+        n_users: int = 120,
+        days: float = 14.0,
+        buggy: bool = True,
+        seed: int = 0,
+    ):
+        self.zone = zone
+        self.universe = universe
+        self.root_latency = root_latency
+        self.n_users = n_users
+        self.days = days
+        self.buggy = buggy
+        self.seed = seed
+
+    def run(self) -> IsiResult:
+        workload = BrowsingWorkload(
+            self.universe,
+            n_users=self.n_users,
+            pages_per_user_day=70.0,
+            sessions_per_user_day=0.8,
+            invalid_rate_per_user_day=0.6,
+            ptr_rate_per_user_day=0.5,
+            seed=self.seed,
+        )
+        resolver = SimulatedRecursive(
+            self.zone,
+            self.universe,
+            self.root_latency,
+            config=ResolverConfig(has_redundant_bug=self.buggy),
+            seed=self.seed,
+        )
+        trace = resolver.run(workload.generate(self.days))
+        return IsiResult(trace=trace, daily_miss_rates=_daily_miss_rates(trace))
+
+
+@dataclass(slots=True)
+class AuthorResult:
+    """Outputs of the single-user local-resolver experiment."""
+
+    trace: DnsTrace
+    daily_miss_rates: list[float]
+    daily_root_latency_ms: list[float] = field(default_factory=list)
+    daily_page_load_ms: list[float] = field(default_factory=list)
+    daily_active_browse_ms: list[float] = field(default_factory=list)
+
+    @property
+    def median_daily_miss_rate(self) -> float:
+        return float(np.median(self.daily_miss_rates)) if self.daily_miss_rates else 0.0
+
+    @property
+    def root_share_of_page_load(self) -> float:
+        """Median daily root latency over median daily page-load time."""
+        if not self.daily_page_load_ms:
+            return 0.0
+        return float(np.median(self.daily_root_latency_ms)) / float(
+            np.median(self.daily_page_load_ms)
+        )
+
+    @property
+    def root_share_of_browsing(self) -> float:
+        if not self.daily_active_browse_ms:
+            return 0.0
+        return float(np.median(self.daily_root_latency_ms)) / float(
+            np.median(self.daily_active_browse_ms)
+        )
+
+
+class AuthorMachineExperiment:
+    """One user, one local caching resolver, page-level bookkeeping."""
+
+    def __init__(
+        self,
+        zone: RootZone,
+        universe: DomainUniverse,
+        root_latency: RootLatencyModel,
+        days: float = 28.0,
+        pages_per_day: float = 120.0,
+        seed: int = 0,
+    ):
+        self.zone = zone
+        self.universe = universe
+        self.root_latency = root_latency
+        self.days = days
+        self.pages_per_day = pages_per_day
+        self.seed = seed
+
+    def run(self) -> AuthorResult:
+        rng = make_rng(self.seed, "author-machine")
+        resolver = SimulatedRecursive(
+            self.zone,
+            self.universe,
+            self.root_latency,
+            config=ResolverConfig(has_redundant_bug=False),
+            seed=self.seed,
+        )
+        trace = DnsTrace()
+        n_days = int(self.days)
+        daily_root: list[float] = []
+        daily_page: list[float] = []
+        daily_browse: list[float] = []
+        for day in range(n_days):
+            root_ms = 0.0
+            page_ms = 0.0
+            browse_ms = 0.0
+            n_pages = int(rng.poisson(self.pages_per_day))
+            times = np.sort(rng.uniform(day * 86_400.0, (day + 1) * 86_400.0, size=n_pages))
+            for t in times:
+                dns_wait = 0.0
+                domains = [self.universe.sample(rng)] + self.universe.sample_many(
+                    rng, int(rng.integers(2, 8))
+                )
+                for domain in domains:
+                    answer = resolver.handle(
+                        TimedQuestion(float(t), Question(domain.name, QType.A))
+                    )
+                    trace.add(answer)
+                    dns_wait += answer.latency_ms
+                    root_ms += answer.root_latency_ms
+                # Page load: DNS wait + content transfer (~10 RTTs of ~30 ms
+                # plus render time); active time dwarfs it.
+                content_ms = float(rng.uniform(1_000.0, 4_000.0))
+                page_ms += dns_wait + content_ms
+                browse_ms += float(rng.uniform(20_000.0, 90_000.0))
+            daily_root.append(root_ms)
+            daily_page.append(page_ms)
+            daily_browse.append(browse_ms)
+        return AuthorResult(
+            trace=trace,
+            daily_miss_rates=_daily_miss_rates(trace),
+            daily_root_latency_ms=daily_root,
+            daily_page_load_ms=daily_page,
+            daily_active_browse_ms=daily_browse,
+        )

@@ -1,0 +1,270 @@
+"""Packet-level recursive resolver simulation.
+
+Implements the resolver behaviour the paper's local-view experiments
+depend on:
+
+* TTL caches for TLD delegations, domain delegations, nameserver glue,
+  answers, and negative results;
+* root-letter preference: per Müller et al., recursives favour their
+  lowest-latency letters but keep probing all of them;
+* authoritative-server timeouts with retry over the NS set;
+* the **BIND redundant-query bug** (Appendix E): after an unanswered
+  query to a domain's nameserver, the resolver asks the *root* for the
+  AAAA records of every nameserver it lacks glue for — even though the
+  TLD's records are fresh in cache.  Table 5 is one such episode.
+
+The resolver answers a :class:`~repro.dns.workload.TimedQuestion` stream
+and records everything in a :class:`~repro.dns.trace.DnsTrace`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..geo import make_rng
+from .cache import TtlCache
+from .records import Question, QType, RootZone
+from .trace import ClientQuery, DnsTrace, UpstreamQuery
+from .workload import DomainUniverse, TimedQuestion
+
+__all__ = ["RootLatencyModel", "StaticRootLatency", "LetterPreference", "SimulatedRecursive"]
+
+#: Resolver-side timeout before retrying another nameserver, ms.
+AUTH_TIMEOUT_MS = 800.0
+#: Negative-answer (NXDOMAIN) cache TTL, seconds.
+NEGATIVE_TTL_S = 900.0
+#: Answer-record TTL, seconds.
+ANSWER_TTL_S = 300.0
+#: Domain-delegation TTL, seconds.
+DELEGATION_TTL_S = 86_400.0
+
+
+class RootLatencyModel:
+    """Interface: RTT samples from this resolver to each root letter."""
+
+    @property
+    def letters(self) -> tuple[str, ...]:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def sample_rtt_ms(self, letter: str, rng: np.random.Generator) -> float:  # pragma: no cover
+        raise NotImplementedError
+
+
+class StaticRootLatency(RootLatencyModel):
+    """Fixed per-letter baseline RTTs with lognormal jitter."""
+
+    def __init__(self, base_rtt_ms: dict[str, float], jitter_frac: float = 0.08):
+        if not base_rtt_ms:
+            raise ValueError("need at least one letter")
+        self._base = dict(base_rtt_ms)
+        self._jitter = jitter_frac
+
+    @property
+    def letters(self) -> tuple[str, ...]:
+        return tuple(sorted(self._base))
+
+    def sample_rtt_ms(self, letter: str, rng: np.random.Generator) -> float:
+        return self._base[letter] * float(rng.lognormal(0.0, self._jitter))
+
+
+class LetterPreference:
+    """RTT-driven letter selection (Müller et al.'s observed behaviour).
+
+    Keeps a smoothed RTT per letter and samples letters with probability
+    proportional to ``(1/srtt)^gamma`` plus an exploration floor, so fast
+    letters take most queries while every letter keeps getting probed.
+    """
+
+    def __init__(self, letters: tuple[str, ...], gamma: float = 2.0, floor: float = 0.01):
+        if not letters:
+            raise ValueError("need at least one letter")
+        self.letters = letters
+        self.gamma = gamma
+        self.floor = floor
+        self._srtt: dict[str, float] = {letter: 100.0 for letter in letters}
+
+    def observe(self, letter: str, rtt_ms: float) -> None:
+        self._srtt[letter] = 0.8 * self._srtt[letter] + 0.2 * rtt_ms
+
+    def weights(self) -> np.ndarray:
+        inverse = np.array([1.0 / max(1.0, self._srtt[l]) for l in self.letters])
+        weights = inverse**self.gamma
+        weights = weights / weights.sum()
+        weights = weights * (1.0 - self.floor * len(self.letters)) + self.floor
+        return weights / weights.sum()
+
+    def choose(self, rng: np.random.Generator) -> str:
+        return self.letters[int(rng.choice(len(self.letters), p=self.weights()))]
+
+
+@dataclass(frozen=True, slots=True)
+class ResolverConfig:
+    """Behavioural knobs of the simulated resolver."""
+
+    has_redundant_bug: bool = False
+    auth_timeout_prob: float = 0.005
+    aaaa_glue_prob: float = 0.3    # TLDs rarely include AAAA glue
+    a_glue_prob: float = 0.9
+    cache_capacity: int | None = None
+
+
+class SimulatedRecursive:
+    """A caching recursive resolver answering a timed query stream."""
+
+    def __init__(
+        self,
+        zone: RootZone,
+        universe: DomainUniverse,
+        root_latency: RootLatencyModel,
+        config: ResolverConfig | None = None,
+        seed: int = 0,
+    ):
+        self.zone = zone
+        self.universe = universe
+        self.root_latency = root_latency
+        self.config = config or ResolverConfig()
+        self._rng = make_rng(seed, "resolver")
+        self.preference = LetterPreference(root_latency.letters)
+        capacity = self.config.cache_capacity
+        self.tld_cache = TtlCache(capacity)
+        self.delegation_cache = TtlCache(capacity)
+        self.glue_a_cache = TtlCache(capacity)
+        self.glue_aaaa_cache = TtlCache(capacity)
+        self.answer_cache = TtlCache(capacity)
+        self.negative_cache = TtlCache(capacity)
+        self._domain_by_name = {d.name: d for d in universe.domains}
+        #: NS names whose AAAA glue was absent from the TLD's last
+        #: delegation response, per domain — what the bug re-asks roots for.
+        self._unglued_aaaa: dict[str, tuple[str, ...]] = {}
+
+    # -- upstream helpers --------------------------------------------------
+    def _query_root(
+        self, t: float, qname: str, qtype: QType, upstream: list[UpstreamQuery]
+    ) -> float:
+        letter = self.preference.choose(self._rng)
+        rtt = self.root_latency.sample_rtt_ms(letter, self._rng)
+        self.preference.observe(letter, rtt)
+        upstream.append(UpstreamQuery(t, f"root:{letter}", qname, qtype, rtt))
+        return rtt
+
+    def _query_tld(
+        self, t: float, tld: str, qname: str, qtype: QType, upstream: list[UpstreamQuery]
+    ) -> float:
+        rtt = float(self._rng.uniform(4.0, 60.0))
+        upstream.append(UpstreamQuery(t, f"tld:{tld}", qname, qtype, rtt))
+        return rtt
+
+    def _query_auth(
+        self, t: float, server: str, qname: str, qtype: QType, upstream: list[UpstreamQuery]
+    ) -> tuple[float, bool]:
+        timed_out = self._rng.uniform() < self.config.auth_timeout_prob
+        rtt = AUTH_TIMEOUT_MS if timed_out else float(self._rng.uniform(5.0, 120.0))
+        upstream.append(UpstreamQuery(t, f"auth:{server}", qname, qtype, rtt, timed_out))
+        return rtt, timed_out
+
+    # -- resolution ---------------------------------------------------------
+    def _ensure_tld(self, t: float, tld: str, upstream: list[UpstreamQuery]) -> float:
+        """Make the TLD delegation fresh; returns wait in ms."""
+        if self.tld_cache.contains(tld, t):
+            return 0.0
+        wait = self._query_root(t, tld, QType.NS, upstream)
+        self.tld_cache.put(tld, t, self.zone.ttl_s)
+        return wait
+
+    def _bug_redundant_root_queries(
+        self, t: float, domain_name: str, upstream: list[UpstreamQuery]
+    ) -> None:
+        """The Appendix-E pattern: AAAA root queries for un-glued NSes.
+
+        These are *redundant*: the TLD that actually owns the records is
+        cached, yet the query goes to a root letter — and because the
+        root only returns a referral, nothing gets cached and the same
+        names are re-asked after every timeout.  They run in parallel
+        with the retry, so they add no client latency — only root load.
+        """
+        for server in self._unglued_aaaa.get(domain_name, ()):
+            self._query_root(t, server, QType.AAAA, upstream)
+
+    def _resolve_domain(
+        self, t: float, question: Question, upstream: list[UpstreamQuery]
+    ) -> float:
+        """Full resolution of a valid browse query; returns wait in ms."""
+        domain = self._domain_by_name.get(question.qname)
+        if domain is None:
+            # A name outside the universe (e.g. nameserver host): treat its
+            # registrable parent as the domain.
+            parts = question.qname.split(".")
+            parent = ".".join(parts[-2:])
+            domain = self._domain_by_name.get(parent)
+        wait = self._ensure_tld(t, question.tld, upstream)
+        if domain is None:
+            # Unknown second-level: the TLD answers NXDOMAIN directly.
+            wait += self._query_tld(t, question.tld, question.qname, question.qtype, upstream)
+            self.negative_cache.put(question.qname, t, NEGATIVE_TTL_S)
+            return wait
+
+        if not self.delegation_cache.contains(domain.name, t):
+            wait += self._query_tld(t, question.tld, question.qname, question.qtype, upstream)
+            self.delegation_cache.put(domain.name, t, DELEGATION_TTL_S)
+            unglued: list[str] = []
+            for server in domain.nameservers:
+                if self._rng.uniform() < self.config.a_glue_prob:
+                    self.glue_a_cache.put(server, t, DELEGATION_TTL_S)
+                if self._rng.uniform() < self.config.aaaa_glue_prob:
+                    self.glue_aaaa_cache.put(server, t, DELEGATION_TTL_S)
+                else:
+                    unglued.append(server)
+            self._unglued_aaaa[domain.name] = tuple(unglued)
+
+        order = list(domain.nameservers)
+        self._rng.shuffle(order)
+        for attempt, server in enumerate(order):
+            rtt, timed_out = self._query_auth(
+                t + wait / 1000.0, server, question.qname, question.qtype, upstream
+            )
+            wait += rtt
+            if not timed_out:
+                self.answer_cache.put(f"{question.qname}/{question.qtype.value}", t, ANSWER_TTL_S)
+                return wait
+            if self.config.has_redundant_bug:
+                self._bug_redundant_root_queries(t + wait / 1000.0, domain.name, upstream)
+            if attempt >= 2:
+                break  # give up after a few servers, as real resolvers do
+        return wait
+
+    def handle(self, timed: TimedQuestion) -> ClientQuery:
+        """Answer one client question, updating caches and traces."""
+        t, question = timed.t, timed.question
+        upstream: list[UpstreamQuery] = []
+        base_ms = float(self._rng.uniform(0.05, 0.9))
+
+        answer_key = f"{question.qname}/{question.qtype.value}"
+        if self.answer_cache.contains(answer_key, t) or self.negative_cache.peek(question.qname, t):
+            return ClientQuery(t, question.qname, question.qtype, base_ms, ())
+
+        if question.qtype is QType.PTR:
+            # in-addr.arpa: one upstream round trip, no root involvement
+            # (the arpa delegation stays cached essentially forever).
+            rtt = float(self._rng.uniform(10.0, 150.0))
+            upstream.append(UpstreamQuery(t, "auth:in-addr-arpa", question.qname, QType.PTR, rtt))
+            self.answer_cache.put(answer_key, t, ANSWER_TTL_S)
+            return ClientQuery(t, question.qname, question.qtype, base_ms + rtt, tuple(upstream))
+
+        tld = question.tld
+        if question.is_single_label or not self.zone.is_valid_tld(tld):
+            # Junk: the root answers NXDOMAIN itself.
+            wait = self._query_root(t, question.qname, question.qtype, upstream)
+            self.negative_cache.put(question.qname, t, NEGATIVE_TTL_S)
+            return ClientQuery(t, question.qname, question.qtype, base_ms + wait, tuple(upstream))
+
+        wait = self._resolve_domain(t, question, upstream)
+        return ClientQuery(t, question.qname, question.qtype, base_ms + wait, tuple(upstream))
+
+    def run(self, stream) -> DnsTrace:
+        """Process an iterable of :class:`TimedQuestion` into a trace."""
+        trace = DnsTrace()
+        for timed in stream:
+            trace.add(self.handle(timed))
+        return trace

@@ -1,0 +1,104 @@
+"""Packet-style DNS trace records.
+
+The local-view experiments (§4.3, Appendix D/E) need per-query events:
+what the client asked, which upstream the resolver contacted, and how
+long everything took.  :class:`DnsTrace` is the in-memory analogue of the
+paper's port-53 packet captures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .records import QType
+
+__all__ = ["UpstreamQuery", "ClientQuery", "DnsTrace"]
+
+
+@dataclass(frozen=True, slots=True)
+class UpstreamQuery:
+    """One query the resolver sent upstream while serving a client."""
+
+    t: float
+    server: str          # "root:J", "tld:com", "auth:ns1.example.com"
+    qname: str
+    qtype: QType
+    rtt_ms: float
+    timed_out: bool = False
+
+    @property
+    def is_root(self) -> bool:
+        return self.server.startswith("root:")
+
+    @property
+    def root_letter(self) -> str | None:
+        return self.server.split(":", 1)[1] if self.is_root else None
+
+
+@dataclass(frozen=True, slots=True)
+class ClientQuery:
+    """One client query and everything the resolver did to answer it."""
+
+    t: float
+    qname: str
+    qtype: QType
+    latency_ms: float
+    upstream: tuple[UpstreamQuery, ...] = ()
+
+    @property
+    def root_queries(self) -> tuple[UpstreamQuery, ...]:
+        return tuple(q for q in self.upstream if q.is_root)
+
+    @property
+    def root_latency_ms(self) -> float:
+        """Root-server wait attributable to this query (0 when cached)."""
+        return sum(q.rtt_ms for q in self.root_queries if not q.timed_out)
+
+    @property
+    def cached(self) -> bool:
+        return not self.upstream
+
+
+@dataclass(slots=True)
+class DnsTrace:
+    """An ordered capture of client queries with their upstream fan-out."""
+
+    queries: list[ClientQuery] = field(default_factory=list)
+
+    def add(self, query: ClientQuery) -> None:
+        self.queries.append(query)
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+    def __iter__(self):
+        return iter(self.queries)
+
+    @property
+    def total_root_queries(self) -> int:
+        return sum(len(q.root_queries) for q in self.queries)
+
+    @property
+    def root_cache_miss_rate(self) -> float:
+        """Root queries as a fraction of client queries (§4.3's metric)."""
+        if not self.queries:
+            return 0.0
+        return self.total_root_queries / len(self.queries)
+
+    def client_latencies_ms(self) -> list[float]:
+        return [q.latency_ms for q in self.queries]
+
+    def root_latencies_ms(self) -> list[float]:
+        """Per-client-query root latency, zero when no root was consulted."""
+        return [q.root_latency_ms for q in self.queries]
+
+    def all_upstream(self) -> list[UpstreamQuery]:
+        events: list[UpstreamQuery] = []
+        for query in self.queries:
+            events.extend(query.upstream)
+        return events
+
+    def duration_days(self) -> float:
+        if len(self.queries) < 2:
+            return 0.0
+        return (self.queries[-1].t - self.queries[0].t) / 86_400.0

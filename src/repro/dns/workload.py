@@ -1,0 +1,161 @@
+"""Client-side DNS workload generation.
+
+Synthesises the query stream a recursive resolver receives from its
+users: page-load bursts over a heavy-tailed domain universe, plus the
+junk the paper's preprocessing has to strip — Chromium captive-portal
+probes (random single-label names), queries for invalid corporate TLDs,
+and PTR lookups.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..geo import make_rng
+from .records import INVALID_TLDS, Question, QType, RootZone
+
+__all__ = ["Domain", "DomainUniverse", "BrowsingWorkload", "TimedQuestion"]
+
+
+@dataclass(frozen=True, slots=True)
+class Domain:
+    """A second-level domain with its authoritative nameserver names."""
+
+    name: str                      # e.g. "site042.com"
+    tld: str
+    nameservers: tuple[str, ...]   # e.g. ("ns1.dnshost07.net", ...)
+
+
+class DomainUniverse:
+    """A popularity-ranked universe of domains for browsing workloads."""
+
+    def __init__(self, zone: RootZone, n_domains: int = 5000, seed: int = 0):
+        if n_domains < 10:
+            raise ValueError("universe too small to be interesting")
+        rng = make_rng(seed, "domains")
+        tlds = zone.sample_tlds(rng, n_domains)
+        # A smaller pool of DNS-hosting providers serves most domains.
+        n_hosts = max(5, n_domains // 50)
+        host_tlds = zone.sample_tlds(rng, n_hosts)
+        hosts = [f"dnshost{i:03d}.{host_tlds[i]}" for i in range(n_hosts)]
+        host_ranks = np.arange(1, n_hosts + 1, dtype=float)
+        host_p = (1.0 / host_ranks) / (1.0 / host_ranks).sum()
+        self.domains: list[Domain] = []
+        for i in range(n_domains):
+            provider = hosts[int(rng.choice(n_hosts, p=host_p))]
+            n_ns = int(rng.integers(2, 7))
+            nameservers = tuple(f"ns{j}.{provider}" for j in range(1, n_ns + 1))
+            self.domains.append(
+                Domain(name=f"site{i:05d}.{tlds[i]}", tld=tlds[i], nameservers=nameservers)
+            )
+        ranks = np.arange(1, n_domains + 1, dtype=float)
+        weights = 1.0 / ranks**1.1
+        self.popularity = weights / weights.sum()
+
+    def __len__(self) -> int:
+        return len(self.domains)
+
+    def sample(self, rng: np.random.Generator) -> Domain:
+        return self.domains[int(rng.choice(len(self.domains), p=self.popularity))]
+
+    def sample_many(self, rng: np.random.Generator, size: int) -> list[Domain]:
+        indexes = rng.choice(len(self.domains), size=size, p=self.popularity)
+        return [self.domains[i] for i in indexes]
+
+
+@dataclass(frozen=True, slots=True)
+class TimedQuestion:
+    """A question at a point in simulated time."""
+
+    t: float
+    question: Question
+    #: Tags the generating process so analyses can check their filters:
+    #: "browse", "chromium", "invalid", "ptr".
+    origin: str = "browse"
+
+
+class BrowsingWorkload:
+    """Generates the client query stream arriving at one recursive.
+
+    One *page load* queries the page's domain plus a handful of
+    third-party domains (A, and often AAAA).  Sessions begin with
+    Chromium's three random single-label probes.  Misconfigured hosts
+    sprinkle invalid-TLD and PTR queries throughout.
+    """
+
+    def __init__(
+        self,
+        universe: DomainUniverse,
+        n_users: int = 50,
+        pages_per_user_day: float = 80.0,
+        sessions_per_user_day: float = 6.0,
+        invalid_rate_per_user_day: float = 8.0,
+        ptr_rate_per_user_day: float = 1.0,
+        seed: int = 0,
+    ):
+        if n_users < 1:
+            raise ValueError("need at least one user")
+        self.universe = universe
+        self.n_users = n_users
+        self.pages_per_user_day = pages_per_user_day
+        self.sessions_per_user_day = sessions_per_user_day
+        self.invalid_rate_per_user_day = invalid_rate_per_user_day
+        self.ptr_rate_per_user_day = ptr_rate_per_user_day
+        self._seed = seed
+
+    def _page_queries(self, t: float, rng: np.random.Generator) -> list[TimedQuestion]:
+        queries: list[TimedQuestion] = []
+        n_third_party = int(rng.integers(2, 8))
+        domains = [self.universe.sample(rng)] + self.universe.sample_many(rng, n_third_party)
+        offset = 0.0
+        for domain in domains:
+            queries.append(TimedQuestion(t + offset, Question(domain.name, QType.A)))
+            if rng.uniform() < 0.6:
+                queries.append(TimedQuestion(t + offset, Question(domain.name, QType.AAAA)))
+            offset += float(rng.uniform(0.01, 0.4))
+        return queries
+
+    def generate(self, days: float) -> Iterator[TimedQuestion]:
+        """Yield the merged, time-ordered query stream for ``days`` days."""
+        rng = make_rng(self._seed, "workload")
+        horizon = days * 86_400.0
+        events: list[TimedQuestion] = []
+
+        n_pages = rng.poisson(self.pages_per_user_day * self.n_users * days)
+        for t in rng.uniform(0.0, horizon, size=n_pages):
+            events.extend(self._page_queries(float(t), rng))
+
+        n_sessions = rng.poisson(self.sessions_per_user_day * self.n_users * days)
+        for t in rng.uniform(0.0, horizon, size=n_sessions):
+            for _ in range(3):  # Chromium captive-portal probes
+                label = "".join(rng.choice(list("abcdefghijklmnopqrstuvwxyz"), size=10))
+                events.append(
+                    TimedQuestion(float(t), Question(label, QType.A), origin="chromium")
+                )
+
+        n_invalid = rng.poisson(self.invalid_rate_per_user_day * self.n_users * days)
+        for t in rng.uniform(0.0, horizon, size=n_invalid):
+            tld = INVALID_TLDS[int(rng.integers(0, len(INVALID_TLDS)))]
+            events.append(
+                TimedQuestion(
+                    float(t), Question(f"host{int(rng.integers(0, 50))}.{tld}", QType.A),
+                    origin="invalid",
+                )
+            )
+
+        n_ptr = rng.poisson(self.ptr_rate_per_user_day * self.n_users * days)
+        for t in rng.uniform(0.0, horizon, size=n_ptr):
+            a, b, c, d = rng.integers(1, 254, size=4)
+            events.append(
+                TimedQuestion(
+                    float(t),
+                    Question(f"{d}.{c}.{b}.{a}.in-addr.arpa", QType.PTR),
+                    origin="ptr",
+                )
+            )
+
+        events.sort(key=lambda e: e.t)
+        yield from events

@@ -1,0 +1,32 @@
+"""Experiment runners: one per table and figure of the paper.
+
+Importing this package registers every experiment; use
+:func:`run_experiment`/:func:`list_experiments` to drive them.
+"""
+
+from . import figures_cdn, figures_local, figures_roots, figures_system, tables  # noqa: F401
+from .base import (
+    ExperimentResult,
+    experiment,
+    list_experiments,
+    run_experiment,
+    write_series_csv,
+)
+from .scenario import SCALES, Scenario, ScenarioConfig, default_scenario
+from .validation import SHAPE_CHECKS, ShapeCheck, ValidationReport, validate_scenario
+
+__all__ = [
+    "ExperimentResult",
+    "write_series_csv",
+    "experiment",
+    "list_experiments",
+    "run_experiment",
+    "SCALES",
+    "Scenario",
+    "ScenarioConfig",
+    "default_scenario",
+    "SHAPE_CHECKS",
+    "ShapeCheck",
+    "ValidationReport",
+    "validate_scenario",
+]

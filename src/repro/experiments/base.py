@@ -1,0 +1,100 @@
+"""Experiment result container and registry plumbing."""
+
+from __future__ import annotations
+
+import csv
+import os
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from .scenario import Scenario
+
+__all__ = [
+    "ExperimentResult",
+    "experiment",
+    "run_experiment",
+    "list_experiments",
+    "write_series_csv",
+]
+
+
+@dataclass(slots=True)
+class ExperimentResult:
+    """What one table/figure reproduction produced.
+
+    ``sections`` carry the human-readable rows/series the paper reports;
+    ``data`` carries the machine-readable key numbers tests and
+    EXPERIMENTS.md assert on.
+    """
+
+    experiment_id: str
+    title: str
+    sections: list[tuple[str, str]] = field(default_factory=list)
+    data: dict = field(default_factory=dict)
+    #: plottable line series: line label → [(x, y), ...] — the exact
+    #: points a figure would draw.
+    series: dict[str, list[tuple[float, float]]] = field(default_factory=dict)
+
+    def add(self, heading: str, body: str) -> None:
+        self.sections.append((heading, body))
+
+    def add_series(self, label: str, points: list[tuple[float, float]]) -> None:
+        self.series[label] = points
+
+    def to_text(self) -> str:
+        lines = [f"== {self.experiment_id}: {self.title} =="]
+        for heading, body in self.sections:
+            lines.append(f"-- {heading} --")
+            lines.append(body)
+        return "\n".join(lines)
+
+
+def write_series_csv(result: ExperimentResult, directory: str) -> list[str]:
+    """Write each line series of ``result`` to ``directory`` as CSV.
+
+    Returns the written paths.  File names are
+    ``<experiment>__<line>.csv`` with a sanitised line label.
+    """
+    if not result.series:
+        return []
+    os.makedirs(directory, exist_ok=True)
+    written: list[str] = []
+    for label, points in result.series.items():
+        safe = "".join(c if c.isalnum() or c in "-_" else "_" for c in label)
+        path = os.path.join(directory, f"{result.experiment_id}__{safe}.csv")
+        with open(path, "w", newline="", encoding="utf-8") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(["x", "y"])
+            writer.writerows(points)
+        written.append(path)
+    return written
+
+
+_REGISTRY: dict[str, Callable[[Scenario], ExperimentResult]] = {}
+
+
+def experiment(experiment_id: str):
+    """Decorator registering a runner under ``experiment_id``."""
+
+    def decorate(func: Callable[[Scenario], ExperimentResult]):
+        if experiment_id in _REGISTRY:
+            raise ValueError(f"duplicate experiment id {experiment_id!r}")
+        _REGISTRY[experiment_id] = func
+        func.experiment_id = experiment_id
+        return func
+
+    return decorate
+
+
+def run_experiment(experiment_id: str, scenario: Scenario) -> ExperimentResult:
+    """Run one registered experiment against a scenario."""
+    try:
+        runner = _REGISTRY[experiment_id]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown experiment {experiment_id!r}; known: {known}") from None
+    return runner(scenario)
+
+
+def list_experiments() -> list[str]:
+    return sorted(_REGISTRY)

@@ -1,0 +1,320 @@
+"""Scenario: one fully wired synthetic world with lazy, cached artifacts.
+
+Building every dataset the paper uses is expensive, and most experiments
+need only a few of them; :class:`Scenario` therefore materialises each
+artifact on first use and caches it.  Two presets:
+
+* ``small`` — a reduced world for unit tests (seconds);
+* ``medium`` — the paper-scale world (508 regions, ~2k ASes, a billion
+  users) used by the benchmark harness.
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass
+
+from ..anycast import (
+    CdnSpec,
+    CdnSystem,
+    IndependentDeployment,
+    LETTERS_2018,
+    LETTERS_2020,
+    build_cdn,
+    build_root_system,
+)
+from ..dns import DomainUniverse, RootZone, StaticRootLatency
+from ..ditl import (
+    DitlCapture,
+    FilteredDitl,
+    JoinStats,
+    JoinedRecursive,
+    generate_ditl,
+    join_ditl_cdn,
+    preprocess,
+    volumes_by_asn,
+)
+from ..measurement import (
+    AtlasPlatform,
+    ClientSideMeasurements,
+    Geolocator,
+    ServerSideLogs,
+    collect_client_measurements,
+    collect_server_logs,
+)
+from ..net import IpToAsnMapper
+from ..topology import GeneratedInternet, TopologyParams, build_internet
+from ..users import (
+    ApnicUserCounts,
+    CdnUserCounts,
+    UserBase,
+    build_apnic_counts,
+    build_cdn_counts,
+    build_recursives,
+    build_user_base,
+    build_world,
+)
+from ..users.recursives import RecursivePopulation
+
+__all__ = ["ScenarioConfig", "Scenario", "default_scenario", "SCALES"]
+
+
+@dataclass(frozen=True, slots=True)
+class ScenarioConfig:
+    """Size knobs for one scenario scale."""
+
+    name: str
+    region_scale: float
+    topology: TopologyParams
+    total_population: int
+    n_tlds: int
+    n_domains: int
+    n_probes: int
+    serverlog_samples: int
+    clientside_samples: int
+    isi_users: int
+    isi_days: float
+    author_days: float
+
+
+def _config(scale: str, seed: int) -> ScenarioConfig:
+    if scale == "small":
+        return ScenarioConfig(
+            name="small",
+            region_scale=0.12,
+            topology=TopologyParams.small(seed=seed),
+            total_population=50_000_000,
+            n_tlds=200,
+            n_domains=1_500,
+            n_probes=200,
+            serverlog_samples=12,
+            clientside_samples=8,
+            isi_users=40,
+            isi_days=5.0,
+            author_days=7.0,
+        )
+    if scale == "medium":
+        return ScenarioConfig(
+            name="medium",
+            region_scale=1.0,
+            topology=TopologyParams(seed=seed),
+            total_population=1_000_000_000,
+            n_tlds=1_000,
+            n_domains=5_000,
+            n_probes=1_000,
+            serverlog_samples=24,
+            clientside_samples=16,
+            isi_users=120,
+            isi_days=14.0,
+            author_days=28.0,
+        )
+    raise ValueError(f"unknown scale {scale!r} (use 'small' or 'medium')")
+
+
+def _cached(method):
+    """Per-instance memoisation for Scenario artifacts."""
+
+    name = method.__name__
+
+    @functools.wraps(method)
+    def wrapper(self):
+        cache = self.__dict__.setdefault("_artifact_cache", {})
+        if name not in cache:
+            cache[name] = method(self)
+        return cache[name]
+
+    return property(wrapper)
+
+
+class Scenario:
+    """One synthetic world plus every dataset derived from it."""
+
+    def __init__(self, scale: str = "small", seed: int = 0):
+        self.config = _config(scale, seed)
+        self.seed = seed
+
+    # -- substrate ---------------------------------------------------------
+    @_cached
+    def internet(self) -> GeneratedInternet:
+        world = build_world(
+            seed=self.seed,
+            total_population=self.config.total_population,
+            region_scale=self.config.region_scale,
+        )
+        return build_internet(world, self.config.topology)
+
+    @_cached
+    def user_base(self) -> UserBase:
+        return build_user_base(self.internet, seed=self.seed + 1)
+
+    @_cached
+    def recursives(self) -> RecursivePopulation:
+        return build_recursives(self.internet, self.user_base, seed=self.seed + 2)
+
+    @_cached
+    def zone(self) -> RootZone:
+        return RootZone(n_tlds=self.config.n_tlds, seed=self.seed + 3)
+
+    @_cached
+    def universe(self) -> DomainUniverse:
+        return DomainUniverse(self.zone, n_domains=self.config.n_domains, seed=self.seed + 4)
+
+    # -- deployments ---------------------------------------------------------
+    @_cached
+    def letters_2018(self) -> dict[str, IndependentDeployment]:
+        return build_root_system(self.internet, LETTERS_2018, seed=self.seed + 5)
+
+    @_cached
+    def letters_2020(self) -> dict[str, IndependentDeployment]:
+        return build_root_system(self.internet, LETTERS_2020, seed=self.seed + 6)
+
+    @_cached
+    def cdn(self) -> CdnSystem:
+        return build_cdn(self.internet, CdnSpec(), seed=self.seed + 7)
+
+    # -- datasets --------------------------------------------------------------
+    @_cached
+    def capture_2018(self) -> DitlCapture:
+        return generate_ditl(
+            self.internet, self.letters_2018, self.recursives, self.zone,
+            year=2018, seed=self.seed + 8,
+        )
+
+    @_cached
+    def filtered_2018(self) -> FilteredDitl:
+        return preprocess(self.capture_2018)
+
+    @_cached
+    def capture_2020(self) -> DitlCapture:
+        return generate_ditl(
+            self.internet, self.letters_2020, self.recursives, self.zone,
+            year=2020, seed=self.seed + 9,
+        )
+
+    @_cached
+    def filtered_2020(self) -> FilteredDitl:
+        return preprocess(self.capture_2020)
+
+    @_cached
+    def cdn_counts(self) -> CdnUserCounts:
+        return build_cdn_counts(self.recursives, seed=self.seed + 10)
+
+    @_cached
+    def apnic_counts(self) -> ApnicUserCounts:
+        return build_apnic_counts(
+            self.user_base, seed=self.seed + 11, cloud_asns=self.internet.cloud_asns
+        )
+
+    @_cached
+    def geolocator(self) -> Geolocator:
+        return Geolocator(self.internet.world, self.recursives, seed=self.seed + 12)
+
+    @_cached
+    def mapper(self) -> IpToAsnMapper:
+        return IpToAsnMapper(self.internet.plan, seed=self.seed + 13)
+
+    @_cached
+    def _join_2018(self) -> tuple[list[JoinedRecursive], JoinStats]:
+        return join_ditl_cdn(
+            self.filtered_2018, self.cdn_counts, self.geolocator, self.mapper,
+            by_slash24=True,
+        )
+
+    @property
+    def joined_2018(self) -> list[JoinedRecursive]:
+        return self._join_2018[0]
+
+    @property
+    def join_stats_2018(self) -> JoinStats:
+        return self._join_2018[1]
+
+    @_cached
+    def _join_2018_ip(self) -> tuple[list[JoinedRecursive], JoinStats]:
+        return join_ditl_cdn(
+            self.filtered_2018, self.cdn_counts, self.geolocator, self.mapper,
+            by_slash24=False,
+        )
+
+    @property
+    def joined_2018_ip(self) -> list[JoinedRecursive]:
+        return self._join_2018_ip[0]
+
+    @property
+    def join_stats_2018_ip(self) -> JoinStats:
+        return self._join_2018_ip[1]
+
+    @_cached
+    def _join_2020(self) -> tuple[list[JoinedRecursive], JoinStats]:
+        return join_ditl_cdn(
+            self.filtered_2020, self.cdn_counts, self.geolocator, self.mapper,
+            by_slash24=True,
+        )
+
+    @property
+    def joined_2020(self) -> list[JoinedRecursive]:
+        return self._join_2020[0]
+
+    @_cached
+    def asn_volumes_2018(self) -> dict[int, float]:
+        volumes, self.apnic_mapped_fraction = volumes_by_asn(self.filtered_2018, self.mapper)
+        return volumes
+
+    # -- measurement platforms ---------------------------------------------------
+    @_cached
+    def atlas(self) -> AtlasPlatform:
+        return AtlasPlatform(self.internet, n_probes=self.config.n_probes, seed=self.seed + 14)
+
+    @_cached
+    def server_logs(self) -> ServerSideLogs:
+        return collect_server_logs(
+            self.cdn, self.user_base,
+            samples_per_location=self.config.serverlog_samples, seed=self.seed + 15,
+        )
+
+    @_cached
+    def client_measurements(self) -> ClientSideMeasurements:
+        return collect_client_measurements(
+            self.cdn, self.user_base,
+            samples_per_location=self.config.clientside_samples, seed=self.seed + 16,
+        )
+
+    # -- DNS local views ------------------------------------------------------------
+    @_cached
+    def isi_result(self):
+        from ..dns import IsiResolverExperiment
+
+        return IsiResolverExperiment(
+            self.zone, self.universe, self.root_latency_model,
+            n_users=self.config.isi_users, days=self.config.isi_days,
+            buggy=True, seed=self.seed + 17,
+        ).run()
+
+    @_cached
+    def author_result(self):
+        from ..dns import AuthorMachineExperiment
+
+        return AuthorMachineExperiment(
+            self.zone, self.universe, self.root_latency_model,
+            days=self.config.author_days, seed=self.seed + 18,
+        ).run()
+
+    @_cached
+    def root_latency_model(self) -> StaticRootLatency:
+        """Per-letter RTTs as seen from a mid-European eyeball (the ISI
+        stand-in's vantage), used by the packet-level resolver sims."""
+        letters = self.letters_2018
+        probe = self.atlas.probes[0]
+        base = {}
+        for name, deployment in letters.items():
+            flow = deployment.resolve(probe.asn, probe.region_id)
+            base[name] = flow.base_rtt_ms if flow else 250.0
+        return StaticRootLatency(base)
+
+
+@functools.lru_cache(maxsize=4)
+def default_scenario(scale: str = "small", seed: int = 0) -> Scenario:
+    """Shared scenario instances (tests and benches reuse these)."""
+    return Scenario(scale=scale, seed=seed)
+
+
+SCALES = ("small", "medium")

@@ -1,0 +1,27 @@
+"""Geography substrate: spherical coordinates, distances, latency floors."""
+
+from .coords import EARTH_RADIUS_KM, GeoPoint, great_circle_km, jitter_around, pairwise_distance_km
+from .latency import (
+    SPEED_OF_LIGHT_FIBER_KM_PER_MS,
+    geographic_rtt_ms,
+    km_to_inflation_ms,
+    optimal_rtt_ms,
+    path_rtt_ms,
+)
+from .rng import derive_seed, make_rng, spawn
+
+__all__ = [
+    "EARTH_RADIUS_KM",
+    "GeoPoint",
+    "great_circle_km",
+    "jitter_around",
+    "pairwise_distance_km",
+    "SPEED_OF_LIGHT_FIBER_KM_PER_MS",
+    "geographic_rtt_ms",
+    "km_to_inflation_ms",
+    "optimal_rtt_ms",
+    "path_rtt_ms",
+    "derive_seed",
+    "make_rng",
+    "spawn",
+]

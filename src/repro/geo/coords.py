@@ -1,0 +1,100 @@
+"""Geographic coordinates and great-circle geometry.
+
+The simulator models the Earth as a sphere of radius 6371 km.  All
+distances are great-circle distances in kilometres; the latency model in
+:mod:`repro.geo.latency` converts them to round-trip times.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "EARTH_RADIUS_KM",
+    "GeoPoint",
+    "great_circle_km",
+    "pairwise_distance_km",
+    "jitter_around",
+]
+
+EARTH_RADIUS_KM = 6371.0
+
+
+@dataclass(frozen=True, slots=True)
+class GeoPoint:
+    """A point on the Earth's surface.
+
+    Latitude is in degrees north (``-90..90``), longitude in degrees east
+    (``-180..180``).
+    """
+
+    lat: float
+    lon: float
+
+    def __post_init__(self) -> None:
+        if not -90.0 <= self.lat <= 90.0:
+            raise ValueError(f"latitude out of range: {self.lat}")
+        if not -180.0 <= self.lon <= 180.0:
+            raise ValueError(f"longitude out of range: {self.lon}")
+
+    def distance_km(self, other: "GeoPoint") -> float:
+        """Great-circle distance to ``other`` in kilometres."""
+        return great_circle_km(self.lat, self.lon, other.lat, other.lon)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        ns = "N" if self.lat >= 0 else "S"
+        ew = "E" if self.lon >= 0 else "W"
+        return f"({abs(self.lat):.2f}{ns}, {abs(self.lon):.2f}{ew})"
+
+
+def great_circle_km(lat1: float, lon1: float, lat2: float, lon2: float) -> float:
+    """Haversine great-circle distance between two points, in kilometres."""
+    phi1, phi2 = math.radians(lat1), math.radians(lat2)
+    dphi = math.radians(lat2 - lat1)
+    dlam = math.radians(lon2 - lon1)
+    a = math.sin(dphi / 2.0) ** 2 + math.cos(phi1) * math.cos(phi2) * math.sin(dlam / 2.0) ** 2
+    return 2.0 * EARTH_RADIUS_KM * math.asin(min(1.0, math.sqrt(a)))
+
+
+def pairwise_distance_km(
+    lats1: np.ndarray, lons1: np.ndarray, lats2: np.ndarray, lons2: np.ndarray
+) -> np.ndarray:
+    """Vectorised haversine distance matrix.
+
+    Returns an array of shape ``(len(lats1), len(lats2))`` of great-circle
+    distances in kilometres.  Used for bulk catchment and coverage
+    computations where per-point Python calls would dominate runtime.
+    """
+    phi1 = np.radians(np.asarray(lats1, dtype=float))[:, None]
+    phi2 = np.radians(np.asarray(lats2, dtype=float))[None, :]
+    lam1 = np.radians(np.asarray(lons1, dtype=float))[:, None]
+    lam2 = np.radians(np.asarray(lons2, dtype=float))[None, :]
+    a = (
+        np.sin((phi2 - phi1) / 2.0) ** 2
+        + np.cos(phi1) * np.cos(phi2) * np.sin((lam2 - lam1) / 2.0) ** 2
+    )
+    return 2.0 * EARTH_RADIUS_KM * np.arcsin(np.minimum(1.0, np.sqrt(a)))
+
+
+def jitter_around(point: GeoPoint, radius_km: float, rng: np.random.Generator) -> GeoPoint:
+    """Return a point uniformly jittered within ``radius_km`` of ``point``.
+
+    Uses a locally flat approximation, which is fine for the metro-scale
+    radii (tens of kilometres) this is used for.  Results are clamped to
+    valid latitude/longitude ranges.
+    """
+    distance = radius_km * math.sqrt(rng.uniform(0.0, 1.0))
+    bearing = rng.uniform(0.0, 2.0 * math.pi)
+    dlat = (distance / EARTH_RADIUS_KM) * math.cos(bearing)
+    coslat = max(0.01, math.cos(math.radians(point.lat)))
+    dlon = (distance / EARTH_RADIUS_KM) * math.sin(bearing) / coslat
+    lat = max(-90.0, min(90.0, point.lat + math.degrees(dlat)))
+    lon = point.lon + math.degrees(dlon)
+    if lon > 180.0:
+        lon -= 360.0
+    elif lon < -180.0:
+        lon += 360.0
+    return GeoPoint(lat, lon)

@@ -1,0 +1,91 @@
+"""Propagation-delay model.
+
+The paper expresses both inflation metrics in terms of the speed of light
+in fiber, :data:`SPEED_OF_LIGHT_FIBER_KM_PER_MS` (about 2/3 of *c*, i.e.
+200 km/ms):
+
+* *Geographic inflation* (Eq. 1) converts extra great-circle kilometres to
+  milliseconds at the full fiber rate: ``2 d / c_f`` — 1000 km of detour is
+  10 ms of RTT.
+* *Latency inflation* (Eq. 2) lower-bounds achievable RTT by
+  ``3 d / c_f`` following Katz-Bassett et al.: real paths rarely beat
+  two-thirds of the fiber propagation speed end to end, because fiber does
+  not follow great circles and equipment adds delay.
+
+Real measured paths additionally pay a per-AS-hop forwarding/queueing
+penalty and multiplicative stretch because physical routes are not
+geodesics; :func:`path_rtt_ms` models a measured RTT along an AS-level
+path expressed as a list of geographic waypoints.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from .coords import GeoPoint
+
+__all__ = [
+    "SPEED_OF_LIGHT_FIBER_KM_PER_MS",
+    "geographic_rtt_ms",
+    "optimal_rtt_ms",
+    "km_to_inflation_ms",
+    "path_rtt_ms",
+]
+
+#: Speed of light in fiber: ~200 km per millisecond (2e8 m/s).
+SPEED_OF_LIGHT_FIBER_KM_PER_MS = 200.0
+
+#: Fixed per-AS-hop processing/queueing cost for a round trip, ms.
+DEFAULT_HOP_RTT_COST_MS = 1.0
+
+#: Multiplicative stretch of physical fiber routes over great circles.
+DEFAULT_PATH_STRETCH = 1.2
+
+
+def geographic_rtt_ms(distance_km: float) -> float:
+    """RTT of a perfect great-circle fiber path: ``2 d / c_f`` (Eq. 1 units)."""
+    return 2.0 * distance_km / SPEED_OF_LIGHT_FIBER_KM_PER_MS
+
+
+def optimal_rtt_ms(distance_km: float) -> float:
+    """Paper's lower bound on achievable RTT: ``3 d / c_f`` (Eq. 2).
+
+    Routes rarely achieve latency below the great-circle distance divided
+    by ``2 c_f / 3`` one way, i.e. ``3 d / c_f`` round trip.
+    """
+    return 3.0 * distance_km / SPEED_OF_LIGHT_FIBER_KM_PER_MS
+
+
+def km_to_inflation_ms(extra_km: float) -> float:
+    """Convert extra great-circle kilometres to geographic-inflation ms."""
+    return geographic_rtt_ms(extra_km)
+
+
+def path_rtt_ms(
+    waypoints: Sequence[GeoPoint],
+    rng: np.random.Generator | None = None,
+    stretch: float = DEFAULT_PATH_STRETCH,
+    hop_cost_ms: float = DEFAULT_HOP_RTT_COST_MS,
+    jitter_frac: float = 0.05,
+) -> float:
+    """Simulated measured RTT along a path through geographic waypoints.
+
+    ``waypoints`` is the sequence of locations the traffic traverses at the
+    AS level (client, each intermediate AS's chosen PoP, destination).  The
+    RTT is the summed great-circle legs at the Eq. 2 achievable rate
+    (``3 d / c_f``) scaled by ``stretch`` for non-geodesic fiber, plus a
+    per-hop cost, plus (optionally) multiplicative noise.
+    """
+    if len(waypoints) < 2:
+        raise ValueError("a path needs at least two waypoints")
+    total_km = 0.0
+    previous = waypoints[0]
+    for point in waypoints[1:]:
+        total_km += previous.distance_km(point)
+        previous = point
+    rtt = optimal_rtt_ms(total_km) * stretch + hop_cost_ms * (len(waypoints) - 1)
+    if rng is not None and jitter_frac > 0.0:
+        rtt *= float(rng.lognormal(mean=0.0, sigma=jitter_frac))
+    return rtt

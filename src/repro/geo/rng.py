@@ -1,0 +1,41 @@
+"""Deterministic random-number utilities.
+
+Every stochastic component of the simulator draws from a
+:class:`numpy.random.Generator` seeded through this module, so a scenario
+built twice from the same root seed is bit-identical.  Seeds for subsystems
+are derived from the root seed plus a human-readable label, which keeps the
+streams independent and makes it possible to regenerate any single
+subsystem in isolation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+__all__ = ["derive_seed", "make_rng", "spawn"]
+
+_MASK64 = (1 << 64) - 1
+
+
+def derive_seed(root_seed: int, label: str) -> int:
+    """Derive a stable 64-bit seed from ``root_seed`` and a label.
+
+    Uses BLAKE2b rather than :func:`hash` because the latter is salted per
+    process and would destroy reproducibility across runs.
+    """
+    digest = hashlib.blake2b(
+        f"{root_seed}:{label}".encode("utf-8"), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "little") & _MASK64
+
+
+def make_rng(root_seed: int, label: str) -> np.random.Generator:
+    """Create a generator seeded from ``root_seed`` and ``label``."""
+    return np.random.default_rng(derive_seed(root_seed, label))
+
+
+def spawn(rng: np.random.Generator, count: int) -> list[np.random.Generator]:
+    """Split ``rng`` into ``count`` independent child generators."""
+    return [np.random.default_rng(s) for s in rng.integers(0, _MASK64, size=count, dtype=np.uint64)]

@@ -1,0 +1,29 @@
+"""Measurement substrate: Atlas-like probes, CDN telemetry, geolocation."""
+
+from .atlas import AtlasPlatform, Probe, Traceroute
+from .clientside import (
+    ClientMeasurementRow,
+    ClientSideMeasurements,
+    collect_client_measurements,
+)
+from .geoloc import Geolocator
+from .serverlogs import (
+    ServerLogRow,
+    ServerSideLogs,
+    collect_biased_server_logs,
+    collect_server_logs,
+)
+
+__all__ = [
+    "AtlasPlatform",
+    "Probe",
+    "Traceroute",
+    "ClientMeasurementRow",
+    "ClientSideMeasurements",
+    "collect_client_measurements",
+    "Geolocator",
+    "ServerLogRow",
+    "ServerSideLogs",
+    "collect_biased_server_logs",
+    "collect_server_logs",
+]

@@ -1,0 +1,165 @@
+"""RIPE-Atlas-like measurement platform.
+
+The paper uses Atlas for three things we reproduce: pings to CDN rings
+(Fig. 4a, since absolute CDN latencies are proprietary), pings to root
+letters (Fig. 7a's letter latencies), and traceroutes for AS-path-length
+analysis (Fig. 6).  It also stresses that Atlas coverage is *not
+representative* — probes concentrate in well-connected (especially
+European) networks — so probe selection here is biased the same way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..anycast.deployment import Deployment
+from ..geo import make_rng
+from ..topology import ASKind, GeneratedInternet
+
+__all__ = ["Probe", "Traceroute", "AtlasPlatform"]
+
+#: Hop markers a real traceroute contains beyond resolvable router IPs.
+_HOP_KINDS = ("as", "ixp", "private", "star")
+
+
+@dataclass(frozen=True, slots=True)
+class Probe:
+    """One measurement vantage point."""
+
+    probe_id: int
+    asn: int
+    region_id: int
+
+
+@dataclass(frozen=True, slots=True)
+class Hop:
+    """One traceroute hop after IP→AS mapping."""
+
+    kind: str            # "as" | "ixp" | "private" | "star"
+    asn: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in _HOP_KINDS:
+            raise ValueError(f"unknown hop kind {self.kind!r}")
+        if (self.kind == "as") != (self.asn is not None):
+            raise ValueError("asn must be set exactly for 'as' hops")
+
+
+@dataclass(frozen=True, slots=True)
+class Traceroute:
+    """A traceroute from a probe toward an anycast destination."""
+
+    probe: Probe
+    destination: str
+    hops: tuple[Hop, ...]
+
+    def as_sequence(self) -> list[int]:
+        """AS-level path after dropping IXP/private/unresponsive hops and
+        collapsing consecutive duplicates (the Fig. 6a cleaning steps)."""
+        sequence: list[int] = []
+        for hop in self.hops:
+            if hop.kind != "as":
+                continue
+            if not sequence or sequence[-1] != hop.asn:
+                sequence.append(hop.asn)
+        return sequence
+
+
+class AtlasPlatform:
+    """A biased probe set supporting ping and traceroute."""
+
+    def __init__(
+        self,
+        internet: GeneratedInternet,
+        n_probes: int = 1000,
+        europe_bias: float = 3.0,
+        openness_bias: float = 2.0,
+        seed: int = 0,
+    ):
+        if n_probes < 1:
+            raise ValueError("need at least one probe")
+        self.internet = internet
+        rng = make_rng(seed, "atlas")
+        self._rng = rng
+        topology = internet.topology
+        world = internet.world
+        eyeballs = topology.ases_of_kind(ASKind.EYEBALL)
+        weights = np.array(
+            [
+                (topology.node(asn).openness ** openness_bias)
+                * (
+                    europe_bias
+                    if world.region(topology.node(asn).home_region).continent == "Europe"
+                    else 1.0
+                )
+                for asn in eyeballs
+            ]
+        )
+        weights = weights / weights.sum()
+        # Hosts volunteer probes: an AS can host more than one.
+        chosen = rng.choice(len(eyeballs), size=n_probes, replace=True, p=weights)
+        self.probes = [
+            Probe(
+                probe_id=i,
+                asn=int(eyeballs[c]),
+                region_id=topology.node(int(eyeballs[c])).home_region,
+            )
+            for i, c in enumerate(chosen)
+        ]
+
+    def asns(self) -> set[int]:
+        return {probe.asn for probe in self.probes}
+
+    # -- ping ---------------------------------------------------------------
+    def ping(
+        self, deployment: Deployment, attempts: int = 3
+    ) -> dict[int, list[float]]:
+        """RTT samples per probe id (empty list when unreachable)."""
+        results: dict[int, list[float]] = {}
+        for probe in self.probes:
+            flow = deployment.resolve(probe.asn, probe.region_id)
+            if flow is None:
+                results[probe.probe_id] = []
+                continue
+            results[probe.probe_id] = [
+                flow.measured_rtt_ms(self._rng) for _ in range(attempts)
+            ]
+        return results
+
+    def median_rtts(self, deployment: Deployment, attempts: int = 3) -> list[float]:
+        """Per-probe median RTT, reachable probes only."""
+        return [
+            float(np.median(samples))
+            for samples in self.ping(deployment, attempts).values()
+            if samples
+        ]
+
+    # -- traceroute -----------------------------------------------------------
+    def traceroute(self, deployment: Deployment, probe: Probe) -> Traceroute | None:
+        """AS-path traceroute with realistic noise hops."""
+        flow = deployment.resolve(probe.asn, probe.region_id)
+        if flow is None:
+            return None
+        rng = self._rng
+        hops: list[Hop] = []
+        for asn in flow.as_path:
+            # A traversed AS shows up as one or more router hops.
+            for _ in range(int(rng.integers(1, 4))):
+                hops.append(Hop("as", asn))
+            if rng.uniform() < 0.15:
+                hops.append(Hop("ixp"))       # IXP LAN address
+            if rng.uniform() < 0.08:
+                hops.append(Hop("private"))   # RFC1918 router address
+            if rng.uniform() < 0.05:
+                hops.append(Hop("star"))      # unresponsive hop
+        return Traceroute(probe=probe, destination=deployment.name, hops=tuple(hops))
+
+    def traceroute_all(self, deployment: Deployment) -> list[Traceroute]:
+        routes = []
+        for probe in self.probes:
+            route = self.traceroute(deployment, probe)
+            if route is not None:
+                routes.append(route)
+        return routes

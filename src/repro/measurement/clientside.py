@@ -1,0 +1,85 @@
+"""Client-side CDN measurements (Odin-style, §2.2).
+
+Clients fetch a small image over HTTP from *every* ring, so the user
+population is held fixed across rings (removing per-service footprint
+bias).  The client does not know which front-end it hit — only the fetch
+latency — which is exactly the data Fig. 4b's ring-transition analysis
+uses.  DNS and TCP-connect time are factored out, leaving roughly one
+RTT plus server turnaround.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..anycast.builders import CdnSystem
+from ..geo import make_rng
+from ..users.population import UserBase
+
+__all__ = ["ClientMeasurementRow", "ClientSideMeasurements", "collect_client_measurements"]
+
+
+@dataclass(frozen=True, slots=True)
+class ClientMeasurementRow:
+    """Median fetch latency for one ⟨region, AS⟩ location to one ring."""
+
+    region_id: int
+    asn: int
+    ring: str
+    users: int
+    median_fetch_ms: float
+    samples: int
+
+
+@dataclass(slots=True)
+class ClientSideMeasurements:
+    """All client-side rows, with per-location ring comparisons."""
+
+    rows: list[ClientMeasurementRow]
+
+    def for_ring(self, ring: str) -> list[ClientMeasurementRow]:
+        return [row for row in self.rows if row.ring == ring]
+
+    def by_location(self) -> dict[tuple[int, int], dict[str, ClientMeasurementRow]]:
+        """{(region, asn): {ring: row}} — the Fig. 4b join."""
+        table: dict[tuple[int, int], dict[str, ClientMeasurementRow]] = {}
+        for row in self.rows:
+            table.setdefault((row.region_id, row.asn), {})[row.ring] = row
+        return table
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+def collect_client_measurements(
+    cdn: CdnSystem,
+    user_base: UserBase,
+    samples_per_location: int = 16,
+    server_turnaround_ms: float = 1.5,
+    seed: int = 0,
+) -> ClientSideMeasurements:
+    """Instruct clients in every location to measure every ring."""
+    rng = make_rng(seed, "clientside")
+    rows: list[ClientMeasurementRow] = []
+    for location in user_base:
+        for ring_name, ring in cdn.rings.items():
+            flow = ring.resolve(location.asn, location.region_id)
+            if flow is None:
+                continue
+            samples = [
+                flow.measured_rtt_ms(rng) + server_turnaround_ms
+                for _ in range(samples_per_location)
+            ]
+            rows.append(
+                ClientMeasurementRow(
+                    region_id=location.region_id,
+                    asn=location.asn,
+                    ring=ring_name,
+                    users=location.users,
+                    median_fetch_ms=float(np.median(samples)),
+                    samples=samples_per_location,
+                )
+            )
+    return ClientSideMeasurements(rows=rows)

@@ -1,0 +1,104 @@
+"""ASN registry and address-space allocation.
+
+Each autonomous system in the synthetic Internet owns one or more IPv4
+blocks.  The :class:`AddressPlan` hands out non-overlapping /16 blocks
+from public space and answers reverse lookups (which AS owns this
+address), which is the substrate for the Team-Cymru-style mapping service
+in :mod:`repro.net.mapping`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .addr import Prefix, ip_to_str
+
+__all__ = ["AddressPlan", "AsnRecord"]
+
+# Allocation starts here to stay clear of the special-purpose ranges in
+# addr.PRIVATE_PREFIXES (we allocate from 11/8 upward, skipping 100/8,
+# 127/8, 169/8, 172/8 and 192/8 entirely for simplicity).
+_SKIPPED_FIRST_OCTETS = frozenset({10, 100, 127, 169, 172, 192})
+
+
+@dataclass(slots=True)
+class AsnRecord:
+    """Registry entry for one AS."""
+
+    asn: int
+    name: str
+    prefixes: list[Prefix] = field(default_factory=list)
+
+
+class AddressPlan:
+    """Allocates /16 blocks to ASNs and answers IP→ASN lookups."""
+
+    def __init__(self) -> None:
+        self._records: dict[int, AsnRecord] = {}
+        self._by_slash16: dict[int, int] = {}
+        self._next_slash16 = 11 << 8  # 11.0.0.0/16
+
+    def register(self, asn: int, name: str) -> AsnRecord:
+        """Register an AS; idempotent for an existing ASN with same name."""
+        record = self._records.get(asn)
+        if record is not None:
+            return record
+        record = AsnRecord(asn=asn, name=name)
+        self._records[asn] = record
+        return record
+
+    def allocate_slash16(self, asn: int) -> Prefix:
+        """Allocate the next free /16 to ``asn`` (must be registered)."""
+        record = self._records.get(asn)
+        if record is None:
+            raise KeyError(f"AS{asn} is not registered")
+        while (self._next_slash16 >> 8) in _SKIPPED_FIRST_OCTETS:
+            self._next_slash16 = ((self._next_slash16 >> 8) + 1) << 8
+        if self._next_slash16 > 0xFFFF:
+            raise RuntimeError("address plan exhausted IPv4 /16 space")
+        prefix = Prefix(self._next_slash16 << 16, 16)
+        self._by_slash16[self._next_slash16] = asn
+        self._next_slash16 += 1
+        record.prefixes.append(prefix)
+        return prefix
+
+    def asn_of(self, ip: int) -> int | None:
+        """The AS that owns ``ip``, or ``None`` if unallocated."""
+        return self._by_slash16.get(ip >> 16)
+
+    def record(self, asn: int) -> AsnRecord:
+        return self._records[asn]
+
+    def __contains__(self, asn: int) -> bool:
+        return asn in self._records
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def describe(self, asn: int) -> str:
+        record = self._records[asn]
+        blocks = ", ".join(str(p) for p in record.prefixes) or "no space"
+        return f"AS{asn} ({record.name}): {blocks}"
+
+    def all_asns(self) -> list[int]:
+        return sorted(self._records)
+
+    def first_address(self, asn: int) -> int:
+        """A representative address inside the AS's first block."""
+        record = self._records[asn]
+        if not record.prefixes:
+            raise ValueError(f"AS{asn} has no address space")
+        return record.prefixes[0].nth(1)
+
+    def address_in(self, asn: int, index: int) -> int:
+        """The ``index``-th address of the AS's space, spanning blocks."""
+        record = self._records[asn]
+        remaining = index
+        for prefix in record.prefixes:
+            if remaining < prefix.size:
+                return prefix.nth(remaining)
+            remaining -= prefix.size
+        raise IndexError(
+            f"AS{asn} owns fewer than {index + 1} addresses "
+            f"(first block {ip_to_str(record.prefixes[0].network) if record.prefixes else 'none'})"
+        )

@@ -1,0 +1,55 @@
+"""IP→ASN mapping service (Team Cymru stand-in).
+
+The paper maps DITL source addresses to origin ASes with the Team Cymru
+service and succeeds for 99.4% of addresses (98.6% of query volume).  Our
+stand-in wraps the ground-truth :class:`~repro.net.asn.AddressPlan` with a
+configurable miss rate to model unannounced or stale space, so the
+pipeline exercises the "unmappable address" code path.
+"""
+
+from __future__ import annotations
+
+from .addr import is_private
+from .asn import AddressPlan
+
+__all__ = ["IpToAsnMapper"]
+
+
+class IpToAsnMapper:
+    """Imperfect IP→ASN lookup over ground-truth allocations.
+
+    A deterministic per-/24 hash decides which addresses fall in the
+    mapper's blind spot, so repeated lookups are consistent (a real BGP
+    table is stable over an analysis run) while roughly ``miss_rate`` of
+    /24s remain unmappable.
+    """
+
+    def __init__(self, plan: AddressPlan, miss_rate: float = 0.006, seed: int = 0) -> None:
+        if not 0.0 <= miss_rate < 1.0:
+            raise ValueError(f"miss_rate out of range: {miss_rate}")
+        self._plan = plan
+        self._miss_rate = miss_rate
+        self._seed = seed
+
+    def _is_blind(self, slash24: int) -> bool:
+        if self._miss_rate == 0.0:
+            return False
+        # SplitMix64-style scramble of the /24 key; cheap and stateless.
+        mask = (1 << 64) - 1
+        z = ((slash24 + self._seed) * 0x9E3779B97F4A7C15) & mask
+        z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & mask
+        z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & mask
+        z ^= z >> 31
+        return z / float(1 << 64) < self._miss_rate
+
+    def lookup(self, ip: int) -> int | None:
+        """Origin ASN for ``ip``, or ``None`` for private/unmapped space."""
+        if is_private(ip):
+            return None
+        if self._is_blind(ip >> 8):
+            return None
+        return self._plan.asn_of(ip)
+
+    def lookup_slash24(self, slash24: int) -> int | None:
+        """Origin ASN for a /24 key."""
+        return self.lookup(slash24 << 8)

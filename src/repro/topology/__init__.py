@@ -1,0 +1,18 @@
+"""AS-level topology substrate."""
+
+from .generator import GeneratedInternet, TopologyParams, build_internet
+from .graph import AsNode, Topology
+from .kinds import ASKind, Relationship, flip
+from .orgs import OrgTable
+
+__all__ = [
+    "GeneratedInternet",
+    "TopologyParams",
+    "build_internet",
+    "AsNode",
+    "Topology",
+    "ASKind",
+    "Relationship",
+    "flip",
+    "OrgTable",
+]

@@ -1,0 +1,145 @@
+"""AS-level topology container.
+
+Holds the AS nodes, their PoP footprints (region ids into the
+:class:`~repro.users.world.World`), and the relationship-labelled
+adjacency used by the BGP simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from typing import TYPE_CHECKING
+
+from ..geo import GeoPoint
+from .kinds import ASKind, Relationship, flip
+
+if TYPE_CHECKING:  # avoid a users↔topology import cycle at runtime
+    from ..users.world import World
+
+__all__ = ["AsNode", "Topology"]
+
+
+@dataclass(slots=True)
+class AsNode:
+    """One autonomous system."""
+
+    asn: int
+    kind: ASKind
+    name: str
+    region_ids: tuple[int, ...]
+    openness: float = 0.5
+    org_id: int | None = None
+
+    @property
+    def home_region(self) -> int:
+        """Primary PoP region (first in the footprint)."""
+        return self.region_ids[0]
+
+    def nearest_pop(self, point: GeoPoint, world: World) -> int:
+        """Region id of this AS's PoP nearest to ``point`` (early exit)."""
+        best_region = self.region_ids[0]
+        best_km = world.region(best_region).location.distance_km(point)
+        for region_id in self.region_ids[1:]:
+            km = world.region(region_id).location.distance_km(point)
+            if km < best_km:
+                best_km = km
+                best_region = region_id
+        return best_region
+
+
+class Topology:
+    """Mutable AS graph over a :class:`World`."""
+
+    def __init__(self, world: World) -> None:
+        self.world = world
+        self.nodes: dict[int, AsNode] = {}
+        self._adj: dict[int, list[tuple[int, Relationship]]] = {}
+        self._presence: dict[int, list[int]] = {}  # region -> ASNs with a PoP there
+
+    # -- construction -----------------------------------------------------
+    def add_as(self, node: AsNode) -> AsNode:
+        if node.asn in self.nodes:
+            raise ValueError(f"AS{node.asn} already exists")
+        if not node.region_ids:
+            raise ValueError(f"AS{node.asn} has no PoP footprint")
+        self.nodes[node.asn] = node
+        self._adj[node.asn] = []
+        for region_id in node.region_ids:
+            self._presence.setdefault(region_id, []).append(node.asn)
+        return node
+
+    def add_link(self, a: int, b: int, rel_of_b_to_a: Relationship) -> None:
+        """Add a link; ``rel_of_b_to_a`` is b's role from a's perspective.
+
+        ``add_link(x, y, Relationship.PROVIDER)`` means *y provides transit
+        to x*.  Duplicate links are ignored (first relationship wins), so
+        generators may propose the same IXP peering twice.
+        """
+        if a == b:
+            raise ValueError("self-links are not allowed")
+        if a not in self.nodes or b not in self.nodes:
+            raise KeyError(f"both endpoints must exist: {a}, {b}")
+        if self.relationship(a, b) is not None:
+            return
+        self._adj[a].append((b, rel_of_b_to_a))
+        self._adj[b].append((a, flip(rel_of_b_to_a)))
+
+    # -- queries ----------------------------------------------------------
+    def neighbors(self, asn: int) -> list[tuple[int, Relationship]]:
+        """Neighbors of ``asn`` as ``(neighbor, neighbor's role)`` pairs."""
+        return self._adj[asn]
+
+    def relationship(self, a: int, b: int) -> Relationship | None:
+        """b's role from a's perspective, or None if not adjacent."""
+        for neighbor, rel in self._adj.get(a, ()):
+            if neighbor == b:
+                return rel
+        return None
+
+    def customers_of(self, asn: int) -> list[int]:
+        return [n for n, rel in self._adj[asn] if rel is Relationship.CUSTOMER]
+
+    def providers_of(self, asn: int) -> list[int]:
+        return [n for n, rel in self._adj[asn] if rel is Relationship.PROVIDER]
+
+    def peers_of(self, asn: int) -> list[int]:
+        return [n for n, rel in self._adj[asn] if rel is Relationship.PEER]
+
+    def ases_in_region(self, region_id: int) -> list[int]:
+        return list(self._presence.get(region_id, ()))
+
+    def ases_of_kind(self, kind: ASKind) -> list[int]:
+        return [asn for asn, node in self.nodes.items() if node.kind is kind]
+
+    def node(self, asn: int) -> AsNode:
+        return self.nodes[asn]
+
+    def __contains__(self, asn: int) -> bool:
+        return asn in self.nodes
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def edge_count(self) -> int:
+        return sum(len(neighbors) for neighbors in self._adj.values()) // 2
+
+    def location_of(self, asn: int) -> GeoPoint:
+        """Primary (home-PoP) location of an AS."""
+        return self.world.region(self.nodes[asn].home_region).location
+
+    def transits_in_region(self, region_id: int) -> list[int]:
+        """Transit or tier-1 ASes with a PoP in ``region_id``."""
+        return [
+            asn
+            for asn in self.ases_in_region(region_id)
+            if self.nodes[asn].kind in (ASKind.TRANSIT, ASKind.TIER1)
+        ]
+
+    def validate(self) -> None:
+        """Sanity checks: every non-tier-1 AS must have a path to transit."""
+        for asn, node in self.nodes.items():
+            if node.kind is ASKind.TIER1:
+                continue
+            if not self.providers_of(asn) and not self.peers_of(asn):
+                raise ValueError(f"AS{asn} ({node.kind.value}) is disconnected")

@@ -1,0 +1,39 @@
+"""AS kinds and business relationships."""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["ASKind", "Relationship", "flip"]
+
+
+class ASKind(enum.Enum):
+    """Role of an AS in the synthetic Internet hierarchy."""
+
+    TIER1 = "tier1"          # global transit-free backbone
+    TRANSIT = "transit"      # regional/continental transit provider
+    EYEBALL = "eyeball"      # access network originating user traffic
+    CLOUD = "cloud"          # globally present cloud / public-DNS operator
+    ANYCAST = "anycast"      # origin AS of an anycast deployment
+
+
+class Relationship(enum.Enum):
+    """Gao–Rexford relationship of a neighbor, from *my* perspective."""
+
+    CUSTOMER = "customer"    # the neighbor pays me
+    PROVIDER = "provider"    # I pay the neighbor
+    PEER = "peer"            # settlement-free
+
+    @property
+    def is_transit_for_me(self) -> bool:
+        """Whether the neighbor gives me full routes (providers do)."""
+        return self is Relationship.PROVIDER
+
+
+def flip(rel: Relationship) -> Relationship:
+    """The same link seen from the other endpoint."""
+    if rel is Relationship.CUSTOMER:
+        return Relationship.PROVIDER
+    if rel is Relationship.PROVIDER:
+        return Relationship.CUSTOMER
+    return Relationship.PEER

@@ -1,0 +1,53 @@
+"""AS-to-organization mapping (CAIDA AS2Org stand-in).
+
+The paper merges sibling ASes into one organization before computing AS
+path lengths (Fig. 6).  The generator occasionally gives a transit
+provider a sibling ASN; this table records the grouping and supports the
+merge operation used by the path-length analysis.
+"""
+
+from __future__ import annotations
+
+__all__ = ["OrgTable"]
+
+
+class OrgTable:
+    """Maps ASNs to organization ids and merges siblings in AS paths."""
+
+    def __init__(self) -> None:
+        self._org_of: dict[int, int] = {}
+        self._members: dict[int, list[int]] = {}
+
+    def assign(self, asn: int, org_id: int) -> None:
+        previous = self._org_of.get(asn)
+        if previous is not None and previous != org_id:
+            raise ValueError(f"AS{asn} already in org {previous}")
+        self._org_of[asn] = org_id
+        members = self._members.setdefault(org_id, [])
+        if asn not in members:
+            members.append(asn)
+
+    def org_of(self, asn: int) -> int:
+        """Organization id of ``asn`` (every AS defaults to its own org)."""
+        return self._org_of.get(asn, asn)
+
+    def siblings(self, asn: int) -> list[int]:
+        return list(self._members.get(self.org_of(asn), [asn]))
+
+    def merge_path(self, path: list[int]) -> list[int]:
+        """Collapse consecutive same-organization hops in an AS path.
+
+        ``[A, B1, B2, C]`` with B1/B2 siblings becomes ``[A, B1, C]`` —
+        the paper counts organizations traversed, not raw ASNs.
+        """
+        merged: list[int] = []
+        previous_org: int | None = None
+        for asn in path:
+            org = self.org_of(asn)
+            if org != previous_org:
+                merged.append(asn)
+                previous_org = org
+        return merged
+
+    def __len__(self) -> int:
+        return len(self._members)

@@ -1,0 +1,24 @@
+"""User substrate: synthetic world, populations, recursives, user counts."""
+
+from .counts import ApnicUserCounts, CdnUserCounts, build_apnic_counts, build_cdn_counts
+from .population import UserBase, UserLocation, build_user_base
+from .recursives import RecursiveCluster, RecursivePopulation, build_recursives
+from .world import CONTINENTS, Continent, Region, World, build_world
+
+__all__ = [
+    "ApnicUserCounts",
+    "CdnUserCounts",
+    "build_apnic_counts",
+    "build_cdn_counts",
+    "UserBase",
+    "UserLocation",
+    "build_user_base",
+    "RecursiveCluster",
+    "RecursivePopulation",
+    "build_recursives",
+    "CONTINENTS",
+    "Continent",
+    "Region",
+    "World",
+    "build_world",
+]

@@ -1,0 +1,113 @@
+"""User populations at ⟨region, AS⟩ granularity.
+
+The paper locates users at ⟨region, AS⟩ (users in one location are routed
+together and see similar latency).  We distribute each region's Internet
+population across the eyeball ASes present there, and record what share
+of each location's users resolve DNS through a public (cloud) resolver
+rather than their ISP's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..geo import make_rng
+from ..topology import ASKind, GeneratedInternet
+
+__all__ = ["UserLocation", "UserBase", "build_user_base"]
+
+
+@dataclass(frozen=True, slots=True)
+class UserLocation:
+    """Users of one AS in one region."""
+
+    region_id: int
+    asn: int
+    users: int
+    public_dns_share: float
+
+    @property
+    def isp_dns_users(self) -> int:
+        return self.users - self.public_dns_users
+
+    @property
+    def public_dns_users(self) -> int:
+        return int(round(self.users * self.public_dns_share))
+
+
+class UserBase:
+    """All user locations plus per-AS aggregates."""
+
+    def __init__(self, locations: list[UserLocation]):
+        if not locations:
+            raise ValueError("user base is empty")
+        self.locations = locations
+        self._users_by_asn: dict[int, int] = {}
+        self._locations_by_region: dict[int, list[UserLocation]] = {}
+        for location in locations:
+            self._users_by_asn[location.asn] = (
+                self._users_by_asn.get(location.asn, 0) + location.users
+            )
+            self._locations_by_region.setdefault(location.region_id, []).append(location)
+
+    def users_of_asn(self, asn: int) -> int:
+        return self._users_by_asn.get(asn, 0)
+
+    def asns(self) -> list[int]:
+        return sorted(self._users_by_asn)
+
+    def in_region(self, region_id: int) -> list[UserLocation]:
+        return self._locations_by_region.get(region_id, [])
+
+    @property
+    def total_users(self) -> int:
+        return sum(location.users for location in self.locations)
+
+    def __len__(self) -> int:
+        return len(self.locations)
+
+    def __iter__(self):
+        return iter(self.locations)
+
+
+def build_user_base(
+    internet: GeneratedInternet,
+    seed: int = 0,
+    mean_public_dns_share: float = 0.15,
+) -> UserBase:
+    """Distribute region populations over collocated eyeball ASes.
+
+    Shares within a region are Dirichlet-distributed (a dominant incumbent
+    plus smaller competitors).  The public-DNS share per location is a
+    Beta draw around ``mean_public_dns_share``.
+    """
+    rng = make_rng(seed, "userbase")
+    topology = internet.topology
+    world = internet.world
+    locations: list[UserLocation] = []
+    beta_a = 2.0
+    beta_b = beta_a * (1.0 - mean_public_dns_share) / max(1e-6, mean_public_dns_share)
+    for region in world.regions:
+        eyeballs = [
+            asn
+            for asn in topology.ases_in_region(region.region_id)
+            if topology.node(asn).kind is ASKind.EYEBALL
+        ]
+        if not eyeballs:
+            continue
+        shares = rng.dirichlet(np.full(len(eyeballs), 0.8))
+        for asn, share in zip(eyeballs, shares):
+            users = int(round(region.population * share))
+            if users <= 0:
+                continue
+            locations.append(
+                UserLocation(
+                    region_id=region.region_id,
+                    asn=asn,
+                    users=users,
+                    public_dns_share=float(rng.beta(beta_a, beta_b)),
+                )
+            )
+    return UserBase(locations)

@@ -1,0 +1,247 @@
+"""Recursive resolver clusters.
+
+DITL sees *recursive resolvers*, not users.  The paper joins DITL query
+volumes with Microsoft user counts at the /24 level because large
+operators run many collocated resolver instances inside one /24 (§2.1,
+Appendix B.2): the IPs that query the roots (backends) and the IPs users
+are observed behind (egress) overlap imperfectly inside the same block.
+
+We model each resolver population as a :class:`RecursiveCluster` — one
+/24 owning distinct backend and egress IP sets — serving either an ISP's
+local users or, for cloud operators, users aggregated from many regions.
+
+The volume model is shaped by the paper's findings:
+
+* legitimate root queries run a couple of orders of magnitude above the
+  once-per-TTL ideal (``cache_inefficiency``: shards + churn), with a
+  heavy tail from resolvers carrying the redundant-query bug — these
+  tail /24s dominate *valid* DITL volume while representing few users
+  (Fig. 3's tail out to 1000 queries/user/day);
+* junk (invalid-TLD + Chromium) scales with *users*, not with cache
+  quality, so it is concentrated at high-user /24s — which is why
+  re-adding junk shifts Fig. 8's user-weighted median ~20×;
+* some resolvers are pure *forwarders*: their users appear in CDN
+  counts, but they never query the roots themselves (one reason the two
+  datasets overlap imperfectly, Table 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..geo import make_rng
+from ..topology import ASKind, GeneratedInternet
+from .population import UserBase
+
+__all__ = ["RecursiveCluster", "RecursivePopulation", "build_recursives"]
+
+#: Resolver software mix: (name, probability, redundant-query bug).
+_SOFTWARE_MIX = (
+    ("bind", 0.48, False),
+    ("bind-buggy", 0.10, True),
+    ("unbound", 0.24, False),
+    ("knot", 0.10, False),
+    ("custom", 0.08, False),
+)
+
+
+@dataclass(slots=True)
+class RecursiveCluster:
+    """One resolver /24: users served, IPs, cache character."""
+
+    cluster_id: int
+    slash24: int
+    asn: int
+    region_id: int
+    users: int
+    backend_ips: tuple[int, ...]
+    egress_ips: tuple[int, ...]
+    software: str
+    has_redundant_bug: bool
+    #: Multiplier over ideal once-per-TTL querying (shards, evictions,
+    #: refreshes, bugs) — why Fig. 3's reality sits orders of magnitude
+    #: above its Ideal line, with a heavy buggy tail.
+    cache_inefficiency: float
+    #: Daily invalid-TLD/Chromium queries *per user* (junk follows user
+    #: populations, not cache quality).
+    junk_per_user_daily: float
+    #: Daily PTR queries per user.
+    ptr_per_user_daily: float
+    is_public_dns: bool = False
+    #: Forwarders never query the roots; they are visible to the CDN's
+    #: user counting but absent from DITL.
+    captured_in_ditl: bool = True
+    #: Root-measurement/scanner sources: valid queries, no users.
+    is_automated: bool = False
+
+    def __post_init__(self) -> None:
+        if self.users < 0:
+            raise ValueError("negative users")
+        if not self.backend_ips:
+            raise ValueError("cluster needs at least one backend IP")
+
+
+@dataclass(slots=True)
+class RecursivePopulation:
+    """All clusters, with lookup helpers."""
+
+    clusters: list[RecursiveCluster] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.clusters)
+
+    def __iter__(self):
+        return iter(self.clusters)
+
+    def by_slash24(self) -> dict[int, RecursiveCluster]:
+        return {cluster.slash24: cluster for cluster in self.clusters}
+
+    @property
+    def total_users(self) -> int:
+        return sum(cluster.users for cluster in self.clusters)
+
+    def public_dns_clusters(self) -> list[RecursiveCluster]:
+        return [cluster for cluster in self.clusters if cluster.is_public_dns]
+
+    def captured_clusters(self) -> list[RecursiveCluster]:
+        return [cluster for cluster in self.clusters if cluster.captured_in_ditl]
+
+
+def _pick_software(rng: np.random.Generator) -> tuple[str, bool]:
+    roll = rng.uniform()
+    cumulative = 0.0
+    for name, probability, buggy in _SOFTWARE_MIX:
+        cumulative += probability
+        if roll < cumulative:
+            return name, buggy
+    return _SOFTWARE_MIX[-1][0], _SOFTWARE_MIX[-1][2]
+
+
+def _cache_inefficiency(users: int, buggy: bool, rng: np.random.Generator) -> float:
+    """Ratio of actual to once-per-TTL root queries.
+
+    Grows with population (more shards/instances, each with its own
+    cache), has a lognormal spread, and a large extra factor for
+    resolvers with the redundant-query bug (Appendix E) — the buggy tail
+    is what dominates valid DITL volume.
+    """
+    shards = max(1.0, users / 1_300.0)
+    base = shards * float(rng.lognormal(mean=1.0, sigma=0.8))
+    if buggy:
+        base *= float(np.clip(rng.lognormal(mean=np.log(30.0), sigma=1.0), 5.0, 2_000.0))
+    return max(1.0, base)
+
+
+def build_recursives(
+    internet: GeneratedInternet,
+    user_base: UserBase,
+    seed: int = 0,
+    clusters_per_location_mean: float = 1.6,
+    forwarder_prob: float = 0.20,
+    automated_fraction: float = 0.45,
+    backend_egress_overlap: float = 0.05,
+) -> RecursivePopulation:
+    """Create resolver clusters for ISP users, public DNS, and scanners.
+
+    ``automated_fraction`` adds that many extra clusters (relative to the
+    user-serving count) of automated root-querying sources — monitors,
+    crawlers, misconfigured servers — which have valid query volume but
+    no users, and therefore appear in DITL but never in CDN counts.
+    """
+    rng = make_rng(seed, "recursives")
+    plan = internet.plan
+    topology = internet.topology
+    clusters: list[RecursiveCluster] = []
+    next_slash24_index: dict[int, int] = {}
+    cluster_id = 0
+
+    def make_cluster(
+        asn: int, region_id: int, users: int, public: bool, automated: bool = False
+    ) -> None:
+        nonlocal cluster_id
+        index = next_slash24_index.get(asn, 8)  # leave low /24s for users
+        next_slash24_index[asn] = index + 1
+        try:
+            base_ip = plan.address_in(asn, index * 256)
+        except IndexError:
+            return  # AS out of address space; drop the cluster
+        slash24 = base_ip >> 8
+        n_backend = int(np.clip(rng.poisson(2 + users / 20_000), 1, 120))
+        n_egress = int(np.clip(rng.poisson(2 + users / 25_000), 1, 120))
+        offsets = rng.choice(254, size=min(254, n_backend + n_egress), replace=False) + 1
+        backend = tuple(int((slash24 << 8) + o) for o in offsets[:n_backend])
+        egress_pool = offsets[n_backend:]
+        # Egress IPs rarely coincide with backends at scale, but small
+        # single-box resolvers do both jobs from one address.
+        overlap_p = 0.55 if len(backend) <= 2 else backend_egress_overlap
+        overlap = [b for b in backend if rng.uniform() < overlap_p]
+        egress = tuple(int((slash24 << 8) + o) for o in egress_pool) + tuple(overlap)
+        software, buggy = _pick_software(rng)
+        forwards = (not automated) and (not public) and rng.uniform() < forwarder_prob
+        clusters.append(
+            RecursiveCluster(
+                cluster_id=cluster_id,
+                slash24=slash24,
+                asn=asn,
+                region_id=region_id,
+                users=users,
+                backend_ips=backend,
+                egress_ips=egress or backend[:1],
+                software=software,
+                has_redundant_bug=buggy,
+                cache_inefficiency=(
+                    float(np.clip(rng.lognormal(np.log(60.0), 1.5), 2.0, 20_000.0))
+                    if automated
+                    else _cache_inefficiency(users, buggy, rng)
+                ),
+                junk_per_user_daily=float(
+                    np.clip(rng.lognormal(mean=np.log(16.0), sigma=0.8), 0.05, 500.0)
+                ),
+                ptr_per_user_daily=float(
+                    np.clip(rng.lognormal(mean=np.log(0.5), sigma=0.7), 0.0, 20.0)
+                ),
+                is_public_dns=public,
+                captured_in_ditl=not forwards,
+                is_automated=automated,
+            )
+        )
+        cluster_id += 1
+
+    # ISP resolvers: one or more clusters per ⟨region, AS⟩ location.
+    for location in user_base:
+        isp_users = location.isp_dns_users
+        if isp_users <= 0:
+            continue
+        n_clusters = max(1, int(rng.poisson(clusters_per_location_mean)))
+        shares = rng.dirichlet(np.full(n_clusters, 1.5))
+        for share in shares:
+            users = int(round(isp_users * share))
+            if users > 0:
+                make_cluster(location.asn, location.region_id, users, public=False)
+
+    # Public DNS: per cloud AS, users accumulate at the PoP nearest them.
+    cloud_asns = topology.ases_of_kind(ASKind.CLOUD)
+    if cloud_asns:
+        accumulator: dict[tuple[int, int], int] = {}
+        for location in user_base:
+            public_users = location.public_dns_users
+            if public_users <= 0:
+                continue
+            cloud = int(cloud_asns[location.asn % len(cloud_asns)])
+            here = internet.world.region(location.region_id).location
+            pop_region = topology.node(cloud).nearest_pop(here, internet.world)
+            key = (cloud, pop_region)
+            accumulator[key] = accumulator.get(key, 0) + public_users
+        for (cloud, pop_region), users in sorted(accumulator.items()):
+            make_cluster(cloud, pop_region, users, public=True)
+
+    # Automated sources: valid root queries, zero users, never in CDN data.
+    n_automated = int(round(len(clusters) * automated_fraction))
+    eyeballs = topology.ases_of_kind(ASKind.EYEBALL)
+    for _ in range(n_automated):
+        asn = int(rng.choice(eyeballs))
+        make_cluster(asn, topology.node(asn).home_region, users=0, public=False, automated=True)
+
+    return RecursivePopulation(clusters=clusters)

@@ -1,0 +1,173 @@
+"""Synthetic world: continents, regions, and user populations.
+
+The paper aggregates Microsoft users into 508 *regions* — geographic areas
+sized to generate similar traffic, usually corresponding to large metros —
+spread over seven continents (135 Europe, 62 Africa, 102 Asia,
+2 Antarctica, 137 North America, 41 South America, 29 Oceania).
+
+We synthesise a world with the same structure: each continent has a set of
+anchor hubs (stand-ins for real metro clusters); regions are scattered
+around hubs and given heavy-tailed Internet-user populations whose
+continent totals follow real-world Internet-population shares.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..geo import GeoPoint, jitter_around, make_rng, pairwise_distance_km
+
+__all__ = ["Continent", "Region", "World", "CONTINENTS", "build_world"]
+
+
+@dataclass(frozen=True, slots=True)
+class Continent:
+    """A continent: anchor hubs, paper region count, population share."""
+
+    name: str
+    hubs: tuple[GeoPoint, ...]
+    region_count: int
+    population_share: float
+    hub_spread_km: float = 900.0
+
+
+@dataclass(frozen=True, slots=True)
+class Region:
+    """A metro-scale region with an Internet-user population."""
+
+    region_id: int
+    name: str
+    continent: str
+    location: GeoPoint
+    population: int
+
+
+# Anchor hubs are rough stand-ins for dense metro belts; exact values only
+# shape the map, not the analysis.
+CONTINENTS: tuple[Continent, ...] = (
+    Continent(
+        "Europe",
+        (GeoPoint(51.5, -0.1), GeoPoint(48.9, 2.4), GeoPoint(52.5, 13.4),
+         GeoPoint(40.4, -3.7), GeoPoint(41.9, 12.5), GeoPoint(52.2, 21.0),
+         GeoPoint(59.3, 18.1), GeoPoint(55.8, 37.6)),
+        135, 0.155,
+    ),
+    Continent(
+        "Africa",
+        (GeoPoint(6.5, 3.4), GeoPoint(30.0, 31.2), GeoPoint(-26.2, 28.0),
+         GeoPoint(-1.3, 36.8), GeoPoint(33.6, -7.6)),
+        62, 0.115, 1400.0,
+    ),
+    Continent(
+        "Asia",
+        (GeoPoint(35.7, 139.7), GeoPoint(39.9, 116.4), GeoPoint(31.2, 121.5),
+         GeoPoint(28.6, 77.2), GeoPoint(19.1, 72.9), GeoPoint(1.35, 103.8),
+         GeoPoint(37.6, 127.0), GeoPoint(-6.2, 106.8), GeoPoint(25.0, 55.3),
+         GeoPoint(41.0, 29.0)),
+        102, 0.50, 1200.0,
+    ),
+    Continent("Antarctica", (GeoPoint(-77.8, 166.7), GeoPoint(-67.6, -68.1)), 2, 0.000002, 150.0),
+    Continent(
+        "North America",
+        (GeoPoint(40.7, -74.0), GeoPoint(34.1, -118.2), GeoPoint(41.9, -87.6),
+         GeoPoint(29.8, -95.4), GeoPoint(47.6, -122.3), GeoPoint(43.7, -79.4),
+         GeoPoint(19.4, -99.1), GeoPoint(33.7, -84.4)),
+        137, 0.125,
+    ),
+    Continent(
+        "South America",
+        (GeoPoint(-23.5, -46.6), GeoPoint(-34.6, -58.4), GeoPoint(4.7, -74.1),
+         GeoPoint(-12.0, -77.0), GeoPoint(-33.4, -70.7)),
+        41, 0.09, 1100.0,
+    ),
+    Continent(
+        "Oceania",
+        (GeoPoint(-33.9, 151.2), GeoPoint(-37.8, 145.0), GeoPoint(-36.8, 174.8)),
+        29, 0.015, 1000.0,
+    ),
+)
+
+
+@dataclass(slots=True)
+class World:
+    """The region universe plus cached coordinate arrays."""
+
+    regions: list[Region]
+    total_population: int
+    seed: int
+    _lats: np.ndarray = field(init=False, repr=False)
+    _lons: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._lats = np.array([r.location.lat for r in self.regions])
+        self._lons = np.array([r.location.lon for r in self.regions])
+
+    @property
+    def latitudes(self) -> np.ndarray:
+        return self._lats
+
+    @property
+    def longitudes(self) -> np.ndarray:
+        return self._lons
+
+    def region(self, region_id: int) -> Region:
+        return self.regions[region_id]
+
+    def __len__(self) -> int:
+        return len(self.regions)
+
+    def populations(self) -> np.ndarray:
+        return np.array([r.population for r in self.regions], dtype=np.int64)
+
+    def by_continent(self, name: str) -> list[Region]:
+        return [r for r in self.regions if r.continent == name]
+
+    def distances_to_points_km(self, lats: np.ndarray, lons: np.ndarray) -> np.ndarray:
+        """Distance matrix (regions × points) in kilometres."""
+        return pairwise_distance_km(self._lats, self._lons, lats, lons)
+
+    def top_regions(self, count: int) -> list[Region]:
+        """The ``count`` most-populous regions (for placing infrastructure)."""
+        return sorted(self.regions, key=lambda r: r.population, reverse=True)[:count]
+
+
+def build_world(
+    seed: int = 0,
+    total_population: int = 1_000_000_000,
+    region_scale: float = 1.0,
+) -> World:
+    """Build the synthetic world.
+
+    ``region_scale`` shrinks per-continent region counts for small test
+    scenarios (each continent keeps at least one region).  Populations are
+    lognormal within a continent — a heavy tail of mega-metros over many
+    mid-size regions — and normalised so continent totals match
+    ``population_share``.
+    """
+    if total_population <= 0:
+        raise ValueError("total_population must be positive")
+    rng = make_rng(seed, "world")
+    regions: list[Region] = []
+    region_id = 0
+    for continent in CONTINENTS:
+        count = max(1, round(continent.region_count * region_scale))
+        hub_index = rng.integers(0, len(continent.hubs), size=count)
+        raw_weights = rng.lognormal(mean=0.0, sigma=1.1, size=count)
+        share = continent.population_share * total_population
+        populations = np.maximum(1, (raw_weights / raw_weights.sum() * share)).astype(np.int64)
+        for i in range(count):
+            hub = continent.hubs[int(hub_index[i])]
+            location = jitter_around(hub, continent.hub_spread_km, rng)
+            regions.append(
+                Region(
+                    region_id=region_id,
+                    name=f"{continent.name[:2].upper()}-{region_id:04d}",
+                    continent=continent.name,
+                    location=location,
+                    population=int(populations[i]),
+                )
+            )
+            region_id += 1
+    return World(regions=regions, total_population=total_population, seed=seed)

@@ -1,0 +1,20 @@
+"""Web substrate: TCP slow-start model and page-load RTT accounting."""
+
+from .page import ConnectionTrace, PageLoadTrace, PageSpec, build_page_corpus, load_page
+from .pageload import RttEstimate, estimate_rtts_per_page_load, page_load_rtts
+from .tcp import DEFAULT_INIT_WINDOW_BYTES, HANDSHAKE_RTTS, connection_rtts, transfer_rtts
+
+__all__ = [
+    "ConnectionTrace",
+    "PageLoadTrace",
+    "PageSpec",
+    "build_page_corpus",
+    "load_page",
+    "RttEstimate",
+    "estimate_rtts_per_page_load",
+    "page_load_rtts",
+    "DEFAULT_INIT_WINDOW_BYTES",
+    "HANDSHAKE_RTTS",
+    "connection_rtts",
+    "transfer_rtts",
+]

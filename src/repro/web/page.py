@@ -1,0 +1,94 @@
+"""Synthetic web-page corpus.
+
+Appendix C loads nine CDN-hosted pages twenty times each under a headless
+browser and records, per TCP connection, the bytes transferred and the
+connection's active interval.  We synthesise pages with the same shape:
+one dominant connection (the document plus main bundle) and a spread of
+smaller parallel connections (images, scripts, telemetry), many of which
+overlap in time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..geo import make_rng
+
+__all__ = ["ConnectionTrace", "PageLoadTrace", "PageSpec", "build_page_corpus", "load_page"]
+
+
+@dataclass(frozen=True, slots=True)
+class ConnectionTrace:
+    """One TCP connection observed during a page load."""
+
+    bytes_transferred: int
+    start_s: float
+    end_s: float
+
+    def __post_init__(self) -> None:
+        if self.end_s < self.start_s:
+            raise ValueError("connection ends before it starts")
+        if self.bytes_transferred < 0:
+            raise ValueError("negative transfer")
+
+    def overlaps(self, other: "ConnectionTrace") -> bool:
+        return not (self.end_s <= other.start_s or other.end_s <= self.start_s)
+
+
+@dataclass(frozen=True, slots=True)
+class PageLoadTrace:
+    """All connections of one page load (what Tshark would yield)."""
+
+    page: str
+    connections: tuple[ConnectionTrace, ...]
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(c.bytes_transferred for c in self.connections)
+
+
+@dataclass(frozen=True, slots=True)
+class PageSpec:
+    """Statistical shape of one page."""
+
+    name: str
+    main_bytes_mean: float        # dominant connection size
+    n_subresources_mean: float
+    subresource_bytes_mean: float
+    parallelism: float            # 0..1, how much connections overlap
+
+
+def build_page_corpus(n_pages: int = 9, seed: int = 0) -> list[PageSpec]:
+    """Nine dynamic, CDN-hosted landing pages of varying heft."""
+    rng = make_rng(seed, "pages")
+    corpus = []
+    for i in range(n_pages):
+        corpus.append(
+            PageSpec(
+                name=f"page{i:02d}",
+                main_bytes_mean=float(rng.uniform(150_000, 900_000)),
+                n_subresources_mean=float(rng.uniform(8, 30)),
+                subresource_bytes_mean=float(rng.uniform(15_000, 120_000)),
+                parallelism=float(rng.uniform(0.5, 0.9)),
+            )
+        )
+    return corpus
+
+
+def load_page(spec: PageSpec, rng: np.random.Generator) -> PageLoadTrace:
+    """Simulate one load: a dominant connection plus parallel fetches."""
+    main_bytes = max(20_000, int(rng.normal(spec.main_bytes_mean, spec.main_bytes_mean * 0.2)))
+    main_duration = float(rng.uniform(0.8, 2.5))
+    connections = [ConnectionTrace(main_bytes, 0.0, main_duration)]
+    n_sub = max(1, int(rng.poisson(spec.n_subresources_mean)))
+    for _ in range(n_sub):
+        size = max(500, int(rng.lognormal(np.log(spec.subresource_bytes_mean), 0.9)))
+        if rng.uniform() < spec.parallelism:
+            start = float(rng.uniform(0.0, main_duration * 0.8))
+        else:
+            start = main_duration + float(rng.uniform(0.0, 1.0))
+        duration = float(rng.uniform(0.05, 0.8))
+        connections.append(ConnectionTrace(size, start, start + duration))
+    return PageLoadTrace(page=spec.name, connections=tuple(connections))

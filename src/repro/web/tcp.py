@@ -1,0 +1,45 @@
+"""TCP slow-start RTT model (Appendix C, Eq. 4).
+
+For a single connection transferring ``D`` bytes with initial congestion
+window ``W``, the number of round trips is lower-bounded by
+``N = ceil(log2(D / W))`` — the window doubles each RTT in slow start.
+Microsoft (and most of the web) uses an initial window around 15 kB.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["DEFAULT_INIT_WINDOW_BYTES", "HANDSHAKE_RTTS", "transfer_rtts", "connection_rtts"]
+
+#: ~10 segments of 1460 B: the prevalent initial congestion window.
+DEFAULT_INIT_WINDOW_BYTES = 15_000
+
+#: TCP handshake plus TLS handshake for the first connection of a load.
+HANDSHAKE_RTTS = 2
+
+
+def transfer_rtts(data_bytes: int, init_window: int = DEFAULT_INIT_WINDOW_BYTES) -> int:
+    """Eq. 4: slow-start round trips to move ``data_bytes``.
+
+    Transfers that fit in the initial window still cost one round trip.
+    """
+    if data_bytes < 0:
+        raise ValueError("negative transfer size")
+    if init_window <= 0:
+        raise ValueError("initial window must be positive")
+    if data_bytes == 0:
+        return 0
+    return max(1, math.ceil(math.log2(data_bytes / init_window)) if data_bytes > init_window else 1)
+
+
+def connection_rtts(
+    data_bytes: int,
+    init_window: int = DEFAULT_INIT_WINDOW_BYTES,
+    include_handshakes: bool = False,
+) -> int:
+    """Round trips for one connection, optionally with TCP+TLS setup."""
+    rtts = transfer_rtts(data_bytes, init_window)
+    if include_handshakes and rtts > 0:
+        rtts += HANDSHAKE_RTTS
+    return rtts

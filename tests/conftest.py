@@ -1,0 +1,52 @@
+"""Shared fixtures: one small scenario per test session.
+
+Scenario artifacts are lazy and cached, so tests pay only for what they
+touch; the ``default_scenario`` lru-cache means the scenario survives
+across test modules.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import default_scenario
+
+
+@pytest.fixture(scope="session")
+def scenario():
+    return default_scenario("small", 0)
+
+
+@pytest.fixture(scope="session")
+def internet(scenario):
+    return scenario.internet
+
+
+@pytest.fixture(scope="session")
+def world(internet):
+    return internet.world
+
+
+@pytest.fixture(scope="session")
+def topology(internet):
+    return internet.topology
+
+
+@pytest.fixture(scope="session")
+def letters(scenario):
+    return scenario.letters_2018
+
+
+@pytest.fixture(scope="session")
+def cdn(scenario):
+    return scenario.cdn
+
+
+@pytest.fixture(scope="session")
+def user_base(scenario):
+    return scenario.user_base
+
+
+@pytest.fixture(scope="session")
+def recursives(scenario):
+    return scenario.recursives

@@ -1,0 +1,234 @@
+"""Anycast deployments: letters, CDN rings, catchments, latency."""
+
+import numpy as np
+import pytest
+
+from repro.anycast import (
+    CdnSpec,
+    LETTERS_2018,
+    LETTERS_2020,
+    LetterSpec,
+    build_cdn,
+    build_letter,
+    sample_site_regions,
+)
+from repro.geo import make_rng, optimal_rtt_ms
+from repro.topology import ASKind
+
+
+class TestLetterCatalogue:
+    def test_2018_global_site_counts_match_paper(self):
+        expected = {"A": 5, "B": 2, "C": 10, "D": 20, "E": 15, "F": 94,
+                    "H": 1, "J": 68, "K": 52, "L": 138, "M": 5}
+        assert {k: v.n_global for k, v in LETTERS_2018.items()} == expected
+
+    def test_2018_total_site_counts_match_fig10_legend(self):
+        totals = {k: v.n_global + v.n_local for k, v in LETTERS_2018.items()}
+        assert totals["E"] == 85 and totals["D"] == 117
+        assert totals["F"] == 141 and totals["J"] == 110
+        assert totals["K"] == 53 and totals["L"] == 138
+
+    def test_2020_counts_match_fig11_legend(self):
+        expected = {"M": 8, "H": 8, "C": 10, "D": 23, "A": 51, "K": 75, "J": 127}
+        assert {k: v.n_global for k, v in LETTERS_2020.items()} == expected
+
+    def test_d_and_l_marked_tcp_broken_in_2018(self):
+        assert not LETTERS_2018["D"].tcp_ok
+        assert not LETTERS_2018["L"].tcp_ok
+        assert LETTERS_2020["D"].tcp_ok  # fixed by 2020
+
+    def test_origin_asns_unique(self):
+        asns = [spec.origin_asn for spec in LETTERS_2018.values()]
+        assert len(set(asns)) == len(asns)
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            LetterSpec("X", 0, 0, "na")
+        with pytest.raises(ValueError):
+            LetterSpec("X", 2, 0, "nowhere")
+        with pytest.raises(ValueError):
+            LetterSpec("X", 2, 0, "na", peer_fraction=1.5)
+
+
+class TestSitePlacement:
+    def test_small_counts_are_distinct_regions(self, internet):
+        rng = make_rng(0, "placement-test")
+        regions = sample_site_regions(internet, 5, "population", rng)
+        assert len(regions) == 5
+        assert len(set(regions)) == 5
+
+    def test_oversized_counts_reuse_regions(self, internet):
+        rng = make_rng(0, "placement-test")
+        n = len(internet.world) + 40
+        regions = sample_site_regions(internet, n, "population", rng)
+        assert len(regions) == n
+
+    def test_na_placement_stays_in_north_america(self, internet):
+        rng = make_rng(0, "placement-test")
+        regions = sample_site_regions(internet, 4, "na", rng)
+        for region in regions:
+            assert internet.world.region(region).continent == "North America"
+
+
+class TestLetterDeployments:
+    def test_every_letter_built(self, letters):
+        assert set(letters) == set(LETTERS_2018)
+
+    def test_site_counts(self, letters):
+        for name, deployment in letters.items():
+            spec = LETTERS_2018[name]
+            assert deployment.n_global_sites == spec.n_global
+            assert len(deployment.sites) == spec.n_global + spec.n_local
+
+    def test_local_sites_flagged(self, letters):
+        deployment = letters["E"]
+        locals_ = [s for s in deployment.sites if not s.is_global]
+        assert len(locals_) == LETTERS_2018["E"].n_local
+
+    def test_resolution_covers_eyeballs(self, letters, internet):
+        deployment = letters["J"]
+        for asn in internet.eyeball_asns[:50]:
+            region = internet.topology.node(asn).home_region
+            flow = deployment.resolve(asn, region)
+            assert flow is not None
+            assert flow.site in deployment.sites
+            assert flow.base_rtt_ms > 0
+
+    def test_resolution_is_cached(self, letters, internet):
+        deployment = letters["J"]
+        asn = internet.eyeball_asns[0]
+        region = internet.topology.node(asn).home_region
+        assert deployment.resolve(asn, region) is deployment.resolve(asn, region)
+
+    def test_rtt_at_least_optimal_to_served_site(self, letters, internet):
+        deployment = letters["F"]
+        world = internet.world
+        for asn in internet.eyeball_asns[:50]:
+            region = internet.topology.node(asn).home_region
+            flow = deployment.resolve(asn, region)
+            site_km = world.region(region).location.distance_km(
+                world.region(flow.site.region_id).location
+            )
+            assert flow.base_rtt_ms >= optimal_rtt_ms(site_km) - 1e-6
+
+    def test_min_global_distance_is_a_lower_bound(self, letters, internet):
+        deployment = letters["K"]
+        world = internet.world
+        for region_id in range(0, len(world), 7):
+            floor = deployment.min_global_distance_km(region_id)
+            for site in deployment.global_sites:
+                km = world.region(region_id).location.distance_km(
+                    world.region(site.region_id).location
+                )
+                assert km >= floor - 1e-9
+
+    def test_b_root_sites_in_north_america(self, letters, internet):
+        for site in letters["B"].global_sites:
+            assert internet.world.region(site.region_id).continent == "North America"
+
+    def test_measured_rtt_jitters_around_base(self, letters, internet):
+        deployment = letters["A"]
+        asn = internet.eyeball_asns[0]
+        flow = deployment.resolve(asn, internet.topology.node(asn).home_region)
+        rng = make_rng(1, "jitter-test")
+        samples = [flow.measured_rtt_ms(rng) for _ in range(200)]
+        assert np.median(samples) == pytest.approx(flow.base_rtt_ms, rel=0.1)
+
+
+class TestCdn:
+    def test_nested_rings(self, cdn):
+        order = sorted(cdn.rings, key=lambda n: int(n.lstrip("R")))
+        previous: set = set()
+        for name in order:
+            regions = [s.region_id for s in cdn.rings[name].sites]
+            pops = set(cdn.rings[name]._front_end_pop_ids)
+            assert previous <= pops
+            previous = pops
+            assert len(regions) == int(name.lstrip("R")) or len(regions) == len(pops)
+
+    def test_ring_names(self, cdn):
+        assert list(cdn.rings) == ["R28", "R47", "R74", "R95", "R110"]
+
+    def test_shared_ingress_across_rings(self, cdn, internet):
+        """Paper §2.2: traffic ingresses at the same PoP regardless of ring."""
+        fabric = cdn.fabric
+        for asn in internet.eyeball_asns[:40]:
+            region = internet.topology.node(asn).home_region
+            ingress = fabric.ingress(asn, region)
+            assert ingress is not None
+            # all rings resolve through the same external AS path
+            paths = {
+                cdn.rings[name].resolve(asn, region).as_path for name in cdn.rings
+            }
+            assert len(paths) == 1
+            assert next(iter(paths)) == ingress.as_path
+
+    def test_larger_rings_never_increase_wan_leg(self, cdn):
+        """The front-end serving an ingress PoP in a bigger ring is at
+        most as far from the PoP as in a smaller ring."""
+        order = sorted(cdn.rings, key=lambda n: int(n.lstrip("R")))
+        fabric = cdn.fabric
+        for pop_id in range(len(fabric.pops)):
+            previous_km = float("inf")
+            for name in order:  # smallest ring first; WAN leg can only shrink
+                ring = cdn.rings[name]
+                fe = ring.sites[ring.front_end_nearest_pop(pop_id)]
+                km = fabric.pop_location(pop_id).distance_km(
+                    ring.site_location(fe.site_id)
+                )
+                assert km <= previous_km + 1e-9
+                previous_km = km
+
+    def test_largest_ring_front_end_is_ingress_pop(self, cdn):
+        """Collocation: in the largest ring every PoP is a front-end, so
+        the WAN leg is zero."""
+        ring = cdn.largest_ring
+        for pop_id in range(len(cdn.fabric.pops)):
+            fe = ring.sites[ring.front_end_nearest_pop(pop_id)]
+            assert fe.region_id == cdn.fabric.pops[pop_id].region_id
+
+    def test_ring_latency_ordering(self, cdn, internet):
+        medians = {}
+        rng = make_rng(3, "ring-test")
+        sample = rng.choice(internet.eyeball_asns, size=60, replace=False)
+        for name, ring in cdn.rings.items():
+            rtts = []
+            for asn in sample:
+                region = internet.topology.node(int(asn)).home_region
+                flow = ring.resolve(int(asn), region)
+                if flow:
+                    rtts.append(flow.base_rtt_ms)
+            medians[name] = float(np.median(rtts))
+        assert medians["R28"] >= medians["R110"]
+
+    def test_cdn_spec_validation(self):
+        with pytest.raises(ValueError):
+            CdnSpec(ring_sizes=(47, 28))
+        with pytest.raises(ValueError):
+            CdnSpec(ring_sizes=())
+
+    def test_te_quality_bounds(self, internet):
+        from repro.anycast.cdn import CdnFabric
+
+        with pytest.raises(ValueError):
+            CdnFabric(
+                internet.topology, 1, (), [], {}, te_quality=0.5
+            )
+
+    def test_cdn_peers_with_most_eyeballs(self, cdn, internet):
+        peered_hosts = {
+            a.host_asn for a in cdn.fabric.routing.attachments.values()
+        }
+        eyeballs = set(internet.eyeball_asns)
+        assert len(peered_hosts & eyeballs) / len(eyeballs) > 0.4
+
+    def test_custom_smaller_cdn(self, internet):
+        system = build_cdn(internet, CdnSpec(ring_sizes=(4, 8)), seed=5)
+        assert list(system.rings) == ["R4", "R8"]
+        assert system.largest_ring.name == "R8"
+
+    def test_clouds_can_reach_cdn(self, cdn, internet):
+        topo = internet.topology
+        for asn in topo.ases_of_kind(ASKind.CLOUD):
+            region = topo.node(asn).home_region
+            assert cdn.largest_ring.resolve(asn, region) is not None

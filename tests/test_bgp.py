@@ -1,0 +1,269 @@
+"""BGP propagation: valley-free correctness, preference, scoping."""
+
+import pytest
+
+from repro.bgp import (
+    Attachment,
+    Route,
+    RouteClass,
+    propagate,
+    resolve_flow,
+    route_waypoints,
+)
+from repro.topology import ASKind, AsNode, Relationship, Topology
+from repro.users import build_world
+
+
+@pytest.fixture()
+def tiny_world():
+    return build_world(seed=9, region_scale=0.08)
+
+
+@pytest.fixture()
+def chain(tiny_world):
+    """tier1(1) — transit(2) — eyeball(3); second transit 4 under tier1."""
+    topo = Topology(tiny_world)
+    topo.add_as(AsNode(1, ASKind.TIER1, "t1", (0, 1, 2)))
+    topo.add_as(AsNode(2, ASKind.TRANSIT, "tr-a", (1,)))
+    topo.add_as(AsNode(3, ASKind.EYEBALL, "eb", (2,)))
+    topo.add_as(AsNode(4, ASKind.TRANSIT, "tr-b", (3,)))
+    topo.add_as(AsNode(5, ASKind.EYEBALL, "eb2", (4,)))
+    topo.add_link(2, 1, Relationship.PROVIDER)
+    topo.add_link(3, 2, Relationship.PROVIDER)
+    topo.add_link(4, 1, Relationship.PROVIDER)
+    topo.add_link(5, 4, Relationship.PROVIDER)
+    return topo
+
+
+ORIGIN = 64999
+
+
+class TestPropagation:
+    def test_customer_attachment_reaches_everyone(self, chain):
+        routing = propagate(
+            chain, ORIGIN, [Attachment(0, 2, Relationship.CUSTOMER, 1)]
+        )
+        assert routing.coverage(chain) == 1.0
+
+    def test_path_lengths_follow_hierarchy(self, chain):
+        routing = propagate(
+            chain, ORIGIN, [Attachment(0, 2, Relationship.CUSTOMER, 1)]
+        )
+        assert routing.route(2).path == (2, ORIGIN)
+        assert routing.route(3).path == (3, 2, ORIGIN)
+        assert routing.route(1).path == (1, 2, ORIGIN)
+        assert routing.route(5).path == (5, 4, 1, 2, ORIGIN)
+
+    def test_route_classes(self, chain):
+        routing = propagate(
+            chain, ORIGIN, [Attachment(0, 2, Relationship.CUSTOMER, 1)]
+        )
+        assert routing.route(2).cls is RouteClass.CUSTOMER
+        assert routing.route(1).cls is RouteClass.CUSTOMER
+        assert routing.route(3).cls is RouteClass.PROVIDER
+        assert routing.route(5).cls is RouteClass.PROVIDER
+
+    def test_peer_only_attachment_does_not_climb(self, chain):
+        # Origin peers with eyeball 3 only: nobody else can reach it,
+        # because peer routes are not exported upward.
+        routing = propagate(
+            chain, ORIGIN, [Attachment(0, 3, Relationship.PEER, 2)]
+        )
+        assert routing.route(3) is not None
+        assert routing.route(3).cls is RouteClass.PEER
+        assert routing.route(1) is None
+        assert routing.route(5) is None
+
+    def test_peer_beats_provider(self, chain):
+        routing = propagate(
+            chain,
+            ORIGIN,
+            [
+                Attachment(0, 2, Relationship.CUSTOMER, 1),
+                Attachment(1, 3, Relationship.PEER, 2),
+            ],
+        )
+        # Eyeball 3 has a provider route via 2 and a direct peer route;
+        # local preference picks the peering.
+        assert routing.route(3).cls is RouteClass.PEER
+        assert routing.route(3).attachment_id == 1
+
+    def test_customer_beats_peer_at_host(self, chain):
+        topo = chain
+        topo.add_link(2, 4, Relationship.PEER)
+        routing = propagate(
+            topo,
+            ORIGIN,
+            [
+                Attachment(0, 4, Relationship.CUSTOMER, 3),
+                Attachment(1, 2, Relationship.PEER, 1),
+            ],
+        )
+        # AS 2 hears the origin via direct peering (2 hops) and via its
+        # peer 4's customer route (3 hops): direct peering wins within
+        # the peer class, but there is no customer route at 2.
+        assert routing.route(2).cls is RouteClass.PEER
+        assert routing.route(2).attachment_id == 1
+
+    def test_shorter_announced_path_wins_within_class(self, chain):
+        routing = propagate(
+            chain,
+            ORIGIN,
+            [
+                Attachment(0, 2, Relationship.CUSTOMER, 1),
+                Attachment(1, 4, Relationship.CUSTOMER, 3, prepend=4),
+            ],
+        )
+        # tier1 1 hears 2-hop via AS2 and (2+4)-hop via AS4: picks AS2.
+        assert routing.route(1).next_hop == 2
+
+    def test_prepend_discourages_attachment_within_class(self, chain):
+        prepended = propagate(
+            chain,
+            ORIGIN,
+            [
+                Attachment(0, 2, Relationship.CUSTOMER, 1),
+                Attachment(1, 4, Relationship.CUSTOMER, 3, prepend=5),
+            ],
+        )
+        # tier1 1 compares two customer routes: 3 hops via AS2 versus
+        # 3+5 announced via AS4 — prepending demotes attachment 1.
+        assert prepended.route(1).next_hop == 2
+        # But prepending cannot override local preference: AS4 keeps its
+        # own (prepended) customer route rather than a provider route.
+        assert prepended.route(4).attachment_id == 1
+        assert prepended.route(4).cls is RouteClass.CUSTOMER
+
+    def test_local_attachment_scoped_to_cone(self, chain):
+        routing = propagate(
+            chain,
+            ORIGIN,
+            [
+                Attachment(0, 2, Relationship.CUSTOMER, 1),
+                Attachment(1, 4, Relationship.CUSTOMER, 3, local=True),
+            ],
+        )
+        # AS4 and its customer 5 use the local site; everyone else must
+        # use the global one because the local route never climbed.
+        assert routing.route(4).attachment_id == 1
+        assert routing.route(5).attachment_id == 1
+        assert routing.route(1).attachment_id == 0
+        assert routing.route(3).attachment_id == 0
+
+    def test_duplicate_attachment_ids_rejected(self, chain):
+        with pytest.raises(ValueError):
+            propagate(
+                chain,
+                ORIGIN,
+                [
+                    Attachment(0, 2, Relationship.CUSTOMER, 1),
+                    Attachment(0, 4, Relationship.CUSTOMER, 3),
+                ],
+            )
+
+    def test_unknown_host_rejected(self, chain):
+        with pytest.raises(KeyError):
+            propagate(chain, ORIGIN, [Attachment(0, 99, Relationship.CUSTOMER, 1)])
+
+    def test_no_attachments_rejected(self, chain):
+        with pytest.raises(ValueError):
+            propagate(chain, ORIGIN, [])
+
+    def test_provider_role_attachment_rejected(self):
+        with pytest.raises(ValueError):
+            Attachment(0, 2, Relationship.PROVIDER, 1)
+
+    def test_deterministic_given_seed(self, chain):
+        attachments = [
+            Attachment(0, 2, Relationship.CUSTOMER, 1),
+            Attachment(1, 4, Relationship.CUSTOMER, 3),
+        ]
+        r1 = propagate(chain, ORIGIN, attachments, seed=11)
+        r2 = propagate(chain, ORIGIN, attachments, seed=11)
+        for asn, route in r1.items():
+            assert r2.route(asn) == route
+
+
+class TestValleyFree:
+    def test_no_route_has_a_valley(self, scenario):
+        """Customer routes must never descend then climb: in our model a
+        selected path is provider-chain down from the perspective of the
+        origin, so every hop pair must respect Gao–Rexford export."""
+        deployment = scenario.letters_2018["J"]
+        topo = scenario.internet.topology
+        checked = 0
+        for asn, route in deployment.routing.items():
+            path = route.path
+            # Walk from the client toward the origin.  Once the path
+            # starts descending (provider→customer) or crosses a peer
+            # edge, it must never climb (customer→provider) again.
+            descended = False
+            valid = True
+            for a, b in zip(path, path[1:]):
+                if b == deployment.origin_asn:
+                    break
+                rel = topo.relationship(a, b)
+                if rel is None:
+                    valid = False
+                    break
+                if rel is Relationship.PROVIDER:
+                    # a pays b: we are climbing toward the origin, which
+                    # is only valid before any descent.
+                    if descended:
+                        valid = False
+                        break
+                else:
+                    descended = True
+            assert valid, f"valley in path {path} for AS{asn}"
+            checked += 1
+        assert checked > 0
+
+
+class TestFlowResolution:
+    def test_flow_matches_route_attachment_for_single_host(self, chain, tiny_world):
+        routing = propagate(chain, ORIGIN, [Attachment(0, 2, Relationship.CUSTOMER, 1)])
+        flow = resolve_flow(chain, routing, 5, tiny_world.region(4).location)
+        assert flow is not None
+        assert flow.attachment.attachment_id == 0
+        assert flow.route.path[0] == 5
+
+    def test_flow_early_exits_among_host_attachments(self, chain, tiny_world):
+        # Transit 1 hosts the origin at two distant regions; customer 5's
+        # flow should exit at the attachment nearest its waypoint at 1.
+        attachments = [
+            Attachment(0, 1, Relationship.CUSTOMER, 0),
+            Attachment(1, 1, Relationship.CUSTOMER, 2),
+        ]
+        routing = propagate(chain, ORIGIN, attachments)
+        flow = resolve_flow(chain, routing, 5, tiny_world.region(4).location)
+        assert flow is not None
+        # the chosen attachment is whichever is nearest to AS1's PoP
+        # closest to the client; verify it is the geographic argmin.
+        waypoint = flow.waypoints[-2]
+        choices = {
+            a.attachment_id: tiny_world.region(a.region_id).location.distance_km(waypoint)
+            for a in attachments
+        }
+        assert flow.attachment.attachment_id == min(choices, key=choices.get)
+
+    def test_unrouted_client_returns_none(self, chain, tiny_world):
+        routing = propagate(chain, ORIGIN, [Attachment(0, 3, Relationship.PEER, 2)])
+        assert resolve_flow(chain, routing, 5, tiny_world.region(4).location) is None
+
+    def test_waypoints_start_and_end_correctly(self, chain, tiny_world):
+        routing = propagate(chain, ORIGIN, [Attachment(0, 2, Relationship.CUSTOMER, 1)])
+        source = tiny_world.region(4).location
+        flow = resolve_flow(chain, routing, 5, source)
+        assert flow.waypoints[0] == source
+        assert flow.waypoints[-1] == tiny_world.region(1).location
+
+    def test_route_waypoints_helper(self, chain, tiny_world):
+        route = Route(
+            cls=RouteClass.PROVIDER, path=(5, 4, 1, 2, ORIGIN),
+            attachment_id=0, announced_len=5,
+        )
+        source = tiny_world.region(4).location
+        terminal = tiny_world.region(1).location
+        waypoints = route_waypoints(chain, route, source, terminal)
+        assert waypoints[0] == source and waypoints[-1] == terminal
+        assert len(waypoints) == 5  # source + 3 intermediates + terminal

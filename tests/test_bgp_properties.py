@@ -1,0 +1,167 @@
+"""Property-based BGP tests over randomly generated mini-Internets.
+
+Hypothesis draws a topology seed and an announcement plan; the invariants
+(valley-freeness, loop-freeness, determinism, local scoping) must hold on
+every instance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.bgp import Attachment, propagate
+from repro.topology import ASKind, AsNode, Relationship, Topology
+from repro.users import build_world
+
+_WORLD = build_world(seed=42, region_scale=0.06)
+ORIGIN = 64999
+
+
+def _random_topology(seed: int) -> Topology:
+    """A small random, always-connected policy topology."""
+    rng = np.random.default_rng(seed)
+    topo = Topology(_WORLD)
+    n_regions = len(_WORLD)
+    n_tier1 = int(rng.integers(2, 4))
+    n_transit = int(rng.integers(3, 7))
+    n_eyeball = int(rng.integers(5, 15))
+
+    tier1 = list(range(1, n_tier1 + 1))
+    for asn in tier1:
+        regions = tuple(int(r) for r in rng.choice(n_regions, size=3, replace=False))
+        topo.add_as(AsNode(asn, ASKind.TIER1, f"t{asn}", regions))
+    for i, a in enumerate(tier1):
+        for b in tier1[i + 1:]:
+            topo.add_link(a, b, Relationship.PEER)
+
+    transits = list(range(100, 100 + n_transit))
+    for asn in transits:
+        regions = tuple(int(r) for r in rng.choice(n_regions, size=2, replace=False))
+        topo.add_as(AsNode(asn, ASKind.TRANSIT, f"tr{asn}", regions))
+        providers = rng.choice(tier1, size=min(2, len(tier1)), replace=False)
+        for provider in providers:
+            topo.add_link(asn, int(provider), Relationship.PROVIDER)
+    for i, a in enumerate(transits):
+        for b in transits[i + 1:]:
+            if rng.uniform() < 0.3:
+                topo.add_link(a, b, Relationship.PEER)
+
+    for asn in range(1000, 1000 + n_eyeball):
+        region = int(rng.integers(0, n_regions))
+        topo.add_as(AsNode(asn, ASKind.EYEBALL, f"e{asn}", (region,)))
+        topo.add_link(asn, int(rng.choice(transits)), Relationship.PROVIDER)
+    return topo
+
+
+def _random_attachments(topo: Topology, seed: int) -> list[Attachment]:
+    rng = np.random.default_rng(seed + 1)
+    hosts = topo.ases_of_kind(ASKind.TRANSIT) + topo.ases_of_kind(ASKind.EYEBALL)
+    n = int(rng.integers(1, min(6, len(hosts)) + 1))
+    chosen = rng.choice(hosts, size=n, replace=False)
+    attachments = []
+    for i, host in enumerate(chosen):
+        role = Relationship.CUSTOMER if rng.uniform() < 0.7 else Relationship.PEER
+        attachments.append(
+            Attachment(
+                attachment_id=i,
+                host_asn=int(host),
+                origin_role=role,
+                region_id=topo.node(int(host)).home_region,
+                prepend=int(rng.integers(0, 3)),
+                local=bool(rng.uniform() < 0.15),
+            )
+        )
+    return attachments
+
+
+topology_seeds = st.integers(min_value=0, max_value=10_000)
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(topology_seeds)
+def test_routes_are_loop_free(seed):
+    topo = _random_topology(seed)
+    routing = propagate(topo, ORIGIN, _random_attachments(topo, seed), seed=seed)
+    for asn, route in routing.items():
+        assert route.path[0] == asn
+        assert route.path[-1] == ORIGIN
+        assert len(set(route.path)) == len(route.path), f"loop in {route.path}"
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(topology_seeds)
+def test_announced_length_at_least_hop_count(seed):
+    topo = _random_topology(seed)
+    routing = propagate(topo, ORIGIN, _random_attachments(topo, seed), seed=seed)
+    for _, route in routing.items():
+        assert route.announced_len >= route.as_hops
+
+
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(topology_seeds)
+def test_propagation_is_deterministic(seed):
+    topo = _random_topology(seed)
+    attachments = _random_attachments(topo, seed)
+    first = propagate(topo, ORIGIN, attachments, seed=seed)
+    second = propagate(topo, ORIGIN, attachments, seed=seed)
+    assert dict(first.items()) == dict(second.items())
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(topology_seeds)
+def test_paths_are_valley_free(seed):
+    topo = _random_topology(seed)
+    routing = propagate(topo, ORIGIN, _random_attachments(topo, seed), seed=seed)
+    for asn, route in routing.items():
+        descended = False
+        for a, b in zip(route.path, route.path[1:]):
+            if b == ORIGIN:
+                break
+            rel = topo.relationship(a, b)
+            assert rel is not None, f"non-adjacent hop {a}->{b}"
+            if rel is Relationship.PROVIDER:
+                assert not descended, f"valley in {route.path}"
+            else:
+                descended = True
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(topology_seeds)
+def test_local_attachments_stay_in_customer_cone(seed):
+    topo = _random_topology(seed)
+    attachments = _random_attachments(topo, seed)
+    routing = propagate(topo, ORIGIN, attachments, seed=seed)
+    local_ids = {a.attachment_id for a in attachments if a.local}
+    if not local_ids:
+        return
+    cones: dict[int, set[int]] = {}
+    for attachment in attachments:
+        if not attachment.local:
+            continue
+        cone = {attachment.host_asn}
+        frontier = [attachment.host_asn]
+        while frontier:
+            current = frontier.pop()
+            for customer in topo.customers_of(current):
+                if customer not in cone:
+                    cone.add(customer)
+                    frontier.append(customer)
+        cones[attachment.attachment_id] = cone
+    for asn, route in routing.items():
+        if route.attachment_id in local_ids:
+            assert asn in cones[route.attachment_id], (
+                f"AS{asn} uses local attachment outside its cone"
+            )
+
+
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(topology_seeds)
+def test_global_customer_attachment_reaches_everyone(seed):
+    topo = _random_topology(seed)
+    transit = topo.ases_of_kind(ASKind.TRANSIT)[0]
+    attachments = [
+        Attachment(0, transit, Relationship.CUSTOMER, topo.node(transit).home_region)
+    ]
+    routing = propagate(topo, ORIGIN, attachments, seed=seed)
+    assert routing.coverage(topo) == 1.0

@@ -1,0 +1,87 @@
+"""CLI behaviour."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_list_parses(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_requires_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run"])
+
+    def test_scale_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "fig03", "--scale", "huge"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestMain:
+    def test_list_prints_experiments(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig02a" in out and "table5" in out
+
+    def test_run_single_experiment(self, capsys):
+        assert main(["run", "table1", "--scale", "small"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "DDoS" in out
+
+    def test_run_unknown_experiment(self, capsys):
+        assert main(["run", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_summary_prints_headlines(self, capsys):
+        assert main(["summary", "--scale", "small"]) == 0
+        out = capsys.readouterr().out
+        assert "geographic inflation" in out
+        assert "RTTs per page load" in out
+
+
+class TestExtendedCommands:
+    def test_run_json_output(self, capsys):
+        import json
+
+        assert main(["run", "appc", "--scale", "small", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["experiment"] == "appc"
+        assert "lower_bound" in payload["data"]
+
+    def test_drills_prints_all_four_studies(self, capsys):
+        assert main(["drills", "--scale", "small"]) == 0
+        out = capsys.readouterr().out
+        assert "failure drill" in out
+        assert "prefix hijack" in out
+        assert "RFC 8806" in out
+        assert "unicast" in out
+
+    def test_run_csv_export(self, capsys, tmp_path):
+        out_dir = str(tmp_path / "series")
+        assert main(["run", "fig03", "--scale", "small", "--csv", out_dir]) == 0
+        import os
+
+        files = os.listdir(out_dir)
+        assert any(name.startswith("fig03__") for name in files)
+        with open(os.path.join(out_dir, sorted(files)[0])) as handle:
+            header = handle.readline().strip()
+        assert header == "x,y"
+
+    def test_all_writes_report(self, tmp_path):
+        out = str(tmp_path / "report.txt")
+        assert main(["all", "--scale", "small", "--out", out]) == 0
+        text = open(out).read()
+        assert "fig02a" in text and "table5" in text
+
+    def test_validate_reports_all_targets(self, capsys):
+        assert main(["validate", "--scale", "small"]) == 0
+        out = capsys.readouterr().out
+        assert "20/20 shape targets hold" in out
+        assert "[PASS]" in out and "[FAIL]" not in out

@@ -1,0 +1,281 @@
+"""Remaining core analyses: amortisation, paths, coverage, redundancy,
+representativeness, page-load scaling, reporting."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    RTTS_PER_PAGE_LOAD,
+    amortize_apnic,
+    amortize_cdn,
+    amortize_ideal,
+    analyze_redundancy,
+    combined_coverage_curve,
+    coverage_curve,
+    efficiency_vs_latency,
+    favorite_site_cdf,
+    find_bug_episode,
+    format_cdf_series,
+    format_cdf_summary,
+    format_table,
+    inflation_by_path_length,
+    latency_size_correlation,
+    modal_length_by_location,
+    overlap_table,
+    path_length_distribution,
+    ring_latency_cdfs,
+    ring_transitions,
+    root_geographic_inflation,
+)
+
+
+class TestAmortization:
+    def test_cdn_line_median_is_order_one(self, scenario):
+        result = amortize_cdn(scenario.joined_2018)
+        assert 0.05 < result.median < 20.0  # paper: ~1 query/user/day
+
+    def test_ideal_line_orders_of_magnitude_below(self, scenario):
+        cdn = amortize_cdn(scenario.joined_2018)
+        ideal = amortize_ideal(scenario.joined_2018, scenario.zone)
+        assert ideal.median < cdn.median / 50.0
+
+    def test_junk_inclusion_multiplies_median(self, scenario):
+        valid = amortize_cdn(scenario.joined_2018)
+        junky = amortize_cdn(scenario.joined_2018, include_junk=True)
+        assert junky.median > 5.0 * valid.median  # Fig. 8's ~20× shift
+
+    def test_apnic_agrees_in_order_of_magnitude(self, scenario):
+        cdn = amortize_cdn(scenario.joined_2018)
+        apnic = amortize_apnic(scenario.asn_volumes_2018, scenario.apnic_counts)
+        ratio = apnic.median / cdn.median
+        assert 0.02 < ratio < 50.0
+
+    def test_unjoined_variant_much_lower(self, scenario):
+        joined = amortize_cdn(scenario.joined_2018)
+        unjoined = amortize_cdn(scenario.joined_2018_ip)
+        assert unjoined.median < joined.median  # Fig. 9's conclusion
+
+    def test_empty_inputs_rejected(self, scenario):
+        with pytest.raises(ValueError):
+            amortize_cdn([])
+        with pytest.raises(ValueError):
+            amortize_apnic({}, scenario.apnic_counts)
+        with pytest.raises(ValueError):
+            amortize_ideal([], scenario.zone)
+
+
+class TestPaths:
+    def test_distribution_shares_sum_to_one(self, scenario):
+        routes = scenario.atlas.traceroute_all(scenario.cdn.largest_ring)
+        dist = path_length_distribution(routes, scenario.internet.orgs, "CDN")
+        assert sum(dist.shares.values()) == pytest.approx(1.0)
+
+    def test_cdn_has_more_direct_paths_than_letters(self, scenario):
+        orgs = scenario.internet.orgs
+        cdn_routes = scenario.atlas.traceroute_all(scenario.cdn.largest_ring)
+        cdn_dist = path_length_distribution(cdn_routes, orgs, "CDN")
+        for name in ("B", "C", "M"):
+            routes = scenario.atlas.traceroute_all(scenario.letters_2018[name])
+            letter_dist = path_length_distribution(routes, orgs, name)
+            assert cdn_dist.two_as_share > letter_dist.two_as_share
+
+    def test_modal_lengths_at_least_two(self, scenario):
+        routes = scenario.atlas.traceroute_all(scenario.letters_2018["J"])
+        modal = modal_length_by_location(routes, scenario.internet.orgs)
+        assert modal
+        assert all(length >= 2 for length in modal.values())
+
+    def test_inflation_by_path_length_buckets(self, scenario):
+        orgs = scenario.internet.orgs
+        roots = root_geographic_inflation(scenario.joined_2018, scenario.letters_2018)
+        routes = scenario.atlas.traceroute_all(scenario.letters_2018["J"])
+        boxes = inflation_by_path_length(routes, orgs, roots.per_location["J"])
+        assert boxes
+        for bucket, box in boxes.items():
+            assert 2 <= bucket <= 4
+            assert box.count > 0
+
+
+class TestCoverage:
+    def test_curve_is_monotone(self, scenario):
+        curve = coverage_curve(scenario.cdn.largest_ring, scenario.user_base)
+        fractions = list(curve.covered_fraction)
+        assert fractions == sorted(fractions)
+        assert all(0.0 <= f <= 1.0 for f in fractions)
+
+    def test_bigger_ring_covers_at_least_as_much(self, scenario):
+        small = coverage_curve(scenario.cdn.rings["R28"], scenario.user_base)
+        large = coverage_curve(scenario.cdn.rings["R110"], scenario.user_base)
+        for a, b in zip(small.covered_fraction, large.covered_fraction):
+            assert b >= a - 1e-9
+
+    def test_union_dominates_members(self, scenario):
+        letters = list(scenario.letters_2018.values())
+        union = combined_coverage_curve(letters, scenario.user_base)
+        best_single = coverage_curve(scenario.letters_2018["L"], scenario.user_base)
+        for a, b in zip(best_single.covered_fraction, union.covered_fraction):
+            assert b >= a - 1e-9
+
+    def test_all_roots_coverage_is_impressive(self, scenario):
+        """§7.2: 91% of users within 500 km of some root site."""
+        union = combined_coverage_curve(
+            list(scenario.letters_2018.values()), scenario.user_base
+        )
+        assert union.at(500.0) > 0.7
+
+    def test_empty_union_rejected(self, scenario):
+        with pytest.raises(ValueError):
+            combined_coverage_curve([], scenario.user_base)
+
+
+class TestEfficiencyVsLatency:
+    def test_points_sorted_by_size(self, scenario):
+        roots = root_geographic_inflation(scenario.joined_2018, scenario.letters_2018)
+        latencies = {name: 50.0 for name in roots.names}
+        sizes = {name: scenario.letters_2018[name].n_global_sites for name in roots.names}
+        points = efficiency_vs_latency(roots, latencies, sizes)
+        ordered = [p.n_global_sites for p in points]
+        assert ordered == sorted(ordered)
+
+    def test_latency_falls_with_size_overall(self, scenario):
+        roots = root_geographic_inflation(scenario.joined_2018, scenario.letters_2018)
+        latencies = {}
+        sizes = {}
+        for name in roots.names:
+            rtts = scenario.atlas.median_rtts(scenario.letters_2018[name])
+            latencies[name] = float(np.median(rtts))
+            sizes[name] = scenario.letters_2018[name].n_global_sites
+        points = efficiency_vs_latency(roots, latencies, sizes)
+        assert latency_size_correlation(points) < 0.3  # negative-ish rank corr
+
+    def test_correlation_needs_three_points(self):
+        with pytest.raises(ValueError):
+            latency_size_correlation([])
+
+
+class TestRedundancy:
+    def test_isi_redundancy_shape(self, scenario):
+        stats = analyze_redundancy(
+            scenario.isi_result.trace, ttl_s=float(scenario.zone.ttl_s)
+        )
+        assert stats.total_root_queries > 0
+        # Appendix E: ~80% of root queries at the instrumented resolver
+        # are redundant, overwhelmingly in the bug pattern.
+        assert stats.fraction_redundant > 0.4
+        assert stats.fraction_bug_pattern_of_redundant > 0.5
+        assert stats.fraction_aaaa_of_redundant > 0.5
+
+    def test_episode_matches_table5_shape(self, scenario):
+        episode = find_bug_episode(scenario.isi_result.trace)
+        assert episode is not None
+        rows = episode.to_rows()
+        assert rows[0]["from"] == "client"
+        aaaa_to_root = [
+            r for r in rows if r["query_type"] == "AAAA" and r["to"].startswith("root:")
+        ]
+        assert len(aaaa_to_root) >= 2
+
+    def test_no_bug_no_episode(self, scenario):
+        from repro.dns import (
+            IsiResolverExperiment,
+        )
+
+        clean = IsiResolverExperiment(
+            scenario.zone, scenario.universe, scenario.root_latency_model,
+            n_users=10, days=1.0, buggy=False, seed=123,
+        ).run()
+        assert find_bug_episode(clean.trace) is None
+
+
+class TestRepresentativeness:
+    def test_overlap_table_rows(self, scenario):
+        table = overlap_table(scenario.join_stats_2018_ip, scenario.join_stats_2018)
+        rows = table.rows()
+        assert len(rows) == 4
+        assert all(row["exact_ip"].endswith("%") for row in rows)
+
+    def test_favorite_site_mostly_one(self, scenario):
+        """Fig. 10: >80% of /24s put all queries on one site."""
+        for name in ("J", "K", "F"):
+            cdf = favorite_site_cdf(scenario.filtered_2018, name)
+            if cdf is None:
+                continue
+            assert cdf.fraction_at_most(1e-9) > 0.6
+
+    def test_single_site_letter_never_splits(self, scenario):
+        cdf = favorite_site_cdf(scenario.filtered_2018, "H")
+        if cdf is not None:
+            assert cdf.fraction_at_most(1e-9) == pytest.approx(1.0)
+
+    def test_min_ips_filter(self, scenario):
+        strict = favorite_site_cdf(scenario.filtered_2018, "J", min_ips=3)
+        lax = favorite_site_cdf(scenario.filtered_2018, "J", min_ips=1)
+        assert lax is not None
+        if strict is not None:
+            assert len(lax) >= len(strict)
+
+
+class TestPageLoadScaling:
+    def test_ring_cdfs_and_page_scaling(self, scenario):
+        samples = {
+            name: scenario.atlas.median_rtts(ring)
+            for name, ring in scenario.cdn.rings.items()
+        }
+        result = ring_latency_cdfs(samples)
+        for ring in result.rings:
+            per_rtt = result.per_rtt[ring]
+            per_page = result.per_page_load(ring)
+            assert per_page.median == pytest.approx(
+                per_rtt.median * RTTS_PER_PAGE_LOAD
+            )
+
+    def test_transitions_mostly_non_regressing(self, scenario):
+        order = sorted(scenario.cdn.rings, key=lambda n: int(n.lstrip("R")))
+        transitions = ring_transitions(scenario.client_measurements, order)
+        assert len(transitions) == len(order) - 1
+        for transition in transitions:
+            assert transition.fraction_improved_or_equal(tolerance_ms=1.0) > 0.75
+            assert transition.fraction_regressing_more_than(10.0) < 0.10
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        text = format_table([{"a": "1", "bb": "22"}, {"a": "333", "bb": "4"}])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+
+    def test_format_table_empty(self):
+        assert "empty" in format_table([])
+
+    def test_format_cdf_summary_contains_percentiles(self, scenario):
+        from repro.core import WeightedCdf
+
+        text = format_cdf_summary("x", WeightedCdf([1.0, 2.0, 3.0]))
+        assert "median" in text and "p95" in text
+
+    def test_format_cdf_series(self):
+        from repro.core import WeightedCdf
+
+        text = format_cdf_series("x", WeightedCdf([1.0, 2.0]), [0.5, 1.5, 2.5])
+        assert "0.5ms" in text
+
+
+class TestPointMassControl:
+    def test_point_mass_never_less_coherent(self, scenario):
+        """App. B.2: controlling per-IP flapping makes /24 routing look
+        at least as coherent."""
+        for name in ("J", "K", "F"):
+            raw = favorite_site_cdf(scenario.filtered_2018, name)
+            controlled = favorite_site_cdf(
+                scenario.filtered_2018, name, point_mass=True
+            )
+            if raw is None or controlled is None:
+                continue
+            assert controlled.fraction_at_most(1e-9) >= raw.fraction_at_most(1e-9) - 1e-9
+
+    def test_point_mass_exceeds_ninety_percent_single_site(self, scenario):
+        """App. B.2: >90% of /24s are single-site under the control."""
+        cdf = favorite_site_cdf(scenario.filtered_2018, "L", point_mass=True)
+        assert cdf is not None
+        assert cdf.fraction_at_most(1e-9) > 0.8

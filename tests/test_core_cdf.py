@@ -1,0 +1,106 @@
+"""Weighted CDF and statistics primitives."""
+
+import numpy as np
+import pytest
+
+from repro.core import WeightedCdf, box_stats, weighted_mean, weighted_median
+
+
+class TestWeightedCdf:
+    def test_unweighted_median(self):
+        cdf = WeightedCdf([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert cdf.median == 3.0
+
+    def test_weights_shift_median(self):
+        cdf = WeightedCdf([1.0, 10.0], weights=[9.0, 1.0])
+        assert cdf.median == 1.0
+        cdf = WeightedCdf([1.0, 10.0], weights=[1.0, 9.0])
+        assert cdf.median == 10.0
+
+    def test_fraction_at_most(self):
+        cdf = WeightedCdf([0.0, 5.0, 10.0], weights=[1.0, 1.0, 2.0])
+        assert cdf.fraction_at_most(-1.0) == 0.0
+        assert cdf.fraction_at_most(0.0) == pytest.approx(0.25)
+        assert cdf.fraction_at_most(5.0) == pytest.approx(0.5)
+        assert cdf.fraction_at_most(100.0) == 1.0
+
+    def test_fraction_above_complements(self):
+        cdf = WeightedCdf([1.0, 2.0, 3.0])
+        for x in (0.5, 1.5, 2.5, 3.5):
+            assert cdf.fraction_above(x) == pytest.approx(1.0 - cdf.fraction_at_most(x))
+
+    def test_zero_mass_intercept(self):
+        cdf = WeightedCdf([0.0, 0.0, 7.0], weights=[1.0, 1.0, 2.0])
+        assert cdf.fraction_at_zero() == pytest.approx(0.5)
+
+    def test_quantile_monotone(self):
+        rng = np.random.default_rng(0)
+        cdf = WeightedCdf(rng.uniform(0, 100, size=500), rng.uniform(0.1, 2, size=500))
+        quantiles = [cdf.quantile(q) for q in np.linspace(0, 1, 21)]
+        assert quantiles == sorted(quantiles)
+
+    def test_quantile_bounds_checked(self):
+        cdf = WeightedCdf([1.0])
+        with pytest.raises(ValueError):
+            cdf.quantile(1.5)
+
+    def test_scaled(self):
+        cdf = WeightedCdf([1.0, 2.0, 3.0])
+        scaled = cdf.scaled(10.0)
+        assert scaled.median == pytest.approx(10.0 * cdf.median)
+        assert scaled.fraction_at_most(20.0) == cdf.fraction_at_most(2.0)
+
+    def test_scaled_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            WeightedCdf([1.0]).scaled(0.0)
+
+    def test_series_is_nondecreasing(self):
+        cdf = WeightedCdf([3.0, 1.0, 2.0])
+        series = cdf.series([0, 1, 2, 3, 4])
+        fractions = [f for _, f in series]
+        assert fractions == sorted(fractions)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            WeightedCdf([])
+
+    def test_negative_weights_rejected(self):
+        with pytest.raises(ValueError):
+            WeightedCdf([1.0], weights=[-1.0])
+
+    def test_mismatched_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            WeightedCdf([1.0, 2.0], weights=[1.0])
+
+    def test_zero_total_weight_rejected(self):
+        with pytest.raises(ValueError):
+            WeightedCdf([1.0, 2.0], weights=[0.0, 0.0])
+
+    def test_summary_keys(self):
+        summary = WeightedCdf(np.arange(100.0)).summary()
+        assert set(summary) == {"p10", "p25", "median", "p75", "p90", "p95", "p99"}
+        assert summary["p10"] <= summary["median"] <= summary["p99"]
+
+
+class TestStats:
+    def test_box_stats_order(self):
+        box = box_stats([5.0, 1.0, 3.0, 2.0, 4.0])
+        assert box.minimum == 1.0 and box.maximum == 5.0
+        assert box.minimum <= box.q1 <= box.median <= box.q3 <= box.maximum
+        assert box.count == 5
+
+    def test_box_stats_empty_rejected(self):
+        with pytest.raises(ValueError):
+            box_stats([])
+
+    def test_weighted_mean(self):
+        assert weighted_mean([1.0, 3.0], [1.0, 3.0]) == pytest.approx(2.5)
+
+    def test_weighted_median(self):
+        assert weighted_median([1.0, 2.0, 100.0], [1.0, 1.0, 0.1]) == 2.0
+
+    def test_weighted_zero_weights_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_mean([1.0], [0.0])
+        with pytest.raises(ValueError):
+            weighted_median([1.0], [0.0])

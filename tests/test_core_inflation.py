@@ -1,0 +1,148 @@
+"""Inflation analysis (Eq. 1 / Eq. 2) over synthetic and real pipelines."""
+
+import pytest
+
+from repro.core import (
+    EFFICIENCY_EPS_MS,
+    cdn_geographic_inflation,
+    cdn_latency_inflation,
+    root_geographic_inflation,
+    root_latency_inflation,
+)
+from repro.ditl.join import JoinedRecursive
+from repro.geo import geographic_rtt_ms
+
+
+@pytest.fixture(scope="module")
+def roots_geo(scenario):
+    return root_geographic_inflation(scenario.joined_2018, scenario.letters_2018)
+
+
+@pytest.fixture(scope="module")
+def roots_lat(scenario):
+    return root_latency_inflation(
+        scenario.joined_2018, scenario.letters_2018, scenario.capture_2018
+    )
+
+
+@pytest.fixture(scope="module")
+def cdn_geo(scenario):
+    return cdn_geographic_inflation(scenario.server_logs, scenario.cdn)
+
+
+@pytest.fixture(scope="module")
+def cdn_lat(scenario):
+    return cdn_latency_inflation(scenario.server_logs, scenario.cdn)
+
+
+class TestRootGeographicInflation:
+    def test_single_site_letters_excluded(self, roots_geo):
+        assert "H" not in roots_geo.names  # one global site in 2018
+
+    def test_multi_site_letters_present(self, roots_geo):
+        assert {"B", "F", "J", "K", "L"} <= set(roots_geo.names)
+
+    def test_inflation_nonnegative(self, roots_geo):
+        for name in roots_geo.names:
+            assert roots_geo.per_deployment[name].values.min() >= 0.0
+
+    def test_nearly_all_users_inflated_somewhere(self, roots_geo):
+        """§3.2: on average, more than 95% of users experience inflation."""
+        assert roots_geo.combined is not None
+        assert roots_geo.combined.fraction_at_zero(EFFICIENCY_EPS_MS) < 0.10
+
+    def test_combined_below_worst_letter(self, roots_geo):
+        worst = max(
+            roots_geo.per_deployment[n].median for n in roots_geo.names
+        )
+        assert roots_geo.combined.median <= worst
+
+    def test_per_location_tables_populated(self, roots_geo):
+        assert roots_geo.per_location["All Roots"]
+        for name in roots_geo.names:
+            assert name in roots_geo.per_location
+
+    def test_efficiency_between_zero_and_one(self, roots_geo):
+        for name in roots_geo.names:
+            assert 0.0 <= roots_geo.efficiency(name) <= 1.0
+
+    def test_hand_built_row_matches_equation(self, scenario):
+        """Check Eq. 1 numerically on a single constructed row."""
+        deployment = scenario.letters_2018["B"]
+        world = scenario.internet.world
+        region_id = 0
+        sites = deployment.global_sites
+        d = [
+            world.region(region_id).location.distance_km(
+                world.region(s.region_id).location
+            )
+            for s in sites
+        ]
+        row = JoinedRecursive(
+            key=1, slash24=1, users=100, asn=10_000, region_id=region_id,
+            valid_by_letter={"B": 10.0},
+            site_valid_by_letter={"B": {sites[0].site_id: 7.0, sites[1].site_id: 3.0}},
+        )
+        result = root_geographic_inflation([row], {"B": deployment})
+        expected = geographic_rtt_ms((0.7 * d[0] + 0.3 * d[1]) - min(d))
+        assert result.per_deployment["B"].values[0] == pytest.approx(
+            max(0.0, expected), abs=1e-6
+        )
+
+
+class TestRootLatencyInflation:
+    def test_tcp_broken_letters_excluded(self, roots_lat):
+        assert "D" not in roots_lat.names
+        assert "L" not in roots_lat.names
+
+    def test_fig2b_letter_set(self, roots_lat):
+        from repro.anycast import LATENCY_LETTERS_2018
+
+        assert set(roots_lat.names) <= set(LATENCY_LETTERS_2018)
+        assert {"B", "F", "J", "K"} <= set(roots_lat.names)
+
+    def test_latency_tail_heavier_than_geographic(self, scenario, roots_geo, roots_lat):
+        """§3.2: latency inflation is larger in the tail than geographic
+        (C root: 240 ms vs 70 ms at p95)."""
+        for name in ("C", "A"):
+            if name in roots_lat.names and name in roots_geo.names:
+                assert roots_lat.per_deployment[name].quantile(0.95) > (
+                    roots_geo.per_deployment[name].quantile(0.95)
+                )
+
+    def test_combined_all_roots_less_inflated(self, roots_lat):
+        assert roots_lat.combined is not None
+        over_100 = {
+            name: roots_lat.per_deployment[name].fraction_above(100.0)
+            for name in roots_lat.names
+        }
+        assert roots_lat.combined.fraction_above(100.0) <= max(over_100.values())
+
+
+class TestCdnInflation:
+    def test_every_ring_present(self, cdn_geo, cdn_lat, scenario):
+        for result in (cdn_geo, cdn_lat):
+            assert set(result.names) == set(scenario.cdn.rings)
+
+    def test_most_users_zero_geographic_inflation(self, cdn_geo):
+        """§6: the majority of CDN users see no geographic inflation."""
+        for name in cdn_geo.names:
+            assert cdn_geo.per_deployment[name].fraction_at_zero(EFFICIENCY_EPS_MS) > 0.5
+
+    def test_cdn_beats_roots_at_every_checked_percentile(self, cdn_geo, roots_geo):
+        ring = cdn_geo.per_deployment["R110"]
+        roots = roots_geo.combined
+        for q in (0.5, 0.75, 0.9, 0.95):
+            assert ring.quantile(q) <= roots.quantile(q) + 1e-9
+
+    def test_latency_inflation_mostly_small(self, cdn_lat):
+        """§6: 99% of CDN users under 100 ms of latency inflation (the
+        small test world is coarser, so the bound here is looser)."""
+        for name in cdn_lat.names:
+            assert cdn_lat.per_deployment[name].fraction_at_most(100.0) > 0.90
+
+    def test_efficiency_decreases_with_ring_size(self, cdn_geo):
+        """§7.2: larger deployments are less efficient."""
+        small = cdn_geo.efficiency("R28")
+        large = cdn_geo.efficiency("R110")
+        assert large <= small + 0.05

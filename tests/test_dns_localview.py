@@ -1,0 +1,60 @@
+"""Local-perspective DNS experiments (§4.3, Appendix D)."""
+
+import numpy as np
+import pytest
+
+
+class TestIsiExperiment:
+    def test_miss_rate_is_small(self, scenario):
+        """§4.3: daily root cache miss rates range 0.1%–2.5%."""
+        isi = scenario.isi_result
+        assert 0.0005 < isi.overall_miss_rate < 0.06
+        assert 0.0005 < isi.median_daily_miss_rate < 0.06
+
+    def test_daily_rates_cover_each_day(self, scenario):
+        isi = scenario.isi_result
+        assert len(isi.daily_miss_rates) >= int(scenario.config.isi_days) - 1
+
+    def test_many_queries_sub_millisecond(self, scenario):
+        """Fig. 12: roughly half of client queries are cache hits."""
+        latencies = scenario.isi_result.latency_cdf_ms()
+        frac_fast = float((latencies < 1.0).mean())
+        assert 0.25 < frac_fast < 0.8
+
+    def test_root_latency_rarely_experienced(self, scenario):
+        """Fig. 13: <1%-ish of queries touch a root; almost none wait
+        >100 ms on a root."""
+        isi = scenario.isi_result
+        assert isi.fraction_queries_touching_root() < 0.05
+        assert isi.fraction_root_latency_over_ms(100.0) < 0.005
+
+    def test_root_latency_cdf_mostly_zero(self, scenario):
+        roots = scenario.isi_result.root_latency_cdf_ms()
+        assert float((roots == 0.0).mean()) > 0.9
+
+
+class TestAuthorExperiment:
+    def test_miss_rate_larger_without_shared_cache(self, scenario):
+        """§4.3: the single-user resolver misses more than the shared one."""
+        assert (
+            scenario.author_result.median_daily_miss_rate
+            > scenario.isi_result.median_daily_miss_rate
+        )
+
+    def test_root_latency_share_of_page_load_tiny(self, scenario):
+        """§4.3: root DNS is ~1.6% of page-load time, 0.05% of browsing."""
+        author = scenario.author_result
+        assert 0.0 < author.root_share_of_page_load < 0.05
+        assert 0.0 < author.root_share_of_browsing < 0.005
+        assert author.root_share_of_browsing < author.root_share_of_page_load
+
+    def test_daily_series_lengths_match(self, scenario):
+        author = scenario.author_result
+        assert len(author.daily_root_latency_ms) == len(author.daily_page_load_ms)
+        assert len(author.daily_page_load_ms) == len(author.daily_active_browse_ms)
+
+    def test_browsing_dwarfs_page_loads(self, scenario):
+        author = scenario.author_result
+        assert np.median(author.daily_active_browse_ms) > np.median(
+            author.daily_page_load_ms
+        )

@@ -1,0 +1,159 @@
+"""Geometry and latency-floor substrate."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.geo import (
+    EARTH_RADIUS_KM,
+    GeoPoint,
+    SPEED_OF_LIGHT_FIBER_KM_PER_MS,
+    derive_seed,
+    geographic_rtt_ms,
+    great_circle_km,
+    jitter_around,
+    make_rng,
+    optimal_rtt_ms,
+    pairwise_distance_km,
+    path_rtt_ms,
+    spawn,
+)
+
+
+class TestGeoPoint:
+    def test_valid_construction(self):
+        point = GeoPoint(40.7, -74.0)
+        assert point.lat == 40.7
+        assert point.lon == -74.0
+
+    @pytest.mark.parametrize("lat", [-90.0, 0.0, 90.0])
+    def test_boundary_latitudes_accepted(self, lat):
+        GeoPoint(lat, 0.0)
+
+    @pytest.mark.parametrize("lat", [-90.1, 91.0, 200.0])
+    def test_bad_latitude_rejected(self, lat):
+        with pytest.raises(ValueError):
+            GeoPoint(lat, 0.0)
+
+    @pytest.mark.parametrize("lon", [-180.1, 181.0])
+    def test_bad_longitude_rejected(self, lon):
+        with pytest.raises(ValueError):
+            GeoPoint(0.0, lon)
+
+    def test_distance_to_self_is_zero(self):
+        point = GeoPoint(12.0, 34.0)
+        assert point.distance_km(point) == 0.0
+
+    def test_distance_symmetry(self):
+        a, b = GeoPoint(40.7, -74.0), GeoPoint(51.5, -0.1)
+        assert a.distance_km(b) == pytest.approx(b.distance_km(a))
+
+    def test_known_distance_nyc_london(self):
+        # NYC to London is roughly 5,570 km.
+        a, b = GeoPoint(40.7128, -74.0060), GeoPoint(51.5074, -0.1278)
+        assert a.distance_km(b) == pytest.approx(5_570, rel=0.01)
+
+    def test_antipodal_distance_is_half_circumference(self):
+        a, b = GeoPoint(0.0, 0.0), GeoPoint(0.0, 180.0)
+        assert a.distance_km(b) == pytest.approx(math.pi * EARTH_RADIUS_KM, rel=1e-6)
+
+
+class TestGreatCircle:
+    def test_equator_degree_is_about_111km(self):
+        assert great_circle_km(0, 0, 0, 1) == pytest.approx(111.2, rel=0.01)
+
+    def test_triangle_inequality(self):
+        a, b, c = GeoPoint(0, 0), GeoPoint(10, 10), GeoPoint(20, -5)
+        assert a.distance_km(c) <= a.distance_km(b) + b.distance_km(c) + 1e-9
+
+    def test_pairwise_matches_scalar(self):
+        lats1, lons1 = np.array([0.0, 40.0]), np.array([0.0, -74.0])
+        lats2, lons2 = np.array([51.5, -33.9]), np.array([-0.1, 151.2])
+        matrix = pairwise_distance_km(lats1, lons1, lats2, lons2)
+        assert matrix.shape == (2, 2)
+        for i in range(2):
+            for j in range(2):
+                expected = great_circle_km(lats1[i], lons1[i], lats2[j], lons2[j])
+                assert matrix[i, j] == pytest.approx(expected, rel=1e-9)
+
+
+class TestJitterAround:
+    def test_stays_within_radius(self):
+        rng = make_rng(0, "jitter")
+        center = GeoPoint(48.0, 2.0)
+        for _ in range(200):
+            point = jitter_around(center, 100.0, rng)
+            # flat-earth approximation error is small at 100 km
+            assert center.distance_km(point) <= 105.0
+
+    def test_produces_valid_coordinates_near_poles(self):
+        rng = make_rng(1, "jitter")
+        center = GeoPoint(89.5, 10.0)
+        for _ in range(50):
+            point = jitter_around(center, 300.0, rng)
+            assert -90.0 <= point.lat <= 90.0
+            assert -180.0 <= point.lon <= 180.0
+
+    def test_longitude_wraps(self):
+        rng = make_rng(2, "jitter")
+        center = GeoPoint(0.0, 179.9)
+        points = [jitter_around(center, 500.0, rng) for _ in range(100)]
+        assert all(-180.0 <= p.lon <= 180.0 for p in points)
+
+
+class TestLatencyModel:
+    def test_1000km_is_10ms_geographic(self):
+        assert geographic_rtt_ms(1_000.0) == pytest.approx(10.0)
+
+    def test_optimal_is_1_5x_geographic(self):
+        assert optimal_rtt_ms(1_000.0) == pytest.approx(15.0)
+
+    def test_speed_constant(self):
+        assert SPEED_OF_LIGHT_FIBER_KM_PER_MS == 200.0
+
+    def test_path_rtt_monotone_in_stretch(self):
+        a, b = GeoPoint(0, 0), GeoPoint(10, 10)
+        low = path_rtt_ms([a, b], stretch=1.0, jitter_frac=0.0)
+        high = path_rtt_ms([a, b], stretch=1.5, jitter_frac=0.0)
+        assert high > low
+
+    def test_path_rtt_adds_hop_costs(self):
+        a, b, c = GeoPoint(0, 0), GeoPoint(5, 5), GeoPoint(10, 10)
+        direct = path_rtt_ms([a, c], hop_cost_ms=1.0, jitter_frac=0.0, stretch=1.0)
+        detour = path_rtt_ms([a, b, c], hop_cost_ms=1.0, jitter_frac=0.0, stretch=1.0)
+        # same great-circle track, one extra hop
+        assert detour == pytest.approx(direct + 1.0, rel=0.01)
+
+    def test_path_rtt_needs_two_waypoints(self):
+        with pytest.raises(ValueError):
+            path_rtt_ms([GeoPoint(0, 0)])
+
+    def test_jitter_is_multiplicative_and_seeded(self):
+        a, b = GeoPoint(0, 0), GeoPoint(30, 30)
+        r1 = path_rtt_ms([a, b], rng=make_rng(7, "x"), jitter_frac=0.1)
+        r2 = path_rtt_ms([a, b], rng=make_rng(7, "x"), jitter_frac=0.1)
+        assert r1 == r2
+        base = path_rtt_ms([a, b], jitter_frac=0.0)
+        assert 0.5 * base < r1 < 2.0 * base
+
+
+class TestRng:
+    def test_derive_seed_is_stable(self):
+        assert derive_seed(1, "topology") == derive_seed(1, "topology")
+
+    def test_derive_seed_varies_with_label(self):
+        assert derive_seed(1, "a") != derive_seed(1, "b")
+
+    def test_derive_seed_varies_with_root(self):
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_make_rng_reproducible(self):
+        a = make_rng(3, "x").integers(0, 1_000_000, size=10)
+        b = make_rng(3, "x").integers(0, 1_000_000, size=10)
+        assert (a == b).all()
+
+    def test_spawn_children_are_independent(self):
+        children = spawn(make_rng(0, "parent"), 3)
+        draws = [c.integers(0, 2**32) for c in children]
+        assert len(set(draws)) == 3

@@ -1,0 +1,227 @@
+"""Measurement platforms: Atlas, server logs, client-side, geolocation."""
+
+import numpy as np
+import pytest
+
+from repro.measurement import (
+    AtlasPlatform,
+    Geolocator,
+    collect_client_measurements,
+    collect_server_logs,
+)
+from repro.measurement.atlas import Hop
+
+
+class TestAtlas:
+    def test_probe_count(self, scenario):
+        assert len(scenario.atlas.probes) == scenario.config.n_probes
+
+    def test_probes_live_in_eyeballs(self, scenario, internet):
+        eyeballs = set(internet.eyeball_asns)
+        assert scenario.atlas.asns() <= eyeballs
+
+    def test_probes_biased_toward_europe(self, internet):
+        atlas = AtlasPlatform(internet, n_probes=400, europe_bias=6.0, seed=1)
+        world = internet.world
+        europe = sum(
+            1 for p in atlas.probes
+            if world.region(p.region_id).continent == "Europe"
+        )
+        europe_regions = len(world.by_continent("Europe"))
+        assert europe / len(atlas.probes) > europe_regions / len(world)
+
+    def test_ping_returns_samples(self, scenario, letters):
+        results = scenario.atlas.ping(letters["F"], attempts=2)
+        assert len(results) == len(scenario.atlas.probes)
+        for samples in results.values():
+            assert len(samples) in (0, 2)
+            assert all(rtt > 0 for rtt in samples)
+
+    def test_median_rtts_positive(self, scenario, cdn):
+        medians = scenario.atlas.median_rtts(cdn.rings["R28"])
+        assert medians
+        assert all(m > 0 for m in medians)
+
+    def test_traceroute_cleaning(self, scenario, letters):
+        probe = scenario.atlas.probes[0]
+        route = scenario.atlas.traceroute(letters["J"], probe)
+        assert route is not None
+        sequence = route.as_sequence()
+        assert sequence[0] == probe.asn
+        # cleaning removes non-AS hops and consecutive duplicates
+        assert all(
+            a != b for a, b in zip(sequence, sequence[1:])
+        )
+
+    def test_traceroute_contains_noise_hops(self, scenario, letters):
+        kinds = set()
+        for probe in scenario.atlas.probes[:80]:
+            route = scenario.atlas.traceroute(letters["J"], probe)
+            if route:
+                kinds |= {hop.kind for hop in route.hops}
+        assert "as" in kinds
+        assert kinds & {"ixp", "private", "star"}
+
+    def test_hop_validation(self):
+        with pytest.raises(ValueError):
+            Hop("bogus")
+        with pytest.raises(ValueError):
+            Hop("as")  # missing asn
+        with pytest.raises(ValueError):
+            Hop("ixp", asn=5)
+
+    def test_needs_probes(self, internet):
+        with pytest.raises(ValueError):
+            AtlasPlatform(internet, n_probes=0)
+
+
+class TestServerLogs:
+    def test_rows_for_every_ring(self, scenario):
+        assert scenario.server_logs.rings == sorted(scenario.cdn.rings)
+
+    def test_front_end_is_catchment(self, scenario):
+        for row in scenario.server_logs.rows[:100]:
+            ring = scenario.cdn.rings[row.ring]
+            flow = ring.resolve(row.asn, row.region_id)
+            assert flow is not None
+            assert flow.site.site_id == row.front_end_site_id
+
+    def test_median_rtt_near_base(self, scenario):
+        ratios = []
+        for row in scenario.server_logs.rows[:200]:
+            ring = scenario.cdn.rings[row.ring]
+            flow = ring.resolve(row.asn, row.region_id)
+            ratios.append(row.median_rtt_ms / max(0.1, flow.base_rtt_ms))
+        assert 0.9 < float(np.median(ratios)) < 1.1
+
+    def test_samples_scale_with_users(self, scenario):
+        rows = scenario.server_logs.for_ring("R110")
+        big = max(rows, key=lambda r: r.users)
+        small = min(rows, key=lambda r: r.users)
+        assert big.samples >= small.samples
+
+
+class TestClientSide:
+    def test_every_location_measures_every_ring(self, scenario):
+        by_location = scenario.client_measurements.by_location()
+        n_rings = len(scenario.cdn.rings)
+        complete = sum(1 for rows in by_location.values() if len(rows) == n_rings)
+        assert complete / len(by_location) > 0.95
+
+    def test_fetch_includes_turnaround(self, scenario):
+        for row in scenario.client_measurements.rows[:100]:
+            ring = scenario.cdn.rings[row.ring]
+            flow = ring.resolve(row.asn, row.region_id)
+            assert row.median_fetch_ms > flow.base_rtt_ms * 0.8
+
+    def test_for_ring_filter(self, scenario):
+        rows = scenario.client_measurements.for_ring("R47")
+        assert rows
+        assert all(r.ring == "R47" for r in rows)
+
+
+class TestGeolocator:
+    def test_known_blocks_mostly_correct(self, scenario, recursives):
+        geo = scenario.geolocator
+        correct = sum(
+            1 for c in recursives if geo.locate_slash24(c.slash24) == c.region_id
+        )
+        assert correct / len(recursives) > 0.85
+
+    def test_errors_are_nearby(self, scenario, recursives, world):
+        geo = scenario.geolocator
+        for cluster in recursives:
+            located = geo.locate_slash24(cluster.slash24)
+            if located != cluster.region_id:
+                km = world.region(located).location.distance_km(
+                    world.region(cluster.region_id).location
+                )
+                assert km <= 1_100.0
+
+    def test_unknown_blocks_get_stable_answer(self, scenario, world):
+        geo = scenario.geolocator
+        region = geo.locate_slash24(0x123456)
+        assert region == geo.locate_slash24(0x123456)
+        assert 0 <= region < len(world)
+
+    def test_contains(self, scenario, recursives):
+        geo = scenario.geolocator
+        assert recursives.clusters[0].slash24 in geo
+        assert 0x123456 not in geo
+
+    def test_error_rate_validation(self, world, recursives):
+        with pytest.raises(ValueError):
+            Geolocator(world, recursives, error_rate=1.0)
+
+
+class TestCollectors:
+    def test_server_logs_deterministic(self, scenario):
+        logs1 = collect_server_logs(scenario.cdn, scenario.user_base, seed=99)
+        logs2 = collect_server_logs(scenario.cdn, scenario.user_base, seed=99)
+        assert [r.median_rtt_ms for r in logs1.rows] == [r.median_rtt_ms for r in logs2.rows]
+
+    def test_client_measurements_deterministic(self, scenario):
+        m1 = collect_client_measurements(scenario.cdn, scenario.user_base, seed=98)
+        m2 = collect_client_measurements(scenario.cdn, scenario.user_base, seed=98)
+        assert [r.median_fetch_ms for r in m1.rows] == [r.median_fetch_ms for r in m2.rows]
+
+
+class TestAtlasBias:
+    def test_probe_latencies_skew_below_user_latencies(self, scenario):
+        """§5.2: Atlas probes sit in well-connected networks, so their
+        latency distribution under-estimates what users globally see."""
+        import numpy as np
+
+        from repro.core import WeightedCdf
+
+        ring = scenario.cdn.largest_ring
+        probe_median = float(np.median(scenario.atlas.median_rtts(ring)))
+        rows = scenario.server_logs.for_ring(ring.name)
+        users = WeightedCdf(
+            [row.median_rtt_ms for row in rows],
+            [float(row.users) for row in rows],
+        )
+        assert probe_median <= users.median * 1.5
+
+
+class TestFootprintBias:
+    """Table 3's server-side weakness: populations differ across rings."""
+
+    def _medians(self, logs):
+        from repro.core import WeightedCdf
+
+        medians = {}
+        for ring in logs.rings:
+            rows = logs.for_ring(ring)
+            medians[ring] = WeightedCdf(
+                [r.median_rtt_ms for r in rows], [float(r.users) for r in rows]
+            ).median
+        return medians
+
+    def test_small_rings_log_fewer_locations(self, scenario):
+        from repro.measurement import collect_biased_server_logs
+
+        biased = collect_biased_server_logs(
+            scenario.cdn, scenario.user_base, scenario.internet.topology, seed=5
+        )
+        per_ring = {ring: len(biased.for_ring(ring)) for ring in biased.rings}
+        order = sorted(per_ring, key=lambda n: int(n.lstrip("R")))
+        assert per_ring[order[0]] < per_ring[order[-1]]
+
+    def test_footprint_bias_distorts_ring_comparison(self, scenario):
+        """The biased logs understate how much bigger rings help: the
+        small ring's (enterprise, well-connected) population was already
+        fast, so the apparent ring-size gain shrinks."""
+        from repro.measurement import collect_biased_server_logs
+
+        biased = collect_biased_server_logs(
+            scenario.cdn, scenario.user_base, scenario.internet.topology, seed=5
+        )
+        unbiased = scenario.server_logs
+        biased_m = self._medians(biased)
+        unbiased_m = self._medians(unbiased)
+        order = sorted(unbiased_m, key=lambda n: int(n.lstrip("R")))
+        small, large = order[0], order[-1]
+        biased_gap = biased_m[small] - biased_m[large]
+        true_gap = unbiased_m[small] - unbiased_m[large]
+        assert biased_gap <= true_gap + 2.0

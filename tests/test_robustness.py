@@ -1,0 +1,61 @@
+"""Seed robustness: the headline shapes are not one lucky draw.
+
+A second, independently seeded world must reproduce the paper's
+qualitative results.  (Kept to the cheap analyses — no packet-level
+resolver runs here.)
+"""
+
+import pytest
+
+from repro.core import (
+    amortize_cdn,
+    amortize_ideal,
+    cdn_geographic_inflation,
+    root_geographic_inflation,
+)
+from repro.experiments import Scenario
+
+
+@pytest.fixture(scope="module")
+def other_scenario():
+    return Scenario(scale="small", seed=20_240_823)
+
+
+class TestSeedRobustness:
+    def test_root_inflation_ubiquitous(self, other_scenario):
+        result = root_geographic_inflation(
+            other_scenario.joined_2018, other_scenario.letters_2018
+        )
+        assert result.combined is not None
+        assert result.combined.fraction_at_zero(0.5) < 0.15
+
+    def test_amortisation_gap_holds(self, other_scenario):
+        cdn = amortize_cdn(other_scenario.joined_2018)
+        ideal = amortize_ideal(other_scenario.joined_2018, other_scenario.zone)
+        assert 0.02 < cdn.median < 30.0
+        assert ideal.median < cdn.median / 20.0
+
+    def test_cdn_stays_mostly_uninflated(self, other_scenario):
+        result = cdn_geographic_inflation(
+            other_scenario.server_logs, other_scenario.cdn
+        )
+        largest = sorted(result.names, key=lambda n: int(n.lstrip("R")))[-1]
+        assert result.per_deployment[largest].fraction_at_zero(0.5) > 0.45
+
+    def test_cdn_beats_roots(self, other_scenario):
+        roots = root_geographic_inflation(
+            other_scenario.joined_2018, other_scenario.letters_2018
+        )
+        cdn = cdn_geographic_inflation(other_scenario.server_logs, other_scenario.cdn)
+        largest = sorted(cdn.names, key=lambda n: int(n.lstrip("R")))[-1]
+        for q in (0.5, 0.9):
+            assert (
+                cdn.per_deployment[largest].quantile(q)
+                <= roots.combined.quantile(q) + 1e-9
+            )
+
+    def test_different_seed_really_differs(self, scenario, other_scenario):
+        """Guard against accidentally sharing state between scenarios."""
+        a = scenario.internet.world.populations()
+        b = other_scenario.internet.world.populations()
+        assert (a != b).any()

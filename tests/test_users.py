@@ -1,0 +1,157 @@
+"""User substrate: world, populations, recursives, count estimators."""
+
+import numpy as np
+import pytest
+
+from repro.users import (
+    build_apnic_counts,
+    build_cdn_counts,
+    build_recursives,
+    build_user_base,
+    build_world,
+)
+
+
+class TestWorld:
+    def test_total_population_respected(self):
+        world = build_world(seed=2, total_population=1_000_000, region_scale=0.1)
+        assert world.populations().sum() == pytest.approx(1_000_000, rel=0.02)
+
+    def test_population_must_be_positive(self):
+        with pytest.raises(ValueError):
+            build_world(total_population=0)
+
+    def test_deterministic(self):
+        w1 = build_world(seed=3, region_scale=0.1)
+        w2 = build_world(seed=3, region_scale=0.1)
+        assert [r.population for r in w1.regions] == [r.population for r in w2.regions]
+        assert [r.location for r in w1.regions] == [r.location for r in w2.regions]
+
+    def test_every_continent_has_a_region(self):
+        world = build_world(seed=1, region_scale=0.05)
+        continents = {r.continent for r in world.regions}
+        assert "Antarctica" in continents and "Asia" in continents
+
+    def test_top_regions_sorted(self):
+        world = build_world(seed=1, region_scale=0.2)
+        top = world.top_regions(10)
+        populations = [r.population for r in top]
+        assert populations == sorted(populations, reverse=True)
+
+    def test_region_ids_are_indices(self, world):
+        for index, region in enumerate(world.regions):
+            assert region.region_id == index
+
+    def test_distance_matrix_shape(self, world):
+        lats = np.array([0.0, 45.0])
+        lons = np.array([0.0, 90.0])
+        matrix = world.distances_to_points_km(lats, lons)
+        assert matrix.shape == (len(world), 2)
+        assert (matrix >= 0).all()
+
+
+class TestUserBase:
+    def test_population_conserved_roughly(self, user_base, world):
+        # users only exist in regions hosting at least one eyeball AS
+        assert 0.5 < user_base.total_users / world.populations().sum() <= 1.01
+
+    def test_public_dns_share_bounds(self, user_base):
+        for location in user_base:
+            assert 0.0 <= location.public_dns_share <= 1.0
+            assert location.isp_dns_users + location.public_dns_users == pytest.approx(
+                location.users, abs=1
+            )
+
+    def test_per_asn_totals_consistent(self, user_base):
+        manual: dict[int, int] = {}
+        for location in user_base:
+            manual[location.asn] = manual.get(location.asn, 0) + location.users
+        for asn, total in manual.items():
+            assert user_base.users_of_asn(asn) == total
+
+    def test_in_region_lookup(self, user_base):
+        location = user_base.locations[0]
+        assert location in user_base.in_region(location.region_id)
+
+
+class TestRecursives:
+    def test_cluster_slash24s_unique(self, recursives):
+        keys = [c.slash24 for c in recursives]
+        assert len(keys) == len(set(keys))
+
+    def test_backend_ips_live_in_their_slash24(self, recursives):
+        for cluster in recursives:
+            for ip in cluster.backend_ips + cluster.egress_ips:
+                assert ip >> 8 == cluster.slash24
+
+    def test_automated_clusters_have_no_users(self, recursives):
+        automated = [c for c in recursives if c.is_automated]
+        assert automated, "expected some automated clusters"
+        assert all(c.users == 0 for c in automated)
+
+    def test_forwarders_not_captured(self, recursives):
+        forwarders = [c for c in recursives if not c.captured_in_ditl]
+        assert forwarders, "expected some forwarding clusters"
+        assert all(not c.is_automated for c in forwarders)
+
+    def test_buggy_clusters_have_big_inefficiency(self, recursives):
+        buggy = [c for c in recursives if c.has_redundant_bug and not c.is_automated]
+        clean = [c for c in recursives if not c.has_redundant_bug and not c.is_automated]
+        assert buggy and clean
+        assert np.median([c.cache_inefficiency for c in buggy]) > np.median(
+            [c.cache_inefficiency for c in clean]
+        )
+
+    def test_public_dns_exists_and_aggregates_users(self, recursives):
+        public = recursives.public_dns_clusters()
+        assert public
+        assert max(c.users for c in public) > 0
+
+    def test_deterministic(self, internet, user_base):
+        r1 = build_recursives(internet, user_base, seed=77)
+        r2 = build_recursives(internet, user_base, seed=77)
+        assert [c.slash24 for c in r1] == [c.slash24 for c in r2]
+        assert [c.cache_inefficiency for c in r1] == [c.cache_inefficiency for c in r2]
+
+
+class TestUserCounts:
+    def test_cdn_counts_undercount_via_nat(self, recursives):
+        counts = build_cdn_counts(recursives, seed=1, coverage=1.0)
+        assert 0 < counts.total_observed_users < recursives.total_users
+
+    def test_cdn_counts_skip_automated(self, recursives):
+        counts = build_cdn_counts(recursives, seed=1, coverage=1.0)
+        observed = counts.aggregate_slash24()
+        for cluster in recursives:
+            if cluster.is_automated:
+                assert cluster.slash24 not in observed
+
+    def test_cdn_coverage_drops_clusters(self, recursives):
+        full = build_cdn_counts(recursives, seed=1, coverage=1.0)
+        partial = build_cdn_counts(recursives, seed=1, coverage=0.5)
+        assert len(partial.aggregate_slash24()) < len(full.aggregate_slash24())
+
+    def test_slash24_aggregation_sums(self, recursives):
+        counts = build_cdn_counts(recursives, seed=2)
+        aggregated = counts.aggregate_slash24()
+        assert sum(aggregated.values()) == counts.total_observed_users
+
+    def test_apnic_estimates_positive_and_noisy(self, user_base):
+        counts = build_apnic_counts(user_base, seed=3)
+        assert len(counts) == len(user_base.asns())
+        ratios = [
+            counts.users_of(asn) / user_base.users_of_asn(asn)
+            for asn in user_base.asns()
+            if user_base.users_of_asn(asn) > 1000
+        ]
+        assert 0.8 < float(np.median(ratios)) < 1.25
+        assert float(np.std(ratios)) > 0.05  # genuinely noisy
+
+    def test_apnic_cloud_asns_get_small_native_estimates(self, user_base, internet):
+        counts = build_apnic_counts(user_base, seed=3, cloud_asns=internet.cloud_asns)
+        for asn in internet.cloud_asns:
+            assert 0 < counts.users_of(asn) < 500_000
+
+    def test_apnic_unknown_asn_is_zero(self, user_base):
+        counts = build_apnic_counts(user_base, seed=3)
+        assert counts.users_of(999_999) == 0

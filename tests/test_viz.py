@@ -1,0 +1,60 @@
+"""Terminal figure rendering."""
+
+import pytest
+
+from repro.core import render_cdf_grid, render_series
+
+
+@pytest.fixture()
+def sample_series():
+    return {
+        "alpha": [(0.0, 0.0), (10.0, 0.5), (20.0, 1.0)],
+        "beta": [(0.0, 0.2), (10.0, 0.8), (20.0, 1.0)],
+    }
+
+
+class TestRenderSeries:
+    def test_contains_legend_and_axes(self, sample_series):
+        text = render_series(sample_series)
+        assert "alpha" in text and "beta" in text
+        assert "CDF" in text
+        assert "+" + "-" * 10 in text  # the x axis
+
+    def test_distinct_markers(self, sample_series):
+        text = render_series(sample_series)
+        assert " o alpha" in text
+        assert " x beta" in text
+
+    def test_empty_series(self):
+        assert "no series" in render_series({})
+
+    def test_log_axis_skips_nonpositive(self):
+        series = {"line": [(0.0, 0.1), (1.0, 0.5), (100.0, 1.0)]}
+        text = render_series(series, logx=True)
+        assert "10^" in text
+
+    def test_dimensions_respected(self, sample_series):
+        text = render_series(sample_series, width=30, height=8)
+        body = [line for line in text.splitlines() if line.startswith(("0", "1", " "))]
+        plot_rows = [line for line in body if "|" in line]
+        assert len(plot_rows) == 8
+
+    def test_experiment_series_render(self, scenario):
+        from repro.experiments import run_experiment
+
+        result = run_experiment("fig03", scenario)
+        text = render_series(result.series, logx=True)
+        assert "Ideal" in text and "CDN" in text and "APNIC" in text
+
+
+class TestRenderCdfGrid:
+    def test_grid_has_requested_columns(self, sample_series):
+        text = render_cdf_grid(sample_series, columns=[0.0, 10.0, 20.0])
+        lines = text.splitlines()
+        assert len(lines) == 3
+        assert "alpha" in lines[1]
+
+    def test_missing_x_uses_nearest_below(self, sample_series):
+        text = render_cdf_grid(sample_series, columns=[15.0])
+        # F(15) for alpha should report the value at 10 (0.5)
+        assert "0.500" in text

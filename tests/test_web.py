@@ -1,0 +1,128 @@
+"""TCP slow-start model and page-load RTT accounting (Appendix C)."""
+
+import math
+
+import pytest
+
+from repro.geo import make_rng
+from repro.web import (
+    ConnectionTrace,
+    DEFAULT_INIT_WINDOW_BYTES,
+    HANDSHAKE_RTTS,
+    PageLoadTrace,
+    build_page_corpus,
+    connection_rtts,
+    estimate_rtts_per_page_load,
+    load_page,
+    page_load_rtts,
+    transfer_rtts,
+)
+
+
+class TestEquation4:
+    def test_zero_bytes_zero_rtts(self):
+        assert transfer_rtts(0) == 0
+
+    def test_fits_in_initial_window(self):
+        assert transfer_rtts(1) == 1
+        assert transfer_rtts(DEFAULT_INIT_WINDOW_BYTES) == 1
+
+    @pytest.mark.parametrize(
+        "multiple,expected",
+        [(2, 1), (3, 2), (4, 2), (5, 3), (8, 3), (9, 4), (16, 4), (17, 5)],
+    )
+    def test_slow_start_doubling(self, multiple, expected):
+        data = DEFAULT_INIT_WINDOW_BYTES * multiple
+        assert transfer_rtts(data) == expected
+
+    def test_matches_formula(self):
+        for data in (20_000, 100_000, 1_000_000, 10_000_000):
+            expected = math.ceil(math.log2(data / DEFAULT_INIT_WINDOW_BYTES))
+            assert transfer_rtts(data) == max(1, expected)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            transfer_rtts(-1)
+
+    def test_bad_window_rejected(self):
+        with pytest.raises(ValueError):
+            transfer_rtts(100, init_window=0)
+
+    def test_bigger_window_fewer_rtts(self):
+        assert transfer_rtts(1_000_000, init_window=60_000) < transfer_rtts(
+            1_000_000, init_window=15_000
+        )
+
+    def test_connection_rtts_handshakes(self):
+        assert connection_rtts(100, include_handshakes=True) == 1 + HANDSHAKE_RTTS
+        assert connection_rtts(100, include_handshakes=False) == 1
+
+
+class TestConnectionTrace:
+    def test_overlap_detection(self):
+        a = ConnectionTrace(100, 0.0, 1.0)
+        b = ConnectionTrace(100, 0.5, 1.5)
+        c = ConnectionTrace(100, 1.0, 2.0)
+        assert a.overlaps(b) and b.overlaps(a)
+        assert not a.overlaps(c)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ConnectionTrace(100, 1.0, 0.5)
+        with pytest.raises(ValueError):
+            ConnectionTrace(-1, 0.0, 1.0)
+
+
+class TestPageLoadRtts:
+    def test_single_connection(self):
+        trace = PageLoadTrace("p", (ConnectionTrace(DEFAULT_INIT_WINDOW_BYTES * 8, 0, 1),))
+        assert page_load_rtts(trace) == 3 + HANDSHAKE_RTTS
+
+    def test_parallel_connections_not_double_counted(self):
+        big = ConnectionTrace(DEFAULT_INIT_WINDOW_BYTES * 8, 0.0, 2.0)
+        overlapping = ConnectionTrace(DEFAULT_INIT_WINDOW_BYTES * 8, 0.5, 1.5)
+        trace = PageLoadTrace("p", (big, overlapping))
+        assert page_load_rtts(trace) == 3 + HANDSHAKE_RTTS
+
+    def test_serial_connections_accumulate(self):
+        first = ConnectionTrace(DEFAULT_INIT_WINDOW_BYTES * 8, 0.0, 1.0)
+        second = ConnectionTrace(DEFAULT_INIT_WINDOW_BYTES * 4, 1.5, 2.0)
+        trace = PageLoadTrace("p", (first, second))
+        assert page_load_rtts(trace) == 3 + 2 + HANDSHAKE_RTTS
+
+    def test_largest_connection_always_counted(self):
+        # A small early connection must not block the dominant one.
+        small = ConnectionTrace(1_000, 0.0, 5.0)
+        big = ConnectionTrace(DEFAULT_INIT_WINDOW_BYTES * 16, 1.0, 3.0)
+        trace = PageLoadTrace("p", (small, big))
+        # big is counted first (most data); small overlaps it and is skipped
+        assert page_load_rtts(trace) == 4 + HANDSHAKE_RTTS
+
+
+class TestCorpus:
+    def test_corpus_size(self):
+        assert len(build_page_corpus(9, seed=0)) == 9
+
+    def test_load_page_has_dominant_connection(self):
+        corpus = build_page_corpus(3, seed=1)
+        rng = make_rng(0, "pages-test")
+        trace = load_page(corpus[0], rng)
+        sizes = sorted(c.bytes_transferred for c in trace.connections)
+        assert sizes[-1] >= corpus[0].main_bytes_mean * 0.4
+
+    def test_estimate_matches_paper_shape(self):
+        corpus = build_page_corpus(9, seed=0)
+        estimate = estimate_rtts_per_page_load(corpus, loads_per_page=20, seed=0)
+        assert len(estimate.rtt_counts) == 180
+        # Paper: only a few percent of loads complete within 10 RTTs and
+        # 90% within 20; 10 is a sound lower bound.
+        assert 8 <= estimate.lower_bound <= 12
+        assert estimate.fraction_within(10) < 0.35
+        assert estimate.fraction_within(20) > 0.6
+        assert estimate.median >= estimate.lower_bound
+
+    def test_estimate_deterministic(self):
+        corpus = build_page_corpus(5, seed=2)
+        e1 = estimate_rtts_per_page_load(corpus, loads_per_page=5, seed=3)
+        e2 = estimate_rtts_per_page_load(corpus, loads_per_page=5, seed=3)
+        assert e1.rtt_counts == e2.rtt_counts
