@@ -1,0 +1,65 @@
+"""Engine benchmarks: cold vs warm artifact cache, serial vs parallel.
+
+These establish the perf baseline for the experiment engine itself:
+
+* ``cold`` — one experiment against an empty cache (substrate built
+  from scratch, artifacts written);
+* ``warm`` — the same experiment against the populated cache (the
+  acceptance floor is a ≥5× speedup; in practice it is orders of
+  magnitude because the result itself is cached);
+* ``all_serial`` / ``all_parallel`` — every experiment through
+  ``run_experiments`` with 1 vs 4 workers, each on a fresh cache.
+"""
+
+from __future__ import annotations
+
+from repro.engine import ArtifactCache, run_experiments
+from repro.experiments import Scenario, list_experiments, run_experiment
+
+from .conftest import bench_scale, run_once
+
+BENCH_EXPERIMENT = "fig02a"
+
+
+def _scenario(cache_root) -> Scenario:
+    return Scenario(scale=bench_scale(), seed=0, cache=ArtifactCache(root=cache_root))
+
+
+def test_bench_engine_cold_cache(benchmark, tmp_path_factory):
+    def cold():
+        return run_experiment(BENCH_EXPERIMENT, _scenario(tmp_path_factory.mktemp("cold")))
+
+    result = run_once(benchmark, cold)
+    assert result.report.cache_hit is False
+
+
+def test_bench_engine_warm_cache(benchmark, tmp_path_factory):
+    root = tmp_path_factory.mktemp("warm")
+    run_experiment(BENCH_EXPERIMENT, _scenario(root))
+
+    def warm():
+        return run_experiment(BENCH_EXPERIMENT, _scenario(root))
+
+    result = run_once(benchmark, warm)
+    assert result.report.cache_hit is True
+
+
+def test_bench_all_serial(benchmark, tmp_path_factory):
+    def serial():
+        return run_experiments(list_experiments(), _scenario(tmp_path_factory.mktemp("serial")))
+
+    results = run_once(benchmark, serial)
+    assert len(results) == len(list_experiments())
+
+
+def test_bench_all_parallel(benchmark, tmp_path_factory):
+    def parallel():
+        return run_experiments(
+            list_experiments(),
+            _scenario(tmp_path_factory.mktemp("parallel")),
+            workers=4,
+        )
+
+    results = run_once(benchmark, parallel)
+    assert len(results) == len(list_experiments())
+    assert results.report.summary()["experiments"] == len(list_experiments())

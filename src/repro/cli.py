@@ -4,8 +4,14 @@ Examples::
 
     anycast-repro list
     anycast-repro run fig02a --scale small
+    anycast-repro all --scale medium --workers 4 --report
     anycast-repro all --scale medium --out results.txt
     anycast-repro summary
+
+Heavy substrates and experiment results are cached on disk (default
+``~/.cache/anycast-repro``); rerunning any experiment is near-instant.
+Use ``--cache-dir`` / ``--no-cache`` (or ``ANYCAST_REPRO_CACHE_DIR`` /
+``ANYCAST_REPRO_NO_CACHE=1``) to control the cache.
 """
 
 from __future__ import annotations
@@ -13,8 +19,8 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-import time
 
+from .engine import ArtifactCache, run_experiments
 from .experiments import Scenario, list_experiments, run_experiment, write_series_csv
 
 __all__ = ["main", "build_parser"]
@@ -40,11 +46,17 @@ def build_parser() -> argparse.ArgumentParser:
                      help="also write the figure's line series as CSVs")
     run.add_argument("--plot", action="store_true",
                      help="render the figure's line series as a terminal chart")
+    run.add_argument("--report", action="store_true",
+                     help="print the engine's per-stage RunReport afterwards")
     _add_scenario_args(run)
 
     everything = sub.add_parser("all", help="run every experiment")
     _add_scenario_args(everything)
     everything.add_argument("--out", help="write the report to this file")
+    everything.add_argument("--workers", type=_positive_int, default=1, metavar="N",
+                            help="fan experiments out across N processes")
+    everything.add_argument("--report", action="store_true",
+                            help="print the engine's per-stage RunReport afterwards")
 
     summary = sub.add_parser("summary", help="key headline numbers only")
     _add_scenario_args(summary)
@@ -64,12 +76,32 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
 def _add_scenario_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--scale", choices=("small", "medium"), default="small",
         help="world size: small (seconds) or medium (paper scale, minutes)",
     )
     parser.add_argument("--seed", type=int, default=0, help="scenario seed")
+    parser.add_argument(
+        "--cache-dir", metavar="DIR", default=None,
+        help="artifact cache location (default ~/.cache/anycast-repro)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the on-disk artifact cache for this run",
+    )
+
+
+def _build_scenario(args: argparse.Namespace) -> Scenario:
+    cache = ArtifactCache(root=args.cache_dir, enabled=not args.no_cache)
+    return Scenario(scale=args.scale, seed=args.seed, cache=cache)
 
 
 #: The headline claims the paper leads with, as (experiment, key, label).
@@ -92,7 +124,7 @@ def main(argv: list[str] | None = None) -> int:
             print(experiment_id)
         return 0
 
-    scenario = Scenario(scale=args.scale, seed=args.seed)
+    scenario = _build_scenario(args)
 
     if args.command == "run":
         if args.experiment not in list_experiments():
@@ -101,8 +133,12 @@ def main(argv: list[str] | None = None) -> int:
             return 2
         result = run_experiment(args.experiment, scenario)
         if args.csv:
-            for path in write_series_csv(result, args.csv):
-                print(f"wrote {path}", file=sys.stderr)
+            try:
+                for path in write_series_csv(result, args.csv):
+                    print(f"wrote {path}", file=sys.stderr)
+            except OSError as error:
+                print(f"cannot write CSVs to {args.csv}: {error}", file=sys.stderr)
+                return 1
         if args.plot and result.series:
             from .core import render_series
 
@@ -120,22 +156,35 @@ def main(argv: list[str] | None = None) -> int:
             print(json.dumps(payload, indent=2, default=list))
         else:
             print(result.to_text())
+        if args.report:
+            print()
+            print(scenario.report.to_text())
         return 0
 
     if args.command == "all":
-        chunks = []
-        for experiment_id in list_experiments():
-            started = time.time()
-            result = run_experiment(experiment_id, scenario)
-            chunks.append(result.to_text())
-            chunks.append(f"(elapsed: {time.time() - started:.1f}s)\n")
-        report = "\n".join(chunks)
+        out_handle = None
         if args.out:
-            with open(args.out, "w", encoding="utf-8") as handle:
-                handle.write(report)
+            try:
+                out_handle = open(args.out, "w", encoding="utf-8")
+            except OSError as error:
+                print(f"cannot write report to {args.out}: {error}", file=sys.stderr)
+                return 1
+        results = run_experiments(list_experiments(), scenario, workers=args.workers)
+        chunks = []
+        for result in results:
+            cached = ", cached" if result.report and result.report.cache_hit else ""
+            elapsed = result.report.wall_s if result.report else 0.0
+            chunks.append(result.to_text())
+            chunks.append(f"(elapsed: {elapsed:.1f}s{cached})\n")
+        report = "\n".join(chunks)
+        if out_handle is not None:
+            with out_handle:
+                out_handle.write(report)
             print(f"wrote {args.out}")
         else:
             print(report)
+        if args.report:
+            print(results.report.to_text())
         return 0
 
     if args.command == "summary":

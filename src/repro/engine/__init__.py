@@ -1,0 +1,35 @@
+"""``repro.engine`` — parallel experiment engine with an artifact cache.
+
+The engine splits the scenario's substrate construction into named,
+hashable stages keyed by ``(stage, scale, seed, params-digest,
+code-version)``, pickles stage outputs into a content-addressed on-disk
+cache, fans independent experiments out across a process pool, and
+records structured per-stage observability into a :class:`RunReport`.
+
+Quickstart::
+
+    from repro.engine import run_experiments
+    results = run_experiments(["fig02a", "fig03"], workers=4)
+    results[0].data          # same ExperimentResult as run_experiment()
+    print(results.report.to_text())
+"""
+
+from .cache import ArtifactCache, default_cache, default_cache_dir
+from .keys import StageKey, code_version, params_digest
+from .report import ExperimentRecord, RunReport, StageRecord, TimerStack
+from .runner import ExperimentResults, run_experiments
+
+__all__ = [
+    "ArtifactCache",
+    "default_cache",
+    "default_cache_dir",
+    "StageKey",
+    "code_version",
+    "params_digest",
+    "ExperimentRecord",
+    "RunReport",
+    "StageRecord",
+    "TimerStack",
+    "ExperimentResults",
+    "run_experiments",
+]

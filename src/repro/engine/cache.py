@@ -1,0 +1,125 @@
+"""On-disk artifact cache.
+
+Artifacts are pickled under a content-addressed filename derived from a
+:class:`~repro.engine.keys.StageKey`.  The cache is shared between
+processes (parallel workers coordinate through it) and between CLI
+invocations, so a second run of any experiment is near-instant.
+
+The default location is ``~/.cache/anycast-repro`` (respecting
+``XDG_CACHE_HOME``); override it with the ``ANYCAST_REPRO_CACHE_DIR``
+environment variable or the ``--cache-dir`` CLI flag, or disable caching
+entirely with ``ANYCAST_REPRO_NO_CACHE=1`` / ``--no-cache``.
+
+Robustness rules: a corrupted or truncated artifact is treated as a
+miss (and deleted) so the stage is rebuilt; an unwritable cache
+directory degrades to cache-off instead of failing the run.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from pathlib import Path
+
+from .keys import StageKey
+
+__all__ = ["ArtifactCache", "default_cache_dir", "default_cache"]
+
+_ENV_DIR = "ANYCAST_REPRO_CACHE_DIR"
+_ENV_OFF = "ANYCAST_REPRO_NO_CACHE"
+
+
+def default_cache_dir() -> Path:
+    """Resolve the cache root from the environment."""
+    if _ENV_DIR in os.environ:
+        return Path(os.environ[_ENV_DIR])
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "anycast-repro"
+
+
+class ArtifactCache:
+    """Pickle store keyed by :class:`StageKey`.
+
+    ``enabled=False`` turns every operation into a no-op miss, which
+    lets callers thread one object through unconditionally.
+    """
+
+    def __init__(self, root: str | os.PathLike | None = None, enabled: bool = True):
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.enabled = enabled and not os.environ.get(_ENV_OFF)
+
+    def path_for(self, key: StageKey) -> Path:
+        return self.root / key.filename()
+
+    def load(self, key: StageKey) -> tuple[bool, object]:
+        """Return ``(hit, value)``; corrupted artifacts count as misses."""
+        if not self.enabled:
+            return False, None
+        path = self.path_for(key)
+        try:
+            with open(path, "rb") as handle:
+                return True, pickle.load(handle)
+        except FileNotFoundError:
+            return False, None
+        except Exception:
+            # Truncated/corrupted pickle, or unreadable file: drop it and rebuild.
+            try:
+                path.unlink(missing_ok=True)
+            except OSError:
+                pass
+            return False, None
+
+    def store(self, key: StageKey, value: object) -> int | None:
+        """Atomically persist ``value``; returns the artifact size in bytes.
+
+        Returns ``None`` (and leaves the cache untouched) when disabled
+        or when the directory is unwritable.
+        """
+        if not self.enabled:
+            return None
+        path = self.path_for(key)
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            fd, tmp_name = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp_name, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+                raise
+            return path.stat().st_size
+        except (OSError, pickle.PicklingError):
+            return None
+
+    def size_of(self, key: StageKey) -> int | None:
+        try:
+            return self.path_for(key).stat().st_size
+        except OSError:
+            return None
+
+    def clear(self) -> int:
+        """Delete every artifact under the root; returns how many."""
+        removed = 0
+        if self.root.is_dir():
+            for path in self.root.glob("*.pkl"):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "on" if self.enabled else "off"
+        return f"ArtifactCache({str(self.root)!r}, {state})"
+
+
+def default_cache() -> ArtifactCache:
+    """A cache at the default (env-resolved) location."""
+    return ArtifactCache()

@@ -1,0 +1,86 @@
+"""Content-addressed stage keys.
+
+Every cached artifact is identified by a :class:`StageKey` — the stage
+name plus everything that could change the stage's output: the scenario
+scale and seed, a digest of the full parameter block, and a digest of
+the package's own source code.  Two runs that agree on all five fields
+are guaranteed (up to code determinism) to produce the same artifact, so
+the cache can hand back a pickled copy instead of rebuilding.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = ["StageKey", "params_digest", "code_version"]
+
+
+def _normalise(obj):
+    """Reduce ``obj`` to a JSON-serialisable, deterministic structure."""
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            field.name: _normalise(getattr(obj, field.name))
+            for field in dataclasses.fields(obj)
+        }
+    if isinstance(obj, dict):
+        return {str(k): _normalise(v) for k, v in sorted(obj.items(), key=lambda kv: str(kv[0]))}
+    if isinstance(obj, (list, tuple, set, frozenset)):
+        items = [_normalise(v) for v in obj]
+        return sorted(items, key=repr) if isinstance(obj, (set, frozenset)) else items
+    if isinstance(obj, (str, int, float, bool)) or obj is None:
+        return obj
+    return repr(obj)
+
+
+def params_digest(obj) -> str:
+    """Stable hex digest of an arbitrary parameter block."""
+    payload = json.dumps(_normalise(obj), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+_CODE_VERSION: str | None = None
+
+
+def code_version() -> str:
+    """Digest of the package's own source; changes whenever the code does.
+
+    Hashed lazily once per process over every ``.py`` file in the
+    installed ``repro`` package (sorted, so the digest is stable).  The
+    ``ANYCAST_REPRO_CODE_VERSION`` environment variable overrides it,
+    which tests use to simulate code changes.
+    """
+    override = os.environ.get("ANYCAST_REPRO_CODE_VERSION")
+    if override:
+        return hashlib.sha256(override.encode("utf-8")).hexdigest()
+    global _CODE_VERSION
+    if _CODE_VERSION is None:
+        package_root = Path(__file__).resolve().parent.parent
+        digest = hashlib.sha256()
+        for path in sorted(package_root.rglob("*.py")):
+            digest.update(str(path.relative_to(package_root)).encode("utf-8"))
+            digest.update(path.read_bytes())
+        _CODE_VERSION = digest.hexdigest()
+    return _CODE_VERSION
+
+
+@dataclass(frozen=True, slots=True)
+class StageKey:
+    """Identity of one cached artifact."""
+
+    stage: str
+    scale: str
+    seed: int
+    params: str  #: hex digest of the parameter block
+    code: str  #: hex digest of the package source
+
+    def filename(self) -> str:
+        safe_stage = "".join(c if c.isalnum() or c in "-_" else "_" for c in self.stage)
+        return (
+            f"{safe_stage}__{self.scale}__s{self.seed}"
+            f"__{self.params[:12]}__{self.code[:12]}.pkl"
+        )

@@ -1,0 +1,151 @@
+"""Structured per-stage and per-experiment observability.
+
+Every substrate stage a :class:`~repro.experiments.scenario.Scenario`
+materialises and every experiment the engine runs appends a record to a
+:class:`RunReport`: wall time, cache hit/miss, and artifact size.  The
+CLI prints the report with ``--report``; tests assert on it directly.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from time import perf_counter
+
+__all__ = ["StageRecord", "ExperimentRecord", "RunReport", "TimerStack"]
+
+
+class TimerStack:
+    """Nested timing with exclusive (self) durations.
+
+    Stage builds recurse into their dependencies; timing each frame
+    naively would double-count every nested build.  Each frame therefore
+    subtracts the time its children accounted for, so summing ``self_s``
+    over all records reproduces true wall time.
+    """
+
+    def __init__(self):
+        self._child_time: list[float] = []
+
+    @contextmanager
+    def frame(self):
+        started = perf_counter()
+        self._child_time.append(0.0)
+        timing = {"self_s": 0.0, "total_s": 0.0}
+        try:
+            yield timing
+        finally:
+            elapsed = perf_counter() - started
+            children = self._child_time.pop()
+            if self._child_time:
+                self._child_time[-1] += elapsed
+            timing["self_s"] = elapsed - children
+            timing["total_s"] = elapsed
+
+
+def _fmt_size(size: int | None) -> str:
+    if size is None:
+        return "-"
+    if size >= 1_000_000:
+        return f"{size / 1_000_000:.1f} MB"
+    if size >= 1_000:
+        return f"{size / 1_000:.1f} kB"
+    return f"{size} B"
+
+
+@dataclass(slots=True)
+class StageRecord:
+    """One substrate stage materialisation."""
+
+    stage: str
+    wall_s: float
+    cache_hit: bool
+    size_bytes: int | None = None
+    scale: str = "small"
+    seed: int = 0
+
+
+@dataclass(slots=True)
+class ExperimentRecord:
+    """One experiment execution (or cached replay)."""
+
+    experiment_id: str
+    wall_s: float
+    cache_hit: bool
+    size_bytes: int | None = None
+    worker: int | None = None  #: worker process id, None for in-process runs
+
+
+@dataclass(slots=True)
+class RunReport:
+    """Everything one engine run did, stage by stage."""
+
+    stages: list[StageRecord] = field(default_factory=list)
+    experiments: list[ExperimentRecord] = field(default_factory=list)
+
+    def add_stage(self, record: StageRecord) -> None:
+        self.stages.append(record)
+
+    def add_experiment(self, record: ExperimentRecord) -> None:
+        self.experiments.append(record)
+
+    def merge(self, other: "RunReport") -> None:
+        self.stages.extend(other.stages)
+        self.experiments.extend(other.experiments)
+
+    # -- aggregates ---------------------------------------------------------
+    @property
+    def cache_hits(self) -> int:
+        return sum(r.cache_hit for r in self.stages) + sum(
+            r.cache_hit for r in self.experiments
+        )
+
+    @property
+    def cache_misses(self) -> int:
+        return len(self.stages) + len(self.experiments) - self.cache_hits
+
+    @property
+    def total_wall_s(self) -> float:
+        return sum(r.wall_s for r in self.stages) + sum(
+            r.wall_s for r in self.experiments
+        )
+
+    def summary(self) -> dict:
+        """Machine-readable aggregate, stable keys."""
+        return {
+            "stages": len(self.stages),
+            "experiments": len(self.experiments),
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "wall_s": self.total_wall_s,
+            "artifact_bytes": sum(
+                r.size_bytes or 0 for r in (*self.stages, *self.experiments)
+            ),
+        }
+
+    def to_text(self) -> str:
+        lines = ["== RunReport =="]
+        if self.stages:
+            lines.append("-- stages --")
+            for record in self.stages:
+                lines.append(
+                    f"{record.stage:<24} {record.wall_s:>8.3f}s  "
+                    f"{'hit ' if record.cache_hit else 'miss'}  "
+                    f"{_fmt_size(record.size_bytes):>9}"
+                )
+        if self.experiments:
+            lines.append("-- experiments --")
+            for record in self.experiments:
+                where = f"  w{record.worker}" if record.worker is not None else ""
+                lines.append(
+                    f"{record.experiment_id:<24} {record.wall_s:>8.3f}s  "
+                    f"{'hit ' if record.cache_hit else 'miss'}  "
+                    f"{_fmt_size(record.size_bytes):>9}{where}"
+                )
+        summary = self.summary()
+        lines.append(
+            f"total: {summary['stages']} stages, {summary['experiments']} experiments, "
+            f"{summary['cache_hits']} hits / {summary['cache_misses']} misses, "
+            f"{summary['wall_s']:.2f}s"
+        )
+        return "\n".join(lines)

@@ -1,0 +1,149 @@
+"""Parallel experiment runner.
+
+``run_experiments`` fans independent experiment ids out across a
+``ProcessPoolExecutor``.  Workers coordinate through the shared on-disk
+artifact cache: the parent pre-warms the scenario's substrate stages
+once (writing them to the cache), each worker then loads them instead of
+rebuilding.  Results come back in input order and are byte-identical
+regardless of worker count — every stage and experiment is a
+deterministic function of ``(scale, seed, params, code)``.
+
+The pool uses the ``fork`` start method where available so workers share
+the parent's interpreter state (including its hash seed, which keeps any
+set-iteration order identical across workers).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+
+from .cache import ArtifactCache
+from .report import RunReport
+
+__all__ = ["ExperimentResults", "run_experiments"]
+
+
+class ExperimentResults(list):
+    """A list of :class:`ExperimentResult` plus the run's :class:`RunReport`."""
+
+    def __init__(self, results=(), report: RunReport | None = None):
+        super().__init__(results)
+        self.report = report if report is not None else RunReport()
+
+
+@dataclass(frozen=True, slots=True)
+class _WorkerSpec:
+    """Everything a worker needs to reconstruct the scenario."""
+
+    params: object  #: ScenarioParams
+    cache_root: str
+    cache_enabled: bool
+
+
+_WORKER_SCENARIO = None
+
+
+def _init_worker(spec: _WorkerSpec) -> None:
+    global _WORKER_SCENARIO
+    from ..experiments import Scenario
+
+    cache = ArtifactCache(root=spec.cache_root, enabled=spec.cache_enabled)
+    _WORKER_SCENARIO = Scenario(params=spec.params, cache=cache)
+
+
+def _run_in_worker(experiment_id: str):
+    from ..experiments import run_experiment
+
+    scenario = _WORKER_SCENARIO
+    stage_mark = len(scenario.report.stages)
+    result = run_experiment(experiment_id, scenario)
+    if result.report is not None:
+        result.report.worker = os.getpid()
+    # Ship the stages this run materialised so the parent's RunReport
+    # covers work done inside the pool, not just the experiments.
+    return result, scenario.report.stages[stage_mark:]
+
+
+def _pool_context():
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX fallback
+        return multiprocessing.get_context()
+
+
+def run_experiments(
+    experiment_ids,
+    scenario=None,
+    *,
+    scale: str = "small",
+    seed: int = 0,
+    workers: int = 1,
+    cache: ArtifactCache | None = None,
+    prewarm: bool | None = None,
+) -> ExperimentResults:
+    """Run many experiments, optionally fanned out across processes.
+
+    Parameters
+    ----------
+    experiment_ids:
+        Iterable of registered experiment ids; results come back in the
+        same order.
+    scenario:
+        The :class:`Scenario` to run against.  When omitted, one is
+        built from ``scale``/``seed``/``cache``.
+    workers:
+        ``1`` runs serially in-process; ``N > 1`` uses a process pool.
+    prewarm:
+        Materialise the scenario's substrate stages in the parent (so
+        workers hit the cache instead of each rebuilding the world).
+        By default this happens when the cache is enabled and the batch
+        is large enough (≥ 8 ids) for the shared substrate to pay off.
+    """
+    from ..experiments import Scenario, run_experiment
+
+    ids = list(experiment_ids)
+    if scenario is None:
+        scenario = Scenario(scale=scale, seed=seed, cache=cache)
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+
+    report = RunReport()
+    if workers == 1 or len(ids) <= 1:
+        stage_mark = len(scenario.report.stages)
+        results = [run_experiment(experiment_id, scenario) for experiment_id in ids]
+        report.stages.extend(scenario.report.stages[stage_mark:])
+        report.experiments.extend(r.report for r in results if r.report is not None)
+        return ExperimentResults(results, report)
+
+    if prewarm is None:
+        # Prewarming pays off when many experiments share the substrate;
+        # for a handful of ids, let each worker pull only what it needs.
+        prewarm = scenario.cache.enabled and len(ids) >= 8
+    if prewarm:
+        stage_mark = len(scenario.report.stages)
+        scenario.prepare()
+        report.stages.extend(scenario.report.stages[stage_mark:])
+
+    spec = _WorkerSpec(
+        params=scenario.params,
+        cache_root=str(scenario.cache.root),
+        cache_enabled=scenario.cache.enabled,
+    )
+    with ProcessPoolExecutor(
+        max_workers=min(workers, len(ids)),
+        mp_context=_pool_context(),
+        initializer=_init_worker,
+        initargs=(spec,),
+    ) as pool:
+        futures = [pool.submit(_run_in_worker, experiment_id) for experiment_id in ids]
+        results = []
+        for future in futures:
+            result, worker_stages = future.result()
+            results.append(result)
+            report.stages.extend(worker_stages)
+
+    report.experiments.extend(r.report for r in results if r.report is not None)
+    return ExperimentResults(results, report)

@@ -1,29 +1,39 @@
 """Experiment runners: one per table and figure of the paper.
 
 Importing this package registers every experiment; use
-:func:`run_experiment`/:func:`list_experiments` to drive them.
+:func:`run_experiment`/:func:`run_experiments`/:func:`list_experiments`
+to drive them.
 """
 
+from ..engine import ArtifactCache, ExperimentResults, RunReport, run_experiments
 from . import figures_cdn, figures_local, figures_roots, figures_system, tables  # noqa: F401
 from .base import (
+    RESULT_SCHEMA_VERSION,
     ExperimentResult,
     experiment,
     list_experiments,
     run_experiment,
     write_series_csv,
 )
-from .scenario import SCALES, Scenario, ScenarioConfig, default_scenario
+from .scenario import SCALES, STAGES, Scenario, ScenarioConfig, ScenarioParams, default_scenario
 from .validation import SHAPE_CHECKS, ShapeCheck, ValidationReport, validate_scenario
 
 __all__ = [
+    "ArtifactCache",
     "ExperimentResult",
+    "ExperimentResults",
+    "RESULT_SCHEMA_VERSION",
+    "RunReport",
     "write_series_csv",
     "experiment",
     "list_experiments",
     "run_experiment",
+    "run_experiments",
     "SCALES",
+    "STAGES",
     "Scenario",
     "ScenarioConfig",
+    "ScenarioParams",
     "default_scenario",
     "SHAPE_CHECKS",
     "ShapeCheck",

@@ -1,4 +1,13 @@
-"""Experiment result container and registry plumbing."""
+"""Experiment result container and registry plumbing.
+
+``run_experiment`` is the single-experiment entry point;
+:func:`repro.engine.run_experiments` is its many-experiment, parallel
+sibling.  Both return :class:`ExperimentResult` objects with the same
+stable, versioned fields (``id``, ``data``, ``series``, ``report``), and
+both consult the scenario's content-addressed artifact cache: a rerun of
+an experiment whose ``(id, scale, seed, params, code)`` key is already
+cached replays the stored result instead of recomputing it.
+"""
 
 from __future__ import annotations
 
@@ -7,15 +16,21 @@ import os
 from collections.abc import Callable
 from dataclasses import dataclass, field
 
+from ..engine import ExperimentRecord
 from .scenario import Scenario
 
 __all__ = [
+    "RESULT_SCHEMA_VERSION",
     "ExperimentResult",
     "experiment",
     "run_experiment",
     "list_experiments",
     "write_series_csv",
 ]
+
+#: Bumped whenever the ExperimentResult field layout changes; cached
+#: results carrying an older version are ignored and recomputed.
+RESULT_SCHEMA_VERSION = 2
 
 
 @dataclass(slots=True)
@@ -24,7 +39,8 @@ class ExperimentResult:
 
     ``sections`` carry the human-readable rows/series the paper reports;
     ``data`` carries the machine-readable key numbers tests and
-    EXPERIMENTS.md assert on.
+    EXPERIMENTS.md assert on; ``report`` carries the engine's
+    observability record (wall time, cache hit/miss) for this run.
     """
 
     experiment_id: str
@@ -34,6 +50,13 @@ class ExperimentResult:
     #: plottable line series: line label → [(x, y), ...] — the exact
     #: points a figure would draw.
     series: dict[str, list[tuple[float, float]]] = field(default_factory=dict)
+    version: int = RESULT_SCHEMA_VERSION
+    report: ExperimentRecord | None = None
+
+    @property
+    def id(self) -> str:
+        """Stable alias for ``experiment_id``."""
+        return self.experiment_id
 
     def add(self, heading: str, body: str) -> None:
         self.sections.append((heading, body))
@@ -87,13 +110,39 @@ def experiment(experiment_id: str):
 
 
 def run_experiment(experiment_id: str, scenario: Scenario) -> ExperimentResult:
-    """Run one registered experiment against a scenario."""
+    """Run one registered experiment against a scenario.
+
+    Results are content-addressed like any other stage: when the
+    scenario's cache already holds a result for ``(experiment_id, scale,
+    seed, params, code)``, that result is replayed without touching the
+    substrate.  Either way the returned result carries a fresh
+    ``.report`` record and the run is appended to ``scenario.report``.
+    """
     try:
         runner = _REGISTRY[experiment_id]
     except KeyError:
         known = ", ".join(sorted(_REGISTRY))
         raise KeyError(f"unknown experiment {experiment_id!r}; known: {known}") from None
-    return runner(scenario)
+
+    with scenario.timers.frame() as timing:
+        key = scenario.stage_key(f"result__{experiment_id}")
+        hit, cached = scenario.cache.load(key)
+        if hit and isinstance(cached, ExperimentResult) and cached.version == RESULT_SCHEMA_VERSION:
+            result = cached
+            size = scenario.cache.size_of(key)
+        else:
+            hit = False
+            result = runner(scenario)
+            size = scenario.cache.store(key, result)
+    record = ExperimentRecord(
+        experiment_id=experiment_id,
+        wall_s=timing["self_s"],
+        cache_hit=hit,
+        size_bytes=size,
+    )
+    result.report = record
+    scenario.report.add_experiment(record)
+    return result
 
 
 def list_experiments() -> list[str]:

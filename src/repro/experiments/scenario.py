@@ -1,8 +1,16 @@
-"""Scenario: one fully wired synthetic world with lazy, cached artifacts.
+"""Scenario: one fully wired synthetic world with staged, cached artifacts.
 
 Building every dataset the paper uses is expensive, and most experiments
 need only a few of them; :class:`Scenario` therefore materialises each
-artifact on first use and caches it.  Two presets:
+artifact on first use.  Each artifact is a named **stage** handled by
+:mod:`repro.engine`: stages are keyed by ``(stage, scale, seed,
+params-digest, code-version)``, memoised in-process, and pickled into a
+content-addressed on-disk cache so a second run of any experiment — in
+this process, another process, or a later CLI invocation — is
+near-instant.  Every materialisation is recorded (wall time, cache
+hit/miss, artifact size) in ``scenario.report``.
+
+Two presets:
 
 * ``small`` — a reduced world for unit tests (seconds);
 * ``medium`` — the paper-scale world (508 regions, ~2k ASes, a billion
@@ -12,6 +20,7 @@ artifact on first use and caches it.  Two presets:
 from __future__ import annotations
 
 import functools
+import warnings
 from dataclasses import dataclass
 
 from ..anycast import (
@@ -33,6 +42,15 @@ from ..ditl import (
     join_ditl_cdn,
     preprocess,
     volumes_by_asn,
+)
+from ..engine import (
+    ArtifactCache,
+    RunReport,
+    StageKey,
+    StageRecord,
+    TimerStack,
+    code_version,
+    params_digest,
 )
 from ..measurement import (
     AtlasPlatform,
@@ -56,7 +74,21 @@ from ..users import (
 )
 from ..users.recursives import RecursivePopulation
 
-__all__ = ["ScenarioConfig", "Scenario", "default_scenario", "SCALES"]
+__all__ = [
+    "ScenarioConfig",
+    "ScenarioParams",
+    "Scenario",
+    "default_scenario",
+    "SCALES",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class ScenarioParams:
+    """The frozen identity of one scenario: everything that selects a world."""
+
+    scale: str = "small"
+    seed: int = 0
 
 
 @dataclass(frozen=True, slots=True)
@@ -111,30 +143,129 @@ def _config(scale: str, seed: int) -> ScenarioConfig:
     raise ValueError(f"unknown scale {scale!r} (use 'small' or 'medium')")
 
 
-def _cached(method):
-    """Per-instance memoisation for Scenario artifacts."""
+#: Every persisted stage name, in dependency-safe build order (filled in
+#: by the ``_stage`` decorator as the class body executes).
+STAGES: list[str] = []
+
+
+def _stage(method):
+    """Declare one named, disk-cacheable Scenario stage."""
 
     name = method.__name__
+    STAGES.append(name)
 
     @functools.wraps(method)
     def wrapper(self):
-        cache = self.__dict__.setdefault("_artifact_cache", {})
-        if name not in cache:
-            cache[name] = method(self)
-        return cache[name]
+        return self._materialise(name, method)
 
     return property(wrapper)
 
 
 class Scenario:
-    """One synthetic world plus every dataset derived from it."""
+    """One synthetic world plus every dataset derived from it.
 
-    def __init__(self, scale: str = "small", seed: int = 0):
-        self.config = _config(scale, seed)
-        self.seed = seed
+    Construction is keyword-only: ``Scenario(scale="small", seed=0)`` or
+    ``Scenario(params=ScenarioParams(...))``.  The positional form
+    ``Scenario("small", 0)`` still works but emits a
+    ``DeprecationWarning``.
+    """
+
+    def __init__(
+        self,
+        *args,
+        scale: str | None = None,
+        seed: int | None = None,
+        params: ScenarioParams | None = None,
+        cache: ArtifactCache | None = None,
+    ):
+        if args:
+            warnings.warn(
+                "positional Scenario(scale, seed) is deprecated; use "
+                "Scenario(scale=..., seed=...) or Scenario(params=ScenarioParams(...))",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            if len(args) > 2:
+                raise TypeError(f"Scenario takes at most 2 positional arguments ({len(args)} given)")
+            if len(args) >= 1:
+                if scale is not None:
+                    raise TypeError("scale passed both positionally and by keyword")
+                scale = args[0]
+            if len(args) == 2:
+                if seed is not None:
+                    raise TypeError("seed passed both positionally and by keyword")
+                seed = args[1]
+        if params is not None:
+            if scale is not None or seed is not None:
+                raise TypeError("pass either params= or scale=/seed=, not both")
+        else:
+            params = ScenarioParams(
+                scale="small" if scale is None else scale,
+                seed=0 if seed is None else seed,
+            )
+        self.params = params
+        self.seed = params.seed
+        self.config = _config(params.scale, params.seed)
+        self.cache = cache if cache is not None else ArtifactCache()
+        self.report = RunReport()
+        self.timers = TimerStack()
+        self._artifact_cache: dict[str, object] = {}
+        self._params_digest = params_digest(self.config)
+
+    # -- engine plumbing ---------------------------------------------------
+    def stage_key(self, name: str) -> StageKey:
+        """The content-addressed cache key of one stage of this scenario."""
+        return StageKey(
+            stage=name,
+            scale=self.params.scale,
+            seed=self.params.seed,
+            params=self._params_digest,
+            code=code_version(),
+        )
+
+    def _materialise(self, name: str, build):
+        """In-memory memo → disk cache → build (recording a StageRecord).
+
+        Recorded wall times are *exclusive*: a stage that recursed into
+        its dependencies reports only its own share, so the report's
+        stage times sum to true wall time.
+        """
+        memo = self._artifact_cache
+        if name in memo:
+            return memo[name]
+        with self.timers.frame() as timing:
+            key = self.stage_key(name)
+            hit, value = self.cache.load(key)
+            size = self.cache.size_of(key) if hit else None
+            if not hit:
+                value = build(self)
+                size = self.cache.store(key, value)
+            memo[name] = value
+        self.report.add_stage(
+            StageRecord(
+                stage=name,
+                wall_s=timing["self_s"],
+                cache_hit=hit,
+                size_bytes=size,
+                scale=self.params.scale,
+                seed=self.params.seed,
+            )
+        )
+        return value
+
+    def prepare(self, stages: list[str] | None = None) -> RunReport:
+        """Materialise stages up front (all of them by default).
+
+        Warms both the in-memory memo and the on-disk cache, so a
+        subsequent process pool — or a later CLI invocation — finds
+        every substrate ready.  Returns ``self.report``.
+        """
+        for name in STAGES if stages is None else stages:
+            getattr(self, name)
+        return self.report
 
     # -- substrate ---------------------------------------------------------
-    @_cached
+    @_stage
     def internet(self) -> GeneratedInternet:
         world = build_world(
             seed=self.seed,
@@ -143,77 +274,77 @@ class Scenario:
         )
         return build_internet(world, self.config.topology)
 
-    @_cached
+    @_stage
     def user_base(self) -> UserBase:
         return build_user_base(self.internet, seed=self.seed + 1)
 
-    @_cached
+    @_stage
     def recursives(self) -> RecursivePopulation:
         return build_recursives(self.internet, self.user_base, seed=self.seed + 2)
 
-    @_cached
+    @_stage
     def zone(self) -> RootZone:
         return RootZone(n_tlds=self.config.n_tlds, seed=self.seed + 3)
 
-    @_cached
+    @_stage
     def universe(self) -> DomainUniverse:
         return DomainUniverse(self.zone, n_domains=self.config.n_domains, seed=self.seed + 4)
 
     # -- deployments ---------------------------------------------------------
-    @_cached
+    @_stage
     def letters_2018(self) -> dict[str, IndependentDeployment]:
         return build_root_system(self.internet, LETTERS_2018, seed=self.seed + 5)
 
-    @_cached
+    @_stage
     def letters_2020(self) -> dict[str, IndependentDeployment]:
         return build_root_system(self.internet, LETTERS_2020, seed=self.seed + 6)
 
-    @_cached
+    @_stage
     def cdn(self) -> CdnSystem:
         return build_cdn(self.internet, CdnSpec(), seed=self.seed + 7)
 
     # -- datasets --------------------------------------------------------------
-    @_cached
+    @_stage
     def capture_2018(self) -> DitlCapture:
         return generate_ditl(
             self.internet, self.letters_2018, self.recursives, self.zone,
             year=2018, seed=self.seed + 8,
         )
 
-    @_cached
+    @_stage
     def filtered_2018(self) -> FilteredDitl:
         return preprocess(self.capture_2018)
 
-    @_cached
+    @_stage
     def capture_2020(self) -> DitlCapture:
         return generate_ditl(
             self.internet, self.letters_2020, self.recursives, self.zone,
             year=2020, seed=self.seed + 9,
         )
 
-    @_cached
+    @_stage
     def filtered_2020(self) -> FilteredDitl:
         return preprocess(self.capture_2020)
 
-    @_cached
+    @_stage
     def cdn_counts(self) -> CdnUserCounts:
         return build_cdn_counts(self.recursives, seed=self.seed + 10)
 
-    @_cached
+    @_stage
     def apnic_counts(self) -> ApnicUserCounts:
         return build_apnic_counts(
             self.user_base, seed=self.seed + 11, cloud_asns=self.internet.cloud_asns
         )
 
-    @_cached
+    @_stage
     def geolocator(self) -> Geolocator:
         return Geolocator(self.internet.world, self.recursives, seed=self.seed + 12)
 
-    @_cached
+    @_stage
     def mapper(self) -> IpToAsnMapper:
         return IpToAsnMapper(self.internet.plan, seed=self.seed + 13)
 
-    @_cached
+    @_stage
     def _join_2018(self) -> tuple[list[JoinedRecursive], JoinStats]:
         return join_ditl_cdn(
             self.filtered_2018, self.cdn_counts, self.geolocator, self.mapper,
@@ -228,7 +359,7 @@ class Scenario:
     def join_stats_2018(self) -> JoinStats:
         return self._join_2018[1]
 
-    @_cached
+    @_stage
     def _join_2018_ip(self) -> tuple[list[JoinedRecursive], JoinStats]:
         return join_ditl_cdn(
             self.filtered_2018, self.cdn_counts, self.geolocator, self.mapper,
@@ -243,7 +374,7 @@ class Scenario:
     def join_stats_2018_ip(self) -> JoinStats:
         return self._join_2018_ip[1]
 
-    @_cached
+    @_stage
     def _join_2020(self) -> tuple[list[JoinedRecursive], JoinStats]:
         return join_ditl_cdn(
             self.filtered_2020, self.cdn_counts, self.geolocator, self.mapper,
@@ -254,24 +385,28 @@ class Scenario:
     def joined_2020(self) -> list[JoinedRecursive]:
         return self._join_2020[0]
 
-    @_cached
+    @_stage
+    def _volumes_2018(self) -> tuple[dict[int, float], float]:
+        return volumes_by_asn(self.filtered_2018, self.mapper)
+
+    @property
     def asn_volumes_2018(self) -> dict[int, float]:
-        volumes, self.apnic_mapped_fraction = volumes_by_asn(self.filtered_2018, self.mapper)
+        volumes, self.apnic_mapped_fraction = self._volumes_2018
         return volumes
 
     # -- measurement platforms ---------------------------------------------------
-    @_cached
+    @_stage
     def atlas(self) -> AtlasPlatform:
         return AtlasPlatform(self.internet, n_probes=self.config.n_probes, seed=self.seed + 14)
 
-    @_cached
+    @_stage
     def server_logs(self) -> ServerSideLogs:
         return collect_server_logs(
             self.cdn, self.user_base,
             samples_per_location=self.config.serverlog_samples, seed=self.seed + 15,
         )
 
-    @_cached
+    @_stage
     def client_measurements(self) -> ClientSideMeasurements:
         return collect_client_measurements(
             self.cdn, self.user_base,
@@ -279,7 +414,7 @@ class Scenario:
         )
 
     # -- DNS local views ------------------------------------------------------------
-    @_cached
+    @_stage
     def isi_result(self):
         from ..dns import IsiResolverExperiment
 
@@ -289,7 +424,7 @@ class Scenario:
             buggy=True, seed=self.seed + 17,
         ).run()
 
-    @_cached
+    @_stage
     def author_result(self):
         from ..dns import AuthorMachineExperiment
 
@@ -298,7 +433,7 @@ class Scenario:
             days=self.config.author_days, seed=self.seed + 18,
         ).run()
 
-    @_cached
+    @_stage
     def root_latency_model(self) -> StaticRootLatency:
         """Per-letter RTTs as seen from a mid-European eyeball (the ISI
         stand-in's vantage), used by the packet-level resolver sims."""

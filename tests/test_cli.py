@@ -85,3 +85,58 @@ class TestExtendedCommands:
         out = capsys.readouterr().out
         assert "20/20 shape targets hold" in out
         assert "[PASS]" in out and "[FAIL]" not in out
+
+
+class TestEngineFlags:
+    def test_csv_to_unwritable_directory_fails_cleanly(self, capsys, tmp_path):
+        blocker = tmp_path / "not-a-dir"
+        blocker.write_text("occupied")
+        code = main(["run", "fig03", "--scale", "small", "--csv", str(blocker / "sub")])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "cannot write CSVs" in err
+        assert "Traceback" not in err
+
+    def test_all_out_to_missing_directory_fails_cleanly(self, capsys, tmp_path):
+        target = str(tmp_path / "missing" / "report.txt")
+        code = main(["all", "--scale", "small", "--out", target])
+        assert code == 1
+        assert "cannot write report" in capsys.readouterr().err
+
+    def test_run_report_prints_stage_table(self, capsys, tmp_path):
+        code = main([
+            "run", "table1", "--scale", "small",
+            "--cache-dir", str(tmp_path), "--report",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "RunReport" in out
+        assert "table1" in out
+
+    def test_cache_dir_populated_and_reused(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        assert main(["run", "table2", "--scale", "small", "--cache-dir", cache_dir]) == 0
+        artifacts = list((tmp_path / "cache").glob("*.pkl"))
+        assert any("result__table2" in p.name for p in artifacts)
+        capsys.readouterr()
+
+        assert main([
+            "run", "table2", "--scale", "small",
+            "--cache-dir", cache_dir, "--report",
+        ]) == 0
+        assert "hit" in capsys.readouterr().out
+
+    def test_no_cache_writes_nothing(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        assert main([
+            "run", "table1", "--scale", "small",
+            "--cache-dir", cache_dir, "--no-cache",
+        ]) == 0
+        assert not (tmp_path / "cache").exists()
+
+    def test_all_parses_workers_flag(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["all", "--workers", "4", "--report"])
+        assert args.workers == 4
+        assert args.report is True

@@ -1,0 +1,287 @@
+"""The experiment engine: artifact cache, stage keys, parallel runner,
+RunReport observability, and the redesigned Scenario/Result API."""
+
+import dataclasses
+import pickle
+import time
+
+import pytest
+
+from repro.engine import (
+    ArtifactCache,
+    ExperimentResults,
+    RunReport,
+    StageKey,
+    StageRecord,
+    params_digest,
+    run_experiments,
+)
+from repro.experiments import (
+    RESULT_SCHEMA_VERSION,
+    ExperimentResult,
+    Scenario,
+    ScenarioParams,
+    run_experiment,
+)
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ArtifactCache(root=tmp_path / "artifacts")
+
+
+def make_scenario(cache, scale="small", seed=0):
+    return Scenario(scale=scale, seed=seed, cache=cache)
+
+
+class TestCacheHitMiss:
+    def test_first_build_is_a_miss_second_scenario_hits(self, cache):
+        first = make_scenario(cache)
+        first.zone
+        assert [r.cache_hit for r in first.report.stages] == [False]
+        assert first.report.stages[0].stage == "zone"
+        assert first.report.stages[0].size_bytes > 0
+
+        second = make_scenario(cache)
+        second.zone
+        assert [r.cache_hit for r in second.report.stages] == [True]
+
+    def test_in_memory_memo_records_once(self, cache):
+        scenario = make_scenario(cache)
+        assert scenario.zone is scenario.zone
+        assert len(scenario.report.stages) == 1
+
+    def test_cached_artifact_equals_built(self, cache):
+        built = make_scenario(cache).zone
+        loaded = make_scenario(cache).zone
+        assert built.tlds == loaded.tlds
+        assert list(built.popularity) == list(loaded.popularity)
+
+    def test_disabled_cache_always_rebuilds(self, tmp_path):
+        cache = ArtifactCache(root=tmp_path, enabled=False)
+        make_scenario(cache).zone
+        scenario = make_scenario(cache)
+        scenario.zone
+        assert scenario.report.stages[0].cache_hit is False
+        assert list(tmp_path.glob("*.pkl")) == []
+
+
+class TestCacheInvalidation:
+    def test_seed_change_misses(self, cache):
+        make_scenario(cache, seed=0).zone
+        other = make_scenario(cache, seed=1)
+        other.zone
+        assert other.report.stages[0].cache_hit is False
+
+    def test_scale_changes_the_key(self, cache):
+        small = make_scenario(cache, scale="small")
+        medium = Scenario(scale="medium", seed=0, cache=cache)
+        assert small.stage_key("internet") != medium.stage_key("internet")
+        assert small.stage_key("internet").filename() != medium.stage_key("internet").filename()
+
+    def test_params_change_the_key(self, cache):
+        key = make_scenario(cache).stage_key("zone")
+        assert key.params == params_digest(make_scenario(cache).config)
+        assert params_digest({"a": 1}) != params_digest({"a": 2})
+
+    def test_code_version_changes_the_key(self, cache, monkeypatch):
+        before = make_scenario(cache).stage_key("zone")
+        monkeypatch.setenv("ANYCAST_REPRO_CODE_VERSION", "something-else")
+        after = make_scenario(cache).stage_key("zone")
+        assert before.code != after.code
+        assert before.filename() != after.filename()
+
+    def test_stage_names_distinguish_artifacts(self, cache):
+        scenario = make_scenario(cache)
+        assert scenario.stage_key("zone") != scenario.stage_key("universe")
+
+
+class TestCorruption:
+    def test_corrupted_artifact_falls_back_to_rebuild(self, cache):
+        first = make_scenario(cache)
+        first.zone
+        path = cache.path_for(first.stage_key("zone"))
+        path.write_bytes(b"not a pickle")
+
+        second = make_scenario(cache)
+        zone = second.zone
+        assert second.report.stages[0].cache_hit is False
+        assert zone.tlds == first.zone.tlds
+        # the rebuild repaired the artifact
+        hit, _ = cache.load(second.stage_key("zone"))
+        assert hit
+
+    def test_truncated_artifact_is_a_miss(self, cache):
+        scenario = make_scenario(cache)
+        scenario.zone
+        path = cache.path_for(scenario.stage_key("zone"))
+        path.write_bytes(path.read_bytes()[:10])
+        hit, _ = cache.load(scenario.stage_key("zone"))
+        assert not hit
+
+    def test_unwritable_root_degrades_gracefully(self, tmp_path):
+        blocker = tmp_path / "blocked"
+        blocker.write_text("a file where the cache dir should go")
+        cache = ArtifactCache(root=blocker)
+        scenario = make_scenario(cache)
+        assert len(scenario.zone) == scenario.config.n_tlds
+        assert scenario.report.stages[0].size_bytes is None
+
+
+class TestResultCache:
+    def test_warm_result_rerun_is_5x_faster(self, cache):
+        started = time.perf_counter()
+        cold = run_experiment("fig02a", make_scenario(cache))
+        cold_s = time.perf_counter() - started
+        assert cold.report.cache_hit is False
+
+        started = time.perf_counter()
+        warm = run_experiment("fig02a", make_scenario(cache))
+        warm_s = time.perf_counter() - started
+        assert warm.report.cache_hit is True
+        assert pickle.dumps(cold.data) == pickle.dumps(warm.data)
+        assert warm.series == cold.series
+        assert cold_s >= 5.0 * warm_s
+
+    def test_stale_schema_version_is_recomputed(self, cache):
+        scenario = make_scenario(cache)
+        result = run_experiment("table1", scenario)
+        key = scenario.stage_key("result__table1")
+        stale = dataclasses.replace(result, version=RESULT_SCHEMA_VERSION - 1, report=None)
+        cache.store(key, stale)
+
+        rerun = run_experiment("table1", make_scenario(cache))
+        assert rerun.report.cache_hit is False
+        assert rerun.version == RESULT_SCHEMA_VERSION
+
+
+class TestParallelDeterminism:
+    IDS = ["fig02a", "fig05a", "table2", "table4"]
+
+    def test_workers_do_not_change_results(self, tmp_path):
+        serial = run_experiments(
+            self.IDS, Scenario(scale="small", seed=0, cache=ArtifactCache(root=tmp_path / "a"))
+        )
+        parallel = run_experiments(
+            self.IDS,
+            Scenario(scale="small", seed=0, cache=ArtifactCache(root=tmp_path / "b")),
+            workers=4,
+        )
+        assert [r.id for r in serial] == self.IDS
+        assert [r.id for r in parallel] == self.IDS
+        for one, many in zip(serial, parallel):
+            assert pickle.dumps(one.data) == pickle.dumps(many.data)
+            assert one.series == many.series
+            assert one.sections == many.sections
+
+    def test_parallel_results_carry_worker_reports(self, tmp_path):
+        results = run_experiments(
+            ["table1", "table2"],
+            Scenario(scale="small", seed=0, cache=ArtifactCache(root=tmp_path)),
+            workers=2,
+        )
+        assert isinstance(results, ExperimentResults)
+        assert all(r.report is not None for r in results)
+        assert all(r.report.worker is not None for r in results)
+        assert len(results.report.experiments) == 2
+
+    def test_invalid_worker_count_rejected(self, cache):
+        with pytest.raises(ValueError):
+            run_experiments(["table1"], make_scenario(cache), workers=0)
+
+
+class TestRunnerApi:
+    def test_serial_run_collects_reports_in_order(self, cache):
+        results = run_experiments(["table1", "table2"], make_scenario(cache))
+        assert [r.id for r in results] == ["table1", "table2"]
+        assert [r.experiment_id for r in results.report.experiments] == ["table1", "table2"]
+        assert results.report.summary()["experiments"] == 2
+
+    def test_builds_scenario_when_omitted(self, tmp_path):
+        results = run_experiments(
+            ["table1"], scale="small", seed=0, cache=ArtifactCache(root=tmp_path)
+        )
+        assert results[0].id == "table1"
+
+    def test_unknown_id_raises(self, cache):
+        with pytest.raises(KeyError):
+            run_experiments(["fig99"], make_scenario(cache))
+
+
+class TestScenarioApi:
+    def test_positional_construction_warns_but_works(self):
+        with pytest.warns(DeprecationWarning):
+            scenario = Scenario("small", 3)
+        assert scenario.params == ScenarioParams(scale="small", seed=3)
+        assert scenario.seed == 3
+
+    def test_keyword_construction_does_not_warn(self, recwarn):
+        Scenario(scale="small", seed=3)
+        assert not [w for w in recwarn.list if w.category is DeprecationWarning]
+
+    def test_params_block_is_frozen(self):
+        params = ScenarioParams(scale="small", seed=7)
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            params.seed = 8
+        assert Scenario(params=params).config.name == "small"
+
+    def test_params_and_scale_conflict(self):
+        with pytest.raises(TypeError):
+            Scenario(scale="small", params=ScenarioParams())
+
+    def test_too_many_positional_args(self):
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(TypeError):
+                Scenario("small", 0, "extra")
+
+    def test_prepare_materialises_requested_stages(self, cache):
+        scenario = make_scenario(cache)
+        report = scenario.prepare(["zone", "universe"])
+        assert [r.stage for r in report.stages] == ["zone", "universe"]
+
+
+class TestResultSchema:
+    def test_stable_fields(self, cache):
+        result = run_experiment("table1", make_scenario(cache))
+        assert result.id == result.experiment_id == "table1"
+        assert result.version == RESULT_SCHEMA_VERSION
+        assert isinstance(result.data, dict)
+        assert isinstance(result.series, dict)
+        assert result.report.experiment_id == "table1"
+        assert result.report.wall_s >= 0.0
+
+    def test_result_constructible_without_report(self):
+        result = ExperimentResult("x", "title")
+        assert result.report is None
+        assert result.version == RESULT_SCHEMA_VERSION
+
+
+class TestRunReport:
+    def test_to_text_lists_stages_and_experiments(self, cache):
+        scenario = make_scenario(cache)
+        run_experiment("table2", scenario)
+        text = scenario.report.to_text()
+        assert "RunReport" in text
+        assert "filtered_2018" in text
+        assert "table2" in text
+        assert "miss" in text
+
+    def test_exclusive_times_sum_to_wall(self, cache):
+        scenario = make_scenario(cache)
+        started = time.perf_counter()
+        run_experiment("fig02a", scenario)
+        wall = time.perf_counter() - started
+        assert scenario.report.total_wall_s == pytest.approx(wall, rel=0.25, abs=0.2)
+
+    def test_merge_and_counts(self):
+        one = RunReport(stages=[StageRecord("zone", 0.1, True)])
+        two = RunReport(stages=[StageRecord("cdn", 0.2, False)])
+        one.merge(two)
+        assert one.cache_hits == 1
+        assert one.cache_misses == 1
+        assert one.summary()["stages"] == 2
+
+    def test_key_filename_is_filesystem_safe(self):
+        key = StageKey("result__fig02a", "small", 0, "a" * 64, "b" * 64)
+        name = key.filename()
+        assert "/" not in name and name.endswith(".pkl")
