@@ -1,0 +1,85 @@
+"""Benchmark: batch resolve kernel vs the scalar resolve loop.
+
+The acceptance bar for `repro.anycast.batch`: resolving the *full* user
+population through `resolve_many` must beat the per-client scalar walk
+(the retained `_resolve_reference` oracle) by ≥ 5× at the paper-scale
+(``medium``) world, while producing bitwise-identical results (asserted
+in ``tests/test_batch.py``).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from .conftest import bench_scale, run_once
+
+
+def _population(scenario):
+    """Unique ⟨AS, region⟩ pairs of the whole user base, in order."""
+    seen = {}
+    for location in scenario.user_base:
+        seen.setdefault((location.asn, location.region_id), None)
+    pairs = list(seen)
+    return [a for a, _ in pairs], [r for _, r in pairs]
+
+
+def _scalar_loop(deployment, asns, regions):
+    return [
+        deployment._resolve_reference(asn, region_id)
+        for asn, region_id in zip(asns, regions)
+    ]
+
+
+def _time(func, *args):
+    start = time.perf_counter()
+    result = func(*args)
+    return time.perf_counter() - start, result
+
+
+@pytest.fixture(scope="module")
+def population(scenario):
+    return _population(scenario)
+
+
+def _assert_speedup(deployment, asns, regions):
+    # Warm the one-time precompute (distance matrix, routing tables) so
+    # both sides time steady-state resolution.
+    deployment.resolve_many(asns[:1], regions[:1])
+    scalar_s, flows = _time(_scalar_loop, deployment, asns, regions)
+    batch_s, batch = _time(deployment.resolve_many, asns, regions)
+    n_ok = sum(1 for flow in flows if flow is not None)
+    assert batch.n_served == n_ok
+    speedup = scalar_s / batch_s if batch_s > 0 else float("inf")
+    if bench_scale() == "medium":
+        assert speedup >= 5.0, (
+            f"{deployment.name}: batch resolve only {speedup:.1f}x faster "
+            f"(scalar {scalar_s:.3f}s, batch {batch_s:.3f}s, n={len(asns)})"
+        )
+    return speedup
+
+
+def test_bench_resolve_many_letter(benchmark, scenario, population):
+    asns, regions = population
+    letters = scenario.letters_2018
+    deployment = letters[sorted(letters)[0]]
+    deployment.resolve_many(asns[:1], regions[:1])
+    run_once(benchmark, deployment.resolve_many, asns, regions)
+    _assert_speedup(deployment, asns, regions)
+
+
+def test_bench_resolve_many_ring(benchmark, scenario, population):
+    asns, regions = population
+    ring = scenario.cdn.largest_ring
+    ring.resolve_many(asns[:1], regions[:1])
+    run_once(benchmark, ring.resolve_many, asns, regions)
+    _assert_speedup(ring, asns, regions)
+
+
+def test_bench_cdn_system_resolve_many(benchmark, scenario, population):
+    """All rings via one shared-ingress batch (the §2.2 announcement)."""
+    asns, regions = population
+    cdn = scenario.cdn
+    by_ring = run_once(benchmark, cdn.resolve_many, asns, regions)
+    assert set(by_ring) == set(cdn.rings)

@@ -1,7 +1,8 @@
 """Anycast deployments: root letters and the CDN ring system."""
 
+from .batch import FlowBatch, FlowKernel, ResolvedBatch, region_distance_matrix
 from .builders import CdnSpec, CdnSystem, LetterSpec, build_cdn, build_letter, sample_site_regions
-from .cdn import CdnFabric, CdnRing
+from .cdn import CdnFabric, CdnRing, IngressBatch
 from .ddos import AttackOutcome, Botnet, build_botnet, simulate_attack
 from .deployment import Deployment, IndependentDeployment, ServedFlow
 from .hijack import HijackResult, hijack_cdn, hijack_letter, simulate_hijack
@@ -21,6 +22,11 @@ from .rootdns import (
 from .site import Site
 
 __all__ = [
+    "FlowBatch",
+    "FlowKernel",
+    "IngressBatch",
+    "ResolvedBatch",
+    "region_distance_matrix",
     "AttackOutcome",
     "Botnet",
     "build_botnet",

@@ -1,0 +1,360 @@
+"""Columnar resolve kernel: whole-population catchments in one shot.
+
+The paper's headline numbers are aggregates over every ``(client_asn,
+region)`` pair of a billion-user world, yet ``resolve_flow`` walks one
+client at a time through Python objects.  This module rebuilds that walk
+as a handful of numpy gathers:
+
+* every geometric quantity in the scalar path — the client, each
+  intermediate AS's early-exit PoP, the terminal AS's attachment entry
+  points — is the location of a *world region*, so the whole kernel
+  reduces to integer indexing into one region×region great-circle
+  distance matrix;
+* the AS-path walk is a short loop over hop *depth* (max path length is
+  small), each step an argmin over a padded per-AS footprint matrix;
+* the terminal early-exit (``min`` by ``(distance, attachment_id)``) is
+  an argmin plus a tie-break gather over padded per-host candidate
+  tables.
+
+Bitwise fidelity matters: the scalar path is the reference the paper
+figures were produced with, and ``resolve_many`` must return *identical*
+floats.  numpy's vectorised ``sin``/``cos``/``arcsin`` differ from the
+``math`` module in the last ulp on this platform, so the distance matrix
+is built with the scalar :func:`~repro.geo.coords.great_circle_km` (once
+per world, mirrored across the diagonal — the haversine form is exactly
+symmetric) and every RTT is accumulated in the same operation order as
+:func:`~repro.geo.latency.path_rtt_ms`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from weakref import WeakKeyDictionary
+
+import numpy as np
+
+from ..geo.coords import great_circle_km
+from ..geo.latency import SPEED_OF_LIGHT_FIBER_KM_PER_MS
+from ..topology.graph import Topology
+
+__all__ = ["ResolvedBatch", "FlowBatch", "FlowKernel", "region_distance_matrix"]
+
+_NO_ROW = -1  #: sentinel for "no route / no candidate" integer columns
+
+#: Per-topology scalar-exact region distance matrices.  Keyed weakly so a
+#: discarded world releases its matrix; never pickled into artifacts.
+_DISTANCE_CACHE: WeakKeyDictionary[Topology, np.ndarray] = WeakKeyDictionary()
+
+
+def region_distance_matrix(topology: Topology) -> np.ndarray:
+    """R×R great-circle km between world regions, bitwise-equal to the
+    scalar ``GeoPoint.distance_km`` for every pair.
+
+    Built once per topology with the scalar haversine (numpy's libm is
+    not bitwise-identical to ``math``'s), exploiting exact symmetry to
+    halve the work.  Read-only; shared by every kernel over the world.
+    """
+    matrix = _DISTANCE_CACHE.get(topology)
+    if matrix is None:
+        world = topology.world
+        lats = [float(v) for v in world.latitudes]
+        lons = [float(v) for v in world.longitudes]
+        n = len(lats)
+        matrix = np.zeros((n, n))
+        for i in range(n):
+            lat1, lon1 = lats[i], lons[i]
+            row = matrix[i]
+            for j in range(i + 1, n):
+                row[j] = great_circle_km(lat1, lon1, lats[j], lons[j])
+        lower = matrix.T.copy()
+        matrix += lower
+        matrix.setflags(write=False)
+        _DISTANCE_CACHE[topology] = matrix
+    return matrix
+
+
+@dataclass(frozen=True, slots=True)
+class FlowBatch:
+    """Vectorised :func:`~repro.bgp.flows.resolve_flow` over many clients.
+
+    All arrays are aligned with the input ``(asns, regions)`` rows.
+    Integer columns hold ``-1`` and float columns ``nan`` where ``ok`` is
+    False (the client AS holds no route).
+    """
+
+    asns: np.ndarray  #: int64 — client AS per row
+    region_ids: np.ndarray  #: int64 — client region per row
+    ok: np.ndarray  #: bool — the client AS holds a route
+    attachment_ids: np.ndarray  #: int32 — attachment the flow lands on
+    entry_region_ids: np.ndarray  #: int32 — region of that attachment
+    pre_entry_region_ids: np.ndarray  #: int32 — last waypoint before entry
+    path_len: np.ndarray  #: int32 — ASes on the selected route (as_hops)
+    km_before_entry: np.ndarray  #: float64 — client→…→pre-entry leg sum
+    total_km: np.ndarray  #: float64 — full client→entry leg sum
+    #: Per-row tuple of intermediate early-exit regions (client and entry
+    #: excluded); only populated under ``want_chain=True``, else ``None``.
+    chains: list[tuple[int, ...]] | None = None
+
+    def __len__(self) -> int:
+        return len(self.asns)
+
+
+@dataclass(frozen=True, slots=True)
+class ResolvedBatch:
+    """Columnar answer to "how is each of these clients served?".
+
+    The batch analogue of a list of :class:`ServedFlow`: one row per
+    input ``(asn, region)`` pair, in input order.  Rows with ``ok`` False
+    (no route — possible for purely local announcements) carry ``-1`` in
+    the integer columns and ``nan`` in the float columns; mask with
+    ``ok`` before aggregating.
+    """
+
+    asns: np.ndarray  #: int64 — client AS per row
+    region_ids: np.ndarray  #: int64 — client region per row
+    ok: np.ndarray  #: bool — served at all
+    site_ids: np.ndarray  #: int32 — serving site (ring front-end for CDNs)
+    site_region_ids: np.ndarray  #: int32 — region of the serving site
+    as_hops: np.ndarray  #: int32 — AS-path length (Fig. 6a's quantity)
+    base_rtt_ms: np.ndarray  #: float64 — deterministic baseline RTT
+    site_km: np.ndarray  #: float64 — client region → serving site
+    min_km: np.ndarray  #: float64 — client region → closest global site
+
+    def __len__(self) -> int:
+        return len(self.asns)
+
+    @property
+    def n_served(self) -> int:
+        return int(self.ok.sum())
+
+    @property
+    def optimal_rtt_ms(self) -> np.ndarray:
+        """Eq. 2's achievable lower bound per client: ``3 d / c_f``."""
+        return 3.0 * self.min_km / SPEED_OF_LIGHT_FIBER_KM_PER_MS
+
+    @property
+    def inflation_km(self) -> np.ndarray:
+        """Extra great-circle km over the closest global site (Eq. 1)."""
+        return self.site_km - self.min_km
+
+    @property
+    def inflation_ms(self) -> np.ndarray:
+        """Eq. 1's geographic inflation in ms: ``2 Δd / c_f``."""
+        return 2.0 * self.inflation_km / SPEED_OF_LIGHT_FIBER_KM_PER_MS
+
+    @property
+    def latency_inflation_ms(self) -> np.ndarray:
+        """Eq. 2's latency inflation: measured baseline minus optimal."""
+        return self.base_rtt_ms - self.optimal_rtt_ms
+
+
+def _as_index_arrays(asns, regions) -> tuple[np.ndarray, np.ndarray]:
+    asns = np.ascontiguousarray(asns, dtype=np.int64)
+    regions = np.ascontiguousarray(regions, dtype=np.int64)
+    if asns.shape != regions.shape or asns.ndim != 1:
+        raise ValueError(
+            f"asns and regions must be equal-length 1-D arrays, "
+            f"got {asns.shape} and {regions.shape}"
+        )
+    return asns, regions
+
+
+class FlowKernel:
+    """Precomputed batch resolver for one ``(topology, routing)`` pair.
+
+    Everything that is fixed once BGP has converged — selected paths,
+    per-AS PoP footprints, per-host attachment candidates — is packed
+    into padded integer matrices at construction; :meth:`resolve` is then
+    pure array code with no per-client Python dispatch.
+    """
+
+    def __init__(self, topology: Topology, routing) -> None:
+        self.topology = topology
+        self.routing = routing
+        self.distances = region_distance_matrix(topology)
+
+        # -- per-AS PoP footprints (for intermediate-hop early exit) ------
+        as_ids = np.fromiter(topology.nodes, dtype=np.int64)
+        as_ids.sort()
+        self._as_ids = as_ids
+        max_footprint = max(len(n.region_ids) for n in topology.nodes.values())
+        footprint = np.zeros((len(as_ids), max_footprint), dtype=np.int32)
+        footprint_ok = np.zeros((len(as_ids), max_footprint), dtype=bool)
+        for row, asn in enumerate(as_ids):
+            regions = topology.nodes[int(asn)].region_ids
+            footprint[row, : len(regions)] = regions
+            footprint_ok[row, : len(regions)] = True
+        self._footprint = footprint
+        self._footprint_ok = footprint_ok
+
+        # -- attachment geometry ------------------------------------------
+        max_attachment = max(routing.attachments) if routing.attachments else 0
+        att_region = np.full(max_attachment + 1, _NO_ROW, dtype=np.int32)
+        for attachment_id, attachment in routing.attachments.items():
+            att_region[attachment_id] = attachment.region_id
+        self.attachment_region_ids = att_region
+
+        # -- per-host candidate tables (terminal early exit) --------------
+        hosts = sorted(routing.attachments_by_host)
+        host_row = {asn: row for row, asn in enumerate(hosts)}
+        max_candidates = max(
+            (len(v) for v in routing.attachments_by_host.values()), default=1
+        )
+        cand_att = np.full((max(len(hosts), 1), max_candidates), _NO_ROW, dtype=np.int32)
+        cand_region = np.zeros((max(len(hosts), 1), max_candidates), dtype=np.int32)
+        cand_ok = np.zeros((max(len(hosts), 1), max_candidates), dtype=bool)
+        for asn, candidates in routing.attachments_by_host.items():
+            row = host_row[asn]
+            for col, attachment in enumerate(candidates):
+                cand_att[row, col] = attachment.attachment_id
+                cand_region[row, col] = attachment.region_id
+                cand_ok[row, col] = True
+        self._cand_att = cand_att
+        self._cand_region = cand_region
+        self._cand_ok = cand_ok
+
+        # -- per-route tables ---------------------------------------------
+        routed = sorted(asn for asn, _ in routing.items())
+        route_row = {asn: row for row, asn in enumerate(routed)}
+        self._routed_asns = np.array(routed, dtype=np.int64)
+        n_routes = len(routed)
+        path_len = np.zeros(n_routes, dtype=np.int32)
+        fallback_att = np.zeros(n_routes, dtype=np.int32)
+        terminal_host = np.full(n_routes, _NO_ROW, dtype=np.int32)
+        max_mid = 0
+        for asn in routed:
+            max_mid = max(max_mid, len(routing.route(asn).path) - 2)
+        # Intermediate hops as footprint-row indices, padded with -1.
+        hops = np.full((n_routes, max(max_mid, 0)), _NO_ROW, dtype=np.int32)
+        for asn, row in route_row.items():
+            route = routing.route(asn)
+            path = route.path
+            path_len[row] = len(path)
+            fallback_att[row] = route.attachment_id
+            terminal_asn = path[-2] if len(path) >= 2 else asn
+            terminal_host[row] = host_row.get(terminal_asn, _NO_ROW)
+            for depth, hop_asn in enumerate(path[1:-1]):
+                hops[row, depth] = np.searchsorted(as_ids, hop_asn)
+        self._path_len = path_len
+        self._fallback_att = fallback_att
+        self._terminal_host = terminal_host
+        self._hops = hops
+        self._max_mid = max_mid
+
+    # ------------------------------------------------------------------
+    def resolve(self, asns, regions, want_chain: bool = False) -> FlowBatch:
+        """Resolve every ``(asns[i], regions[i])`` flow at once.
+
+        Duplicate pairs are computed once and scattered back, so callers
+        may pass raw per-client columns without deduplicating first.
+        """
+        asns, regions = _as_index_arrays(asns, regions)
+        n_regions = len(self.topology.world)
+        pair_key = asns * n_regions + regions
+        unique_keys, inverse = np.unique(pair_key, return_inverse=True)
+        u_asns = unique_keys // n_regions
+        u_regions = unique_keys % n_regions
+        unique = self._resolve_unique(u_asns, u_regions, want_chain)
+
+        def scatter(column: np.ndarray) -> np.ndarray:
+            return column[inverse]
+
+        chains = None
+        if want_chain and unique.chains is not None:
+            chains = [unique.chains[i] for i in inverse]
+        return FlowBatch(
+            asns=asns,
+            region_ids=regions,
+            ok=scatter(unique.ok),
+            attachment_ids=scatter(unique.attachment_ids),
+            entry_region_ids=scatter(unique.entry_region_ids),
+            pre_entry_region_ids=scatter(unique.pre_entry_region_ids),
+            path_len=scatter(unique.path_len),
+            km_before_entry=scatter(unique.km_before_entry),
+            total_km=scatter(unique.total_km),
+            chains=chains,
+        )
+
+    def _resolve_unique(
+        self, asns: np.ndarray, regions: np.ndarray, want_chain: bool
+    ) -> FlowBatch:
+        n = len(asns)
+        distances = self.distances
+
+        if not len(self._routed_asns):  # nothing routed anywhere
+            nothing = np.full(n, _NO_ROW, dtype=np.int32)
+            nan = np.full(n, np.nan)
+            return FlowBatch(
+                asns=asns, region_ids=regions, ok=np.zeros(n, dtype=bool),
+                attachment_ids=nothing, entry_region_ids=nothing,
+                pre_entry_region_ids=nothing,
+                path_len=np.zeros(n, dtype=np.int32),
+                km_before_entry=nan, total_km=nan,
+                chains=[()] * n if want_chain else None,
+            )
+
+        row = np.searchsorted(self._routed_asns, asns)
+        row = np.minimum(row, len(self._routed_asns) - 1)
+        ok = self._routed_asns[row] == asns
+        row = np.where(ok, row, 0)
+
+        current = regions.astype(np.int32, copy=True)
+        km_before_entry = np.zeros(n)
+        chains: list[list[int]] | None = [[] for _ in range(n)] if want_chain else None
+
+        # Walk intermediate ASes depth by depth: each step is an argmin
+        # over the hop AS's PoP footprint, exactly the scalar
+        # ``AsNode.nearest_pop`` (strict <, first minimum wins — numpy's
+        # argmin keeps the first occurrence over identical floats).
+        for depth in range(self._max_mid):
+            hop_rows = np.where(ok, self._hops[row, depth], _NO_ROW)
+            active = hop_rows != _NO_ROW
+            if not active.any():
+                break
+            hop_fp = self._footprint[hop_rows[active]]
+            hop_ok = self._footprint_ok[hop_rows[active]]
+            hop_km = np.where(
+                hop_ok, distances[current[active, None], hop_fp], np.inf
+            )
+            picked = np.argmin(hop_km, axis=1)
+            next_region = hop_fp[np.arange(len(picked)), picked]
+            km_before_entry[active] += distances[current[active], next_region]
+            current[active] = next_region
+            if chains is not None:
+                for i, region in zip(np.flatnonzero(active), next_region):
+                    chains[i].append(int(region))
+
+        # Terminal early exit among the terminal AS's own attachments:
+        # lexicographic min by (distance, attachment_id), falling back to
+        # the route's recorded attachment when the terminal hosts none.
+        attachment = np.where(ok, self._fallback_att[row], _NO_ROW).astype(np.int32)
+        host = np.where(ok, self._terminal_host[row], _NO_ROW)
+        hosted = host != _NO_ROW
+        if hosted.any():
+            cand_region = self._cand_region[host[hosted]]
+            cand_ok = self._cand_ok[host[hosted]]
+            cand_km = np.where(
+                cand_ok, distances[current[hosted, None], cand_region], np.inf
+            )
+            min_km = cand_km.min(axis=1)
+            ties = cand_km == min_km[:, None]
+            cand_att = np.where(ties, self._cand_att[host[hosted]], np.iinfo(np.int32).max)
+            attachment[hosted] = cand_att.min(axis=1)
+
+        entry = np.where(ok, self.attachment_region_ids[attachment], _NO_ROW).astype(
+            np.int32
+        )
+        entry_km = np.where(ok, distances[current, np.where(ok, entry, 0)], np.nan)
+        total_km = km_before_entry + entry_km
+        return FlowBatch(
+            asns=asns,
+            region_ids=regions,
+            ok=ok,
+            attachment_ids=np.where(ok, attachment, _NO_ROW).astype(np.int32),
+            entry_region_ids=entry,
+            pre_entry_region_ids=np.where(ok, current, _NO_ROW).astype(np.int32),
+            path_len=np.where(ok, self._path_len[row], 0).astype(np.int32),
+            km_before_entry=np.where(ok, km_before_entry, np.nan),
+            total_km=total_km,
+            chains=[tuple(c) for c in chains] if chains is not None else None,
+        )

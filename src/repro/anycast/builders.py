@@ -17,6 +17,7 @@ import numpy as np
 from ..bgp import Attachment
 from ..geo import make_rng
 from ..topology import ASKind, GeneratedInternet, Relationship
+from .batch import ResolvedBatch
 from .cdn import CdnFabric, CdnRing
 from .deployment import IndependentDeployment
 from .site import Site
@@ -270,6 +271,23 @@ class CdnSystem:
     @property
     def largest_ring(self) -> CdnRing:
         return self.rings[self.ring_names[-1]]
+
+    def resolve_many(self, asns, regions) -> dict[str, "ResolvedBatch"]:
+        """Resolve a whole client population against every ring at once.
+
+        Ingress is shared across rings (§2.2: one fabric announcement),
+        so the BGP/TE part of the batch is computed once and only the
+        per-ring WAN leg differs.  Returns ``{ring_name: ResolvedBatch}``
+        with rows aligned to the inputs.
+        """
+        shared_ingress = self.fabric.ingress_many(asns, regions)
+        return {
+            name: ring._resolve_batch(
+                shared_ingress.asns, shared_ingress.region_ids,
+                ingress_batch=shared_ingress,
+            )
+            for name, ring in self.rings.items()
+        }
 
 
 def build_cdn(internet: GeneratedInternet, spec: CdnSpec | None = None, seed: int = 0) -> CdnSystem:

@@ -12,6 +12,12 @@ The CDN differs from root letters in three ways the paper calls out:
   PoP is carried to the nearest ring front-end; where BGP makes an AS
   ingress badly, traffic engineering (selective announcements) corrects
   it for most ASes (§7.1).
+
+Like the deployments in :mod:`repro.anycast.deployment`, the fabric and
+rings are batch-first: :meth:`CdnFabric.ingress_many` and
+:meth:`CdnRing.resolve_many` run the whole client population through
+numpy arrays, and the scalar :meth:`CdnRing.resolve` wraps a one-element
+batch.
 """
 
 from __future__ import annotations
@@ -22,11 +28,13 @@ import numpy as np
 
 from ..bgp import Attachment, FlowResolution, RoutingTable, propagate, resolve_flow
 from ..geo import GeoPoint, optimal_rtt_ms, path_rtt_ms
+from ..geo.latency import SPEED_OF_LIGHT_FIBER_KM_PER_MS
 from ..topology.graph import Topology
+from .batch import FlowKernel, ResolvedBatch, _as_index_arrays, region_distance_matrix
 from .deployment import EXTERNAL_HOP_COST_MS, EXTERNAL_STRETCH, Deployment, ServedFlow
 from .site import Site
 
-__all__ = ["CdnFabric", "CdnRing"]
+__all__ = ["CdnFabric", "CdnRing", "IngressBatch"]
 
 #: Private-WAN routes are near-optimal (paper cites SWAN/B4-class WANs).
 WAN_STRETCH = 1.05
@@ -46,6 +54,26 @@ def _mix(*values: int) -> float:
     return z / float(1 << 64)
 
 
+def _mix_many(*columns) -> np.ndarray:
+    """Vectorised :func:`_mix`: columns broadcast, bitwise-equal output."""
+    mul1 = np.uint64(0xBF58476D1CE4E5B9)
+    mul2 = np.uint64(0x94D049BB133111EB)
+    s27, s31 = np.uint64(27), np.uint64(31)
+
+    def as_u64(column) -> np.ndarray:
+        if np.isscalar(column):
+            return np.asarray(int(column) & _MASK64, dtype=np.uint64)
+        return np.asarray(column).astype(np.uint64)
+
+    arrays = np.broadcast_arrays(*[as_u64(c) for c in columns])
+    z = np.full(arrays[0].shape, 0x9E3779B97F4A7C15, dtype=np.uint64)
+    for column in arrays:
+        z = (z ^ column) * mul1
+        z = (z ^ (z >> s27)) * mul2
+        z = z ^ (z >> s31)
+    return z / float(1 << 64)
+
+
 @dataclass(frozen=True, slots=True)
 class Ingress:
     """Where a client's traffic enters the CDN backbone."""
@@ -55,6 +83,31 @@ class Ingress:
     #: Client → ... → ingress PoP (external waypoints).
     external_waypoints: tuple[GeoPoint, ...]
     corrected: bool  # True when traffic engineering overrode BGP's choice
+
+
+@dataclass(frozen=True, slots=True)
+class IngressBatch:
+    """Columnar :class:`Ingress`: one row per ``(asn, region)`` input.
+
+    Integer columns hold ``-1`` and float columns ``nan`` where ``ok``
+    is False.  ``external_km``/``external_legs`` describe the external
+    waypoint path (client → … → ingress PoP) after any TE correction.
+    """
+
+    asns: np.ndarray  #: int64
+    region_ids: np.ndarray  #: int64
+    ok: np.ndarray  #: bool
+    pop_ids: np.ndarray  #: int32 — ingress PoP after TE
+    as_hops: np.ndarray  #: int32 — AS-path length
+    external_km: np.ndarray  #: float64 — summed external legs
+    external_legs: np.ndarray  #: int32 — number of external legs
+    corrected: np.ndarray  #: bool — TE overrode BGP's exit
+    entry_region_ids: np.ndarray  #: int32 — final external waypoint region
+    #: Intermediate early-exit regions per row under ``want_chain=True``.
+    chains: list[tuple[int, ...]] | None = None
+
+    def __len__(self) -> int:
+        return len(self.asns)
 
 
 class CdnFabric:
@@ -86,18 +139,102 @@ class CdnFabric:
         world = topology.world
         self._pop_lats = np.array([world.region(p.region_id).location.lat for p in pops])
         self._pop_lons = np.array([world.region(p.region_id).location.lon for p in pops])
+        self._pop_region_ids = np.array([p.region_id for p in pops], dtype=np.int32)
         self._ingress_cache: dict[tuple[int, int], Ingress | None] = {}
         self._nearest_pop_by_region: np.ndarray | None = None
+        self._kernel: FlowKernel | None = None
+        self._pop_of_attachment_arr: np.ndarray | None = None
+
+    @property
+    def kernel(self) -> FlowKernel:
+        """The fabric's batch flow resolver (built lazily)."""
+        if self._kernel is None:
+            self._kernel = FlowKernel(self.topology, self.routing)
+        return self._kernel
+
+    @property
+    def pop_region_ids(self) -> np.ndarray:
+        """Region id per PoP, aligned with ``pops``."""
+        return self._pop_region_ids
+
+    def _attachment_pops(self) -> np.ndarray:
+        if self._pop_of_attachment_arr is None:
+            table = np.full(max(self.pop_of_attachment) + 1, -1, dtype=np.int32)
+            for attachment_id, pop_id in self.pop_of_attachment.items():
+                table[attachment_id] = pop_id
+            self._pop_of_attachment_arr = table
+        return self._pop_of_attachment_arr
 
     def pop_location(self, pop_id: int) -> GeoPoint:
         return self.topology.world.region(self.pops[pop_id].region_id).location
 
-    def nearest_pop_to_region(self, region_id: int) -> int:
+    def _nearest_pop_array(self) -> np.ndarray:
         if self._nearest_pop_by_region is None:
             matrix = self.topology.world.distances_to_points_km(self._pop_lats, self._pop_lons)
             self._nearest_pop_by_region = matrix.argmin(axis=1)
-        return int(self._nearest_pop_by_region[region_id])
+        return self._nearest_pop_by_region
 
+    def nearest_pop_to_region(self, region_id: int) -> int:
+        return int(self._nearest_pop_array()[region_id])
+
+    # -- batch ingress ------------------------------------------------------
+    def ingress_many(self, asns, regions, want_chain: bool = False) -> IngressBatch:
+        """Resolve ingress PoPs for a whole population, applying TE.
+
+        The columnar sibling of :meth:`ingress`; one call per analysis
+        replaces one :meth:`ingress` call per client.
+        """
+        asns, regions = _as_index_arrays(asns, regions)
+        flows = self.kernel.resolve(asns, regions, want_chain=want_chain)
+        ok = flows.ok
+        distances = region_distance_matrix(self.topology)
+        safe_regions = np.where(ok, regions, 0)
+
+        pop_ids = np.where(ok, self._attachment_pops()[flows.attachment_ids], -1)
+        pop_ids = pop_ids.astype(np.int32)
+        best_pop = self._nearest_pop_array()[safe_regions].astype(np.int32)
+
+        # TE correction, exactly as the scalar path decides it: only ASes
+        # landing > te_threshold_km worse than their nearest PoP, and only
+        # the deterministic te_quality share of those (stateless hash).
+        mismatched = ok & (pop_ids != best_pop)
+        chosen_km = np.where(
+            mismatched, distances[safe_regions, self._pop_region_ids[pop_ids]], 0.0
+        )
+        best_km = np.where(
+            mismatched, distances[safe_regions, self._pop_region_ids[best_pop]], 0.0
+        )
+        badly_routed = mismatched & (chosen_km - best_km > self.te_threshold_km)
+        corrected = badly_routed & (
+            _mix_many(self._seed, asns, regions) < self.te_quality
+        )
+        pop_ids = np.where(corrected, best_pop, pop_ids).astype(np.int32)
+
+        # External path after correction: same legs up to the pre-entry
+        # waypoint, then one leg to the (possibly moved) entry PoP.
+        entry_region = np.where(
+            corrected, self._pop_region_ids[pop_ids], flows.entry_region_ids
+        ).astype(np.int32)
+        safe_pre = np.where(ok, flows.pre_entry_region_ids, 0)
+        external_km = np.where(
+            corrected,
+            flows.km_before_entry + distances[safe_pre, entry_region],
+            flows.total_km,
+        )
+        return IngressBatch(
+            asns=asns,
+            region_ids=regions,
+            ok=ok,
+            pop_ids=pop_ids,
+            as_hops=flows.path_len,
+            external_km=external_km,
+            external_legs=(np.maximum(flows.path_len - 2, 0) + 1).astype(np.int32),
+            corrected=corrected,
+            entry_region_ids=np.where(ok, entry_region, -1).astype(np.int32),
+            chains=flows.chains,
+        )
+
+    # -- scalar ingress -----------------------------------------------------
     def ingress(self, client_asn: int, region_id: int) -> Ingress | None:
         """Resolve (and cache) a client's ingress PoP, applying TE."""
         key = (client_asn, region_id)
@@ -106,6 +243,7 @@ class CdnFabric:
         return self._ingress_cache[key]
 
     def _ingress_uncached(self, client_asn: int, region_id: int) -> Ingress | None:
+        """The original scalar ingress, kept as the equivalence oracle."""
         location = self.topology.world.region(region_id).location
         flow: FlowResolution | None = resolve_flow(
             self.topology, self.routing, client_asn, location
@@ -151,6 +289,7 @@ class CdnRing(Deployment):
         super().__init__(fabric.topology, name, fabric.origin_asn, front_ends)
         self._front_end_pop_ids = front_end_pop_ids
         self._fe_of_pop: dict[int, int] = {}
+        self._fe_of_pop_arr: np.ndarray | None = None
 
     def front_end_nearest_pop(self, pop_id: int) -> int:
         """Ring front-end (site id) the WAN delivers to from ``pop_id``.
@@ -173,8 +312,97 @@ class CdnRing(Deployment):
         self._fe_of_pop[pop_id] = best_site
         return best_site
 
-    def _resolve_uncached(self, client_asn: int, region_id: int) -> ServedFlow | None:
-        ingress = self.fabric.ingress(client_asn, region_id)
+    def _front_ends_of_pops(self) -> np.ndarray:
+        """Site id of the WAN-nearest front-end, per fabric PoP."""
+        if self._fe_of_pop_arr is None:
+            distances = region_distance_matrix(self.topology)
+            km = distances[
+                self.fabric.pop_region_ids[:, None], self._site_region_ids[None, :]
+            ]
+            # argmin keeps the first of tied sites — same as the scalar
+            # strict-< scan in front_end_nearest_pop.
+            self._fe_of_pop_arr = km.argmin(axis=1).astype(np.int32)
+        return self._fe_of_pop_arr
+
+    def _resolve_batch(
+        self,
+        asns: np.ndarray,
+        regions: np.ndarray,
+        ingress_batch: IngressBatch | None = None,
+    ) -> ResolvedBatch:
+        if ingress_batch is None:
+            ingress_batch = self.fabric.ingress_many(asns, regions)
+        ok = ingress_batch.ok
+        safe_pop = np.where(ok, ingress_batch.pop_ids, 0)
+        site_ids = np.where(ok, self._front_ends_of_pops()[safe_pop], -1).astype(np.int32)
+        site_regions = np.where(
+            ok, self._site_region_ids[np.where(ok, site_ids, 0)], -1
+        ).astype(np.int32)
+
+        distances = region_distance_matrix(self.topology)
+        pop_regions = self.fabric.pop_region_ids[safe_pop]
+        wan_km = distances[pop_regions, np.where(ok, site_regions, 0)]
+        # Same operation order as the scalar path: external path_rtt_ms
+        # plus the near-optimal WAN leg, so floats are bitwise identical.
+        external = (
+            3.0 * ingress_batch.external_km / SPEED_OF_LIGHT_FIBER_KM_PER_MS
+        ) * EXTERNAL_STRETCH + EXTERNAL_HOP_COST_MS * ingress_batch.external_legs
+        wan = (
+            3.0 * wan_km / SPEED_OF_LIGHT_FIBER_KM_PER_MS
+        ) * WAN_STRETCH + np.where(wan_km > 0, WAN_HOP_COST_MS, 0.0)
+        base = external + wan
+
+        safe_regions = np.where(ok, regions, 0)
+        site_km = np.where(
+            ok, distances[safe_regions, np.where(ok, site_regions, 0)], np.nan
+        )
+        return ResolvedBatch(
+            asns=asns,
+            region_ids=regions,
+            ok=ok,
+            site_ids=site_ids,
+            site_region_ids=site_regions,
+            as_hops=ingress_batch.as_hops,
+            base_rtt_ms=np.where(ok, base, np.nan),
+            site_km=site_km,
+            min_km=self.region_min_km()[regions],
+        )
+
+    def _resolve_one(self, client_asn: int, region_id: int) -> ServedFlow | None:
+        ingress_batch = self.fabric.ingress_many(
+            np.array([client_asn]), np.array([region_id]), want_chain=True
+        )
+        if not ingress_batch.ok[0]:
+            return None
+        world = self.topology.world
+        pop_id = int(ingress_batch.pop_ids[0])
+        front_end = self.sites[int(self._front_ends_of_pops()[pop_id])]
+        entry_region = int(ingress_batch.entry_region_ids[0])
+        external_waypoints = (
+            (world.region(region_id).location,)
+            + tuple(world.region(r).location for r in ingress_batch.chains[0])
+            + (world.region(entry_region).location,)
+        )
+        external = (
+            3.0 * float(ingress_batch.external_km[0]) / SPEED_OF_LIGHT_FIBER_KM_PER_MS
+        ) * EXTERNAL_STRETCH + EXTERNAL_HOP_COST_MS * int(ingress_batch.external_legs[0])
+        distances = region_distance_matrix(self.topology)
+        pop_region = int(self.fabric.pop_region_ids[pop_id])
+        wan_km = float(distances[pop_region, front_end.region_id])
+        wan = optimal_rtt_ms(wan_km) * WAN_STRETCH + (WAN_HOP_COST_MS if wan_km > 0 else 0.0)
+        waypoints = external_waypoints + (
+            (self.site_location(front_end.site_id),) if wan_km > 0 else ()
+        )
+        return ServedFlow(
+            site=front_end,
+            as_path=self.fabric.routing.route(client_asn).path,
+            waypoints=waypoints,
+            base_rtt_ms=external + wan,
+        )
+
+    def _resolve_reference(self, client_asn: int, region_id: int) -> ServedFlow | None:
+        """The original scalar resolution, kept as the equivalence oracle."""
+        ingress = self.fabric._ingress_uncached(client_asn, region_id)
         if ingress is None:
             return None
         front_end = self.sites[self.front_end_nearest_pop(ingress.pop_id)]

@@ -129,16 +129,18 @@ class AttackOutcome:
 
 def simulate_attack(deployment: Deployment, botnet: Botnet) -> AttackOutcome:
     """Route every bot through normal anycast and tally per-site load."""
+    batch = deployment.resolve_many(
+        [asn for asn, _, _ in botnet.sources],
+        [region_id for _, region_id, _ in botnet.sources],
+    )
     load_by_site: dict[int, float] = {}
     absorbed = 0.0
-    for asn, region_id, volume in botnet.sources:
-        flow = deployment.resolve(asn, region_id)
-        if flow is None:
+    for index, (_, _, volume) in enumerate(botnet.sources):
+        if not batch.ok[index]:
             continue  # unroutable bot traffic never arrives
         absorbed += volume
-        load_by_site[flow.site.site_id] = (
-            load_by_site.get(flow.site.site_id, 0.0) + volume
-        )
+        site_id = int(batch.site_ids[index])
+        load_by_site[site_id] = load_by_site.get(site_id, 0.0) + volume
     return AttackOutcome(
         deployment=deployment.name,
         n_global_sites=deployment.n_global_sites,

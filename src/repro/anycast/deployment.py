@@ -3,10 +3,16 @@
 A :class:`Deployment` answers the two questions the whole analysis
 pipeline asks:
 
-* ``resolve(client_asn, region_id)`` — which site serves a client there,
-  through which AS path, and at what baseline RTT;
+* ``resolve_many(asns, regions)`` — which site serves each client,
+  through how many AS hops, and at what baseline RTT, for a whole
+  population at once (the primary, columnar API);
 * ``min_global_distance_km(region_id)`` — distance to the closest
   *global* site, the lower bound both inflation equations use.
+
+The scalar ``resolve(client_asn, region_id)`` remains as a thin
+compatibility wrapper over a one-element batch, returning the same
+:class:`ServedFlow` (site, AS path, waypoints, baseline RTT) it always
+has.
 
 :class:`IndependentDeployment` models the root-letter style: every site
 is independently attached to the Internet (transit and/or peering) and
@@ -23,7 +29,9 @@ import numpy as np
 
 from ..bgp import Attachment, RoutingTable, propagate, resolve_flow
 from ..geo import GeoPoint, optimal_rtt_ms, path_rtt_ms
+from ..geo.latency import SPEED_OF_LIGHT_FIBER_KM_PER_MS
 from ..topology.graph import Topology
+from .batch import FlowKernel, ResolvedBatch, _as_index_arrays, region_distance_matrix
 from .site import Site
 
 __all__ = ["ServedFlow", "Deployment", "IndependentDeployment"]
@@ -63,6 +71,7 @@ class Deployment(abc.ABC):
         self.origin_asn = origin_asn
         self.sites = sites
         self._resolve_cache: dict[tuple[int, int], ServedFlow | None] = {}
+        self._site_region_ids = np.array([s.region_id for s in sites], dtype=np.int32)
         global_sites = [s for s in sites if s.is_global]
         if not global_sites:
             raise ValueError(f"deployment {name!r} has no global sites")
@@ -85,13 +94,19 @@ class Deployment(abc.ABC):
     def n_global_sites(self) -> int:
         return len(self._global_sites)
 
+    @property
+    def site_region_ids(self) -> np.ndarray:
+        """Region id per site, aligned with ``sites`` (read-mostly)."""
+        return self._site_region_ids
+
     def site(self, site_id: int) -> Site:
         return self.sites[site_id]
 
     def site_location(self, site_id: int) -> GeoPoint:
         return self.topology.world.region(self.sites[site_id].region_id).location
 
-    def _region_min_km(self) -> np.ndarray:
+    def region_min_km(self) -> np.ndarray:
+        """Per-region distance to the closest *global* site (Eq. 1/2 floor)."""
         if self._min_km_by_region is None:
             matrix = self.topology.world.distances_to_points_km(
                 self._global_lats, self._global_lons
@@ -99,9 +114,22 @@ class Deployment(abc.ABC):
             self._min_km_by_region = matrix.min(axis=1)
         return self._min_km_by_region
 
+    # Backwards-compatible private spelling (pre-batch API).
+    _region_min_km = region_min_km
+
     def min_global_distance_km(self, region_id: int) -> float:
         """Distance from a region to its closest *global* site (Eq. 1/2)."""
-        return float(self._region_min_km()[region_id])
+        return float(self.region_min_km()[region_id])
+
+    def min_global_distance_km_many(self, region_ids) -> np.ndarray:
+        """Vectorised :meth:`min_global_distance_km` over a region column."""
+        return self.region_min_km()[np.asarray(region_ids, dtype=np.int64)]
+
+    def site_distance_km_many(self, region_ids, site_ids) -> np.ndarray:
+        """Client-region → site great-circle km, row-wise over columns."""
+        distances = region_distance_matrix(self.topology)
+        site_regions = self._site_region_ids[np.asarray(site_ids, dtype=np.int64)]
+        return distances[np.asarray(region_ids, dtype=np.int64), site_regions]
 
     def nearest_global_site(self, region_id: int) -> Site:
         matrix = self.topology.world.distances_to_points_km(
@@ -112,10 +140,21 @@ class Deployment(abc.ABC):
     def coverage_fraction(self, radius_km: float) -> float:
         """Fraction of world user population within ``radius_km`` of a site."""
         populations = self.topology.world.populations().astype(float)
-        covered = self._region_min_km() <= radius_km
+        covered = self.region_min_km() <= radius_km
         return float(populations[covered].sum() / populations.sum())
 
     # -- service -----------------------------------------------------------
+    def resolve_many(self, asns, regions) -> ResolvedBatch:
+        """Resolve service for a whole population of clients at once.
+
+        ``asns[i]``/``regions[i]`` describe one client; the returned
+        :class:`ResolvedBatch` is aligned row-for-row with the inputs.
+        This is the primary resolution API — the scalar :meth:`resolve`
+        is a one-element wrapper around it.
+        """
+        asns, regions = _as_index_arrays(asns, regions)
+        return self._resolve_batch(asns, regions)
+
     def resolve(self, client_asn: int, region_id: int) -> ServedFlow | None:
         """Resolve service for a client of ``client_asn`` in ``region_id``.
 
@@ -126,12 +165,16 @@ class Deployment(abc.ABC):
         """
         key = (client_asn, region_id)
         if key not in self._resolve_cache:
-            self._resolve_cache[key] = self._resolve_uncached(client_asn, region_id)
+            self._resolve_cache[key] = self._resolve_one(client_asn, region_id)
         return self._resolve_cache[key]
 
     @abc.abstractmethod
-    def _resolve_uncached(self, client_asn: int, region_id: int) -> ServedFlow | None:
-        """Deployment-specific resolution."""
+    def _resolve_batch(self, asns: np.ndarray, regions: np.ndarray) -> ResolvedBatch:
+        """Deployment-specific columnar resolution."""
+
+    @abc.abstractmethod
+    def _resolve_one(self, client_asn: int, region_id: int) -> ServedFlow | None:
+        """Scalar resolution: a one-element batch, rehydrated."""
 
 
 class IndependentDeployment(Deployment):
@@ -154,8 +197,82 @@ class IndependentDeployment(Deployment):
         self.site_of_attachment = site_of_attachment
         self.seed = seed
         self.routing: RoutingTable = propagate(topology, origin_asn, attachments, seed=seed)
+        self._kernel: FlowKernel | None = None
+        self._site_of_attachment_arr: np.ndarray | None = None
 
-    def _resolve_uncached(self, client_asn: int, region_id: int) -> ServedFlow | None:
+    @property
+    def kernel(self) -> FlowKernel:
+        """The deployment's batch flow resolver (built lazily)."""
+        if self._kernel is None:
+            self._kernel = FlowKernel(self.topology, self.routing)
+        return self._kernel
+
+    def _attachment_sites(self) -> np.ndarray:
+        if self._site_of_attachment_arr is None:
+            table = np.full(max(self.site_of_attachment) + 1, -1, dtype=np.int32)
+            for attachment_id, site_id in self.site_of_attachment.items():
+                table[attachment_id] = site_id
+            self._site_of_attachment_arr = table
+        return self._site_of_attachment_arr
+
+    def _resolve_batch(self, asns: np.ndarray, regions: np.ndarray) -> ResolvedBatch:
+        flows = self.kernel.resolve(asns, regions)
+        ok = flows.ok
+        site_ids = np.where(ok, self._attachment_sites()[flows.attachment_ids], -1)
+        site_ids = site_ids.astype(np.int32)
+        site_regions = np.where(ok, self._site_region_ids[site_ids], -1).astype(np.int32)
+        # Same operation order as path_rtt_ms: optimal(total) * stretch
+        # plus the per-hop cost, so the floats are bitwise identical.
+        legs = np.maximum(flows.path_len - 2, 0) + 1
+        base = (
+            3.0 * flows.total_km / SPEED_OF_LIGHT_FIBER_KM_PER_MS
+        ) * EXTERNAL_STRETCH + EXTERNAL_HOP_COST_MS * legs
+        distances = region_distance_matrix(self.topology)
+        site_km = np.where(
+            ok, distances[regions, np.where(ok, site_regions, 0)], np.nan
+        )
+        return ResolvedBatch(
+            asns=asns,
+            region_ids=regions,
+            ok=ok,
+            site_ids=site_ids,
+            site_region_ids=site_regions,
+            as_hops=flows.path_len,
+            base_rtt_ms=np.where(ok, base, np.nan),
+            site_km=site_km,
+            min_km=self.region_min_km()[regions],
+        )
+
+    def _resolve_one(self, client_asn: int, region_id: int) -> ServedFlow | None:
+        flows = self.kernel.resolve(
+            np.array([client_asn]), np.array([region_id]), want_chain=True
+        )
+        if not flows.ok[0]:
+            return None
+        world = self.topology.world
+        site = self.sites[self._attachment_sites()[flows.attachment_ids[0]]]
+        waypoints = (
+            (world.region(region_id).location,)
+            + tuple(world.region(r).location for r in flows.chains[0])
+            + (world.region(int(flows.entry_region_ids[0])).location,)
+        )
+        legs = len(waypoints) - 1
+        base = (
+            3.0 * float(flows.total_km[0]) / SPEED_OF_LIGHT_FIBER_KM_PER_MS
+        ) * EXTERNAL_STRETCH + EXTERNAL_HOP_COST_MS * legs
+        return ServedFlow(
+            site=site,
+            as_path=self.routing.route(client_asn).path,
+            waypoints=waypoints,
+            base_rtt_ms=base,
+        )
+
+    def _resolve_reference(self, client_asn: int, region_id: int) -> ServedFlow | None:
+        """The original scalar resolution, kept as the equivalence oracle.
+
+        Walks :func:`resolve_flow` object by object; the batch kernel
+        must reproduce it bitwise (tests/test_batch.py asserts this).
+        """
         location = self.topology.world.region(region_id).location
         flow = resolve_flow(self.topology, self.routing, client_asn, location)
         if flow is None:

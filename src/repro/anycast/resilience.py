@@ -178,6 +178,12 @@ def failure_impact(
     """Measure a failure's user impact over the whole user base."""
     from ..core.cdf import WeightedCdf
 
+    locations = list(user_base)
+    asns = [loc.asn for loc in locations]
+    regions = [loc.region_id for loc in locations]
+    batch_before = before.resolve_many(asns, regions)
+    batch_after = after.resolve_many(asns, regions)
+
     rtts_before: list[float] = []
     rtts_after: list[float] = []
     weights: list[float] = []
@@ -185,23 +191,19 @@ def failure_impact(
     measured = 0
     load_before: dict[int, float] = {}
     load_after: dict[int, float] = {}
-    for location in user_base:
-        flow_before = before.resolve(location.asn, location.region_id)
-        flow_after = after.resolve(location.asn, location.region_id)
-        if flow_before is None or flow_after is None:
+    for index, location in enumerate(locations):
+        if not (batch_before.ok[index] and batch_after.ok[index]):
             continue
         measured += location.users
-        if flow_before.site.region_id != flow_after.site.region_id:
+        if batch_before.site_region_ids[index] != batch_after.site_region_ids[index]:
             rerouted += location.users
-        rtts_before.append(flow_before.base_rtt_ms)
-        rtts_after.append(flow_after.base_rtt_ms)
+        rtts_before.append(float(batch_before.base_rtt_ms[index]))
+        rtts_after.append(float(batch_after.base_rtt_ms[index]))
         weights.append(float(location.users))
-        load_before[flow_before.site.site_id] = (
-            load_before.get(flow_before.site.site_id, 0.0) + location.users
-        )
-        load_after[flow_after.site.site_id] = (
-            load_after.get(flow_after.site.site_id, 0.0) + location.users
-        )
+        site_before = int(batch_before.site_ids[index])
+        site_after = int(batch_after.site_ids[index])
+        load_before[site_before] = load_before.get(site_before, 0.0) + location.users
+        load_after[site_after] = load_after.get(site_after, 0.0) + location.users
     if not weights:
         raise ValueError("no users could be measured against both deployments")
     cdf_before = WeightedCdf(rtts_before, weights)

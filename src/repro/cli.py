@@ -148,7 +148,7 @@ def main(argv: list[str] | None = None) -> int:
             print()
         if args.json:
             payload = {
-                "experiment": result.experiment_id,
+                "experiment": result.id,
                 "title": result.title,
                 "data": {k: v for k, v in result.data.items()
                          if isinstance(v, (int, float, str, list, tuple))},

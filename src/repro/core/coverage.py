@@ -52,9 +52,7 @@ def coverage_curve(
     """Coverage of the *user base* (not raw region population)."""
     world = deployment.topology.world
     weights = _population_weights(user_base, len(world))
-    min_km = np.array([
-        deployment.min_global_distance_km(region_id) for region_id in range(len(world))
-    ])
+    min_km = deployment.region_min_km()
     total = weights.sum()
     fractions = tuple(
         float(weights[min_km <= radius].sum() / total) for radius in radii_km
@@ -75,10 +73,7 @@ def combined_coverage_curve(
     weights = _population_weights(user_base, len(world))
     min_km = np.full(len(world), np.inf)
     for deployment in deployments:
-        candidate = np.array([
-            deployment.min_global_distance_km(region_id) for region_id in range(len(world))
-        ])
-        min_km = np.minimum(min_km, candidate)
+        min_km = np.minimum(min_km, deployment.region_min_km())
     total = weights.sum()
     fractions = tuple(
         float(weights[min_km <= radius].sum() / total) for radius in radii_km

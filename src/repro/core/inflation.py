@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..anycast.batch import region_distance_matrix
 from ..anycast.builders import CdnSystem
 from ..anycast.deployment import Deployment, IndependentDeployment
 from ..ditl.capture import DitlCapture
@@ -62,8 +63,8 @@ class InflationResult:
 
 
 def _site_distance_km(deployment: Deployment, region_id: int, site_id: int) -> float:
-    here = deployment.topology.world.region(region_id).location
-    return deployment.site_location(site_id).distance_km(here)
+    distances = region_distance_matrix(deployment.topology)
+    return float(distances[region_id, deployment.site_region_ids[site_id]])
 
 
 def _accumulate_location(
@@ -107,6 +108,9 @@ def root_geographic_inflation(
     combined_weights: list[float] = []
     combined_table: dict = {}
     location_tables: dict[str, dict] = {name: {} for name in eligible}
+    global_ids_of = {
+        name: {s.site_id for s in dep.global_sites} for name, dep in eligible.items()
+    }
 
     for row in rows:
         if row.users <= 0:
@@ -117,7 +121,7 @@ def root_geographic_inflation(
             site_map = row.site_valid_by_letter.get(name)
             if not site_map:
                 continue
-            global_ids = {s.site_id for s in deployment.global_sites}
+            global_ids = global_ids_of[name]
             total = 0.0
             weighted_km = 0.0
             for site_id, queries in site_map.items():
@@ -188,6 +192,9 @@ def root_latency_inflation(
     combined_values: list[float] = []
     combined_weights: list[float] = []
     indexes = {name: _tcp_index(capture, name) for name in eligible}
+    global_ids_of = {
+        name: {s.site_id for s in dep.global_sites} for name, dep in eligible.items()
+    }
 
     for row in rows:
         if row.users <= 0:
@@ -199,7 +206,7 @@ def root_latency_inflation(
             if not site_map:
                 continue
             index = indexes[name]
-            global_ids = {s.site_id for s in deployment.global_sites}
+            global_ids = global_ids_of[name]
             covered = 0.0
             weighted_rtt = 0.0
             for site_id, queries in site_map.items():
@@ -241,13 +248,17 @@ def cdn_geographic_inflation(logs: ServerSideLogs, cdn: CdnSystem) -> InflationR
     result = InflationResult()
     for ring_name in logs.rings:
         ring = cdn.rings[ring_name]
+        ring_rows = logs.for_ring(ring_name)
+        site_km = ring.site_distance_km_many(
+            [row.region_id for row in ring_rows],
+            [row.front_end_site_id for row in ring_rows],
+        )
+        min_km = ring.min_global_distance_km_many([row.region_id for row in ring_rows])
         values: list[float] = []
         weights: list[float] = []
         table: dict = {}
-        for row in logs.for_ring(ring_name):
-            extra_km = _site_distance_km(
-                ring, row.region_id, row.front_end_site_id
-            ) - ring.min_global_distance_km(row.region_id)
+        for index, row in enumerate(ring_rows):
+            extra_km = float(site_km[index]) - float(min_km[index])
             gi = max(0.0, geographic_rtt_ms(extra_km))
             values.append(gi)
             weights.append(float(row.users))
@@ -263,10 +274,12 @@ def cdn_latency_inflation(logs: ServerSideLogs, cdn: CdnSystem) -> InflationResu
     result = InflationResult()
     for ring_name in logs.rings:
         ring = cdn.rings[ring_name]
+        ring_rows = logs.for_ring(ring_name)
+        min_km = ring.min_global_distance_km_many([row.region_id for row in ring_rows])
         values: list[float] = []
         weights: list[float] = []
-        for row in logs.for_ring(ring_name):
-            li = row.median_rtt_ms - optimal_rtt_ms(ring.min_global_distance_km(row.region_id))
+        for index, row in enumerate(ring_rows):
+            li = row.median_rtt_ms - optimal_rtt_ms(float(min_km[index]))
             values.append(li)
             weights.append(float(row.users))
         if values:

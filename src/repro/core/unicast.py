@@ -16,9 +16,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..bgp import Attachment, propagate, resolve_flow
-from ..geo import path_rtt_ms
+import numpy as np
+
+from ..bgp import Attachment, propagate
+from ..geo.latency import SPEED_OF_LIGHT_FIBER_KM_PER_MS
 from ..users.population import UserBase
+from ..anycast.batch import FlowKernel
 from ..anycast.deployment import (
     EXTERNAL_HOP_COST_MS,
     EXTERNAL_STRETCH,
@@ -74,20 +77,28 @@ def compare_with_unicast(
     """Compute the anycast penalty for (a sample of) the user base."""
     unicast_tables = _unicast_routes(deployment, seed)
 
-    penalties: list[float] = []
-    weights: list[float] = []
-    optimal_users = 0.0
     locations = list(user_base)
     if max_locations is not None:
         locations = locations[:max_locations]
-    cache: dict[tuple[int, int], tuple[float, float, bool] | None] = {}
+    # Unique ⟨AS, region⟩ keys in first-appearance order (the old per-key
+    # cache, now a dedicated batch axis).
+    row_of: dict[tuple[int, int], int] = {}
     for location in locations:
         key = (location.asn, location.region_id)
-        if key not in cache:
-            cache[key] = _penalty_for(
-                deployment, unicast_tables, location.asn, location.region_id
-            )
-        entry = cache[key]
+        if key not in row_of:
+            row_of[key] = len(row_of)
+    asns = [asn for asn, _ in row_of]
+    regions = [region_id for _, region_id in row_of]
+
+    anycast = deployment.resolve_many(asns, regions)
+    unicast_rtts = _unicast_rtts(deployment, unicast_tables, asns, regions)
+
+    penalties: list[float] = []
+    weights: list[float] = []
+    optimal_users = 0.0
+    for location in locations:
+        row = row_of[(location.asn, location.region_id)]
+        entry = _penalty_at(anycast, unicast_rtts, row)
         if entry is None:
             continue
         penalty, _, at_best_site = entry
@@ -106,26 +117,33 @@ def compare_with_unicast(
     )
 
 
-def _penalty_for(deployment, unicast_tables, asn: int, region_id: int):
-    topology = deployment.topology
-    location = topology.world.region(region_id).location
-    anycast_flow = deployment.resolve(asn, region_id)
-    if anycast_flow is None:
+def _unicast_rtts(deployment, unicast_tables, asns, regions):
+    """Per-site batched unicast RTT columns: {site: (ok, rtt_ms)}."""
+    asns = np.asarray(asns, dtype=np.int64)
+    regions = np.asarray(regions, dtype=np.int64)
+    columns = {}
+    for site_id, table in unicast_tables.items():
+        flows = FlowKernel(deployment.topology, table).resolve(asns, regions)
+        legs = np.maximum(flows.path_len - 2, 0) + 1
+        rtt = (
+            3.0 * flows.total_km / SPEED_OF_LIGHT_FIBER_KM_PER_MS
+        ) * EXTERNAL_STRETCH + EXTERNAL_HOP_COST_MS * legs
+        columns[site_id] = (flows.ok, rtt)
+    return columns
+
+
+def _penalty_at(anycast, unicast_rtts, row: int):
+    if not anycast.ok[row]:
         return None
     best_rtt = float("inf")
     best_site = None
-    for site_id, table in unicast_tables.items():
-        flow = resolve_flow(topology, table, asn, location)
-        if flow is None:
+    for site_id, (ok, rtt) in unicast_rtts.items():
+        if not ok[row]:
             continue
-        rtt = path_rtt_ms(
-            flow.waypoints, rng=None, stretch=EXTERNAL_STRETCH,
-            hop_cost_ms=EXTERNAL_HOP_COST_MS, jitter_frac=0.0,
-        )
-        if rtt < best_rtt:
-            best_rtt = rtt
+        if float(rtt[row]) < best_rtt:
+            best_rtt = float(rtt[row])
             best_site = site_id
     if best_site is None:
         return None
-    penalty = max(0.0, anycast_flow.base_rtt_ms - best_rtt)
-    return penalty, best_rtt, anycast_flow.site.site_id == best_site
+    penalty = max(0.0, float(anycast.base_rtt_ms[row]) - best_rtt)
+    return penalty, best_rtt, int(anycast.site_ids[row]) == best_site

@@ -86,18 +86,27 @@ def generate_ditl(
     }
     ideal_daily = zone.ideal_daily_root_queries()
 
-    for cluster in recursives:
-        if not cluster.captured_in_ditl:
-            continue  # forwarders never query the roots
-        flows = {}
+    # Catchments first, in one columnar pass per letter; the per-cluster
+    # loop below then only draws random volumes (same RNG stream as the
+    # scalar path, since resolution itself consumes no randomness).
+    clusters = [cluster for cluster in recursives if cluster.captured_in_ditl]
+    cluster_asns = [cluster.asn for cluster in clusters]
+    cluster_regions = [cluster.region_id for cluster in clusters]
+    batches = {
+        name: deployment.resolve_many(cluster_asns, cluster_regions)
+        for name, deployment in letters.items()
+    }
+
+    for index, cluster in enumerate(clusters):
+        sites = {}
         rtts = {}
-        for name, deployment in letters.items():
-            flow = deployment.resolve(cluster.asn, cluster.region_id)
-            if flow is None:
+        for name in letters:
+            batch = batches[name]
+            if not batch.ok[index]:
                 continue
-            flows[name] = flow
-            rtts[name] = flow.base_rtt_ms
-        if not flows:
+            sites[name] = int(batch.site_ids[index])
+            rtts[name] = float(batch.base_rtt_ms[index])
+        if not sites:
             continue
         weights = _letter_weights(rtts, params.letter_pref_gamma, params.letter_pref_floor)
 
@@ -112,9 +121,8 @@ def generate_ditl(
 
         for name, weight in weights.items():
             deployment = letters[name]
-            flow = flows[name]
             capture = captures[name]
-            favorite = flow.site.site_id
+            favorite = sites[name]
 
             # Site split: most /24s are single-site; some split to a
             # secondary global site via upstream load balancing.
@@ -175,7 +183,7 @@ def generate_ditl(
                         TcpRttRow(
                             slash24=cluster.slash24,
                             site_id=favorite,
-                            rtt_ms=flow.measured_rtt_ms(rng),
+                            rtt_ms=rtts[name] * float(rng.lognormal(mean=0.0, sigma=0.05)),
                             samples=favorite_samples,
                         )
                     )

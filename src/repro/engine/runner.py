@@ -55,11 +55,11 @@ def _init_worker(spec: _WorkerSpec) -> None:
 
 
 def _run_in_worker(experiment_id: str):
-    from ..experiments import run_experiment
+    from ..experiments import execute_experiment
 
     scenario = _WORKER_SCENARIO
     stage_mark = len(scenario.report.stages)
-    result = run_experiment(experiment_id, scenario)
+    result = execute_experiment(experiment_id, scenario)
     if result.report is not None:
         result.report.worker = os.getpid()
     # Ship the stages this run materialised so the parent's RunReport
@@ -102,7 +102,7 @@ def run_experiments(
         By default this happens when the cache is enabled and the batch
         is large enough (≥ 8 ids) for the shared substrate to pay off.
     """
-    from ..experiments import Scenario, run_experiment
+    from ..experiments import Scenario, execute_experiment
 
     ids = list(experiment_ids)
     if scenario is None:
@@ -113,7 +113,7 @@ def run_experiments(
     report = RunReport()
     if workers == 1 or len(ids) <= 1:
         stage_mark = len(scenario.report.stages)
-        results = [run_experiment(experiment_id, scenario) for experiment_id in ids]
+        results = [execute_experiment(experiment_id, scenario) for experiment_id in ids]
         report.stages.extend(scenario.report.stages[stage_mark:])
         report.experiments.extend(r.report for r in results if r.report is not None)
         return ExperimentResults(results, report)

@@ -10,6 +10,7 @@ from . import figures_cdn, figures_local, figures_roots, figures_system, tables 
 from .base import (
     RESULT_SCHEMA_VERSION,
     ExperimentResult,
+    execute_experiment,
     experiment,
     list_experiments,
     run_experiment,
@@ -25,6 +26,7 @@ __all__ = [
     "RESULT_SCHEMA_VERSION",
     "RunReport",
     "write_series_csv",
+    "execute_experiment",
     "experiment",
     "list_experiments",
     "run_experiment",

@@ -1,18 +1,19 @@
 """Experiment result container and registry plumbing.
 
-``run_experiment`` is the single-experiment entry point;
-:func:`repro.engine.run_experiments` is its many-experiment, parallel
-sibling.  Both return :class:`ExperimentResult` objects with the same
-stable, versioned fields (``id``, ``data``, ``series``, ``report``), and
-both consult the scenario's content-addressed artifact cache: a rerun of
-an experiment whose ``(id, scale, seed, params, code)`` key is already
-cached replays the stored result instead of recomputing it.
+``run_experiment`` is the single-experiment entry point; it routes
+through the same engine path as :func:`repro.engine.run_experiments`
+(a one-element batch), so both populate ``result.report`` and the
+scenario's :class:`RunReport` identically.  Both consult the scenario's
+content-addressed artifact cache: a rerun of an experiment whose
+``(id, scale, seed, params, code)`` key is already cached replays the
+stored result instead of recomputing it.
 """
 
 from __future__ import annotations
 
 import csv
 import os
+import warnings
 from collections.abc import Callable
 from dataclasses import dataclass, field
 
@@ -22,6 +23,7 @@ from .scenario import Scenario
 __all__ = [
     "RESULT_SCHEMA_VERSION",
     "ExperimentResult",
+    "execute_experiment",
     "experiment",
     "run_experiment",
     "list_experiments",
@@ -30,7 +32,8 @@ __all__ = [
 
 #: Bumped whenever the ExperimentResult field layout changes; cached
 #: results carrying an older version are ignored and recomputed.
-RESULT_SCHEMA_VERSION = 2
+#: (v3: the ``experiment_id`` field was renamed to ``id``.)
+RESULT_SCHEMA_VERSION = 3
 
 
 @dataclass(slots=True)
@@ -43,7 +46,7 @@ class ExperimentResult:
     observability record (wall time, cache hit/miss) for this run.
     """
 
-    experiment_id: str
+    id: str
     title: str
     sections: list[tuple[str, str]] = field(default_factory=list)
     data: dict = field(default_factory=dict)
@@ -54,9 +57,14 @@ class ExperimentResult:
     report: ExperimentRecord | None = None
 
     @property
-    def id(self) -> str:
-        """Stable alias for ``experiment_id``."""
-        return self.experiment_id
+    def experiment_id(self) -> str:
+        """Deprecated alias for :attr:`id` (pre-v3 field name)."""
+        warnings.warn(
+            "ExperimentResult.experiment_id is deprecated; use .id",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.id
 
     def add(self, heading: str, body: str) -> None:
         self.sections.append((heading, body))
@@ -65,7 +73,7 @@ class ExperimentResult:
         self.series[label] = points
 
     def to_text(self) -> str:
-        lines = [f"== {self.experiment_id}: {self.title} =="]
+        lines = [f"== {self.id}: {self.title} =="]
         for heading, body in self.sections:
             lines.append(f"-- {heading} --")
             lines.append(body)
@@ -84,7 +92,7 @@ def write_series_csv(result: ExperimentResult, directory: str) -> list[str]:
     written: list[str] = []
     for label, points in result.series.items():
         safe = "".join(c if c.isalnum() or c in "-_" else "_" for c in label)
-        path = os.path.join(directory, f"{result.experiment_id}__{safe}.csv")
+        path = os.path.join(directory, f"{result.id}__{safe}.csv")
         with open(path, "w", newline="", encoding="utf-8") as handle:
             writer = csv.writer(handle)
             writer.writerow(["x", "y"])
@@ -109,14 +117,19 @@ def experiment(experiment_id: str):
     return decorate
 
 
-def run_experiment(experiment_id: str, scenario: Scenario) -> ExperimentResult:
-    """Run one registered experiment against a scenario.
+def execute_experiment(experiment_id: str, scenario: Scenario) -> ExperimentResult:
+    """The engine's execution core: run one experiment, cache-aware.
 
     Results are content-addressed like any other stage: when the
     scenario's cache already holds a result for ``(experiment_id, scale,
     seed, params, code)``, that result is replayed without touching the
     substrate.  Either way the returned result carries a fresh
     ``.report`` record and the run is appended to ``scenario.report``.
+
+    Both :func:`run_experiment` and
+    :func:`repro.engine.run_experiments` (serial and pooled) funnel
+    through this one function, so report population is identical no
+    matter which entry point is used.
     """
     try:
         runner = _REGISTRY[experiment_id]
@@ -143,6 +156,19 @@ def run_experiment(experiment_id: str, scenario: Scenario) -> ExperimentResult:
     result.report = record
     scenario.report.add_experiment(record)
     return result
+
+
+def run_experiment(experiment_id: str, scenario: Scenario) -> ExperimentResult:
+    """Run one registered experiment against a scenario.
+
+    A thin wrapper over the engine: equivalent to
+    ``run_experiments([experiment_id], scenario)[0]``, so the returned
+    result's ``report`` is populated exactly as the batch entry point
+    would.
+    """
+    from ..engine import run_experiments
+
+    return run_experiments([experiment_id], scenario)[0]
 
 
 def list_experiments() -> list[str]:

@@ -35,13 +35,16 @@ def fig01(scenario: Scenario) -> ExperimentResult:
     result = ExperimentResult("fig01", "CDN rings and user populations (Fig. 1)")
     world = scenario.internet.world
     rows = []
+    locations = list(scenario.user_base)
+    location_regions = [location.region_id for location in locations]
     for name in _ring_order(scenario):
         ring = scenario.cdn.rings[name]
         regions = {site.region_id for site in ring.sites}
+        min_km = ring.min_global_distance_km_many(location_regions)
         covered = sum(
             location.users
-            for location in scenario.user_base
-            if ring.min_global_distance_km(location.region_id) <= 1000.0
+            for location, km in zip(locations, min_km)
+            if km <= 1000.0
         )
         rows.append(
             {
@@ -186,16 +189,11 @@ def fig14(scenario: Scenario) -> ExperimentResult:
         )
     result = ExperimentResult("fig14", "Relative latency to the largest ring (Fig. 14)")
     result.add("regions (first 25)", format_table(rows[:25]))
-    near = [
-        region_latency[r]
-        for r in region_latency
-        if ring.min_global_distance_km(r) <= 500.0
-    ]
-    far = [
-        region_latency[r]
-        for r in region_latency
-        if ring.min_global_distance_km(r) > 2_000.0
-    ]
+    min_km_of = dict(
+        zip(region_latency, ring.min_global_distance_km_many(list(region_latency)))
+    )
+    near = [region_latency[r] for r in region_latency if min_km_of[r] <= 500.0]
+    far = [region_latency[r] for r in region_latency if min_km_of[r] > 2_000.0]
     if near and far:
         result.data["near_median_ms"] = float(np.median(near))
         result.data["far_median_ms"] = float(np.median(far))

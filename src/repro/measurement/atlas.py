@@ -117,14 +117,19 @@ class AtlasPlatform:
         self, deployment: Deployment, attempts: int = 3
     ) -> dict[int, list[float]]:
         """RTT samples per probe id (empty list when unreachable)."""
+        batch = deployment.resolve_many(
+            [probe.asn for probe in self.probes],
+            [probe.region_id for probe in self.probes],
+        )
         results: dict[int, list[float]] = {}
-        for probe in self.probes:
-            flow = deployment.resolve(probe.asn, probe.region_id)
-            if flow is None:
+        for index, probe in enumerate(self.probes):
+            if not batch.ok[index]:
                 results[probe.probe_id] = []
                 continue
+            base_rtt = float(batch.base_rtt_ms[index])
             results[probe.probe_id] = [
-                flow.measured_rtt_ms(self._rng) for _ in range(attempts)
+                base_rtt * float(self._rng.lognormal(mean=0.0, sigma=0.05))
+                for _ in range(attempts)
             ]
         return results
 

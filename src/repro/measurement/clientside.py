@@ -62,14 +62,19 @@ def collect_client_measurements(
 ) -> ClientSideMeasurements:
     """Instruct clients in every location to measure every ring."""
     rng = make_rng(seed, "clientside")
+    locations = list(user_base)
+    resolved = cdn.resolve_many(
+        [loc.asn for loc in locations], [loc.region_id for loc in locations]
+    )
     rows: list[ClientMeasurementRow] = []
-    for location in user_base:
-        for ring_name, ring in cdn.rings.items():
-            flow = ring.resolve(location.asn, location.region_id)
-            if flow is None:
+    for index, location in enumerate(locations):
+        for ring_name in cdn.rings:
+            batch = resolved[ring_name]
+            if not batch.ok[index]:
                 continue
+            base_rtt = float(batch.base_rtt_ms[index])
             samples = [
-                flow.measured_rtt_ms(rng) + server_turnaround_ms
+                base_rtt * float(rng.lognormal(mean=0.0, sigma=0.05)) + server_turnaround_ms
                 for _ in range(samples_per_location)
             ]
             rows.append(

@@ -64,27 +64,35 @@ def collect_server_logs(
     medians' support).
     """
     rng = make_rng(seed, "serverlogs")
+    locations = list(user_base)
+    resolved = cdn.resolve_many(
+        [loc.asn for loc in locations], [loc.region_id for loc in locations]
+    )
     rows: list[ServerLogRow] = []
-    for location in user_base:
-        for ring_name, ring in cdn.rings.items():
-            flow = ring.resolve(location.asn, location.region_id)
-            if flow is None:
+    for index, location in enumerate(locations):
+        for ring_name in cdn.rings:
+            batch = resolved[ring_name]
+            if not batch.ok[index]:
                 continue
+            base_rtt = float(batch.base_rtt_ms[index])
             count = int(
                 np.clip(samples_per_location * (1 + location.users // 100_000), 10, 5_000)
             )
             # Median of lognormal jitter around the base RTT: approximate
             # by sampling a modest batch (cheap, still noisy like reality).
-            batch = min(count, 64)
-            samples = [flow.measured_rtt_ms(rng) for _ in range(batch)]
+            n_samples = min(count, 64)
+            samples = [
+                base_rtt * float(rng.lognormal(mean=0.0, sigma=0.05))
+                for _ in range(n_samples)
+            ]
             rows.append(
                 ServerLogRow(
                     region_id=location.region_id,
                     asn=location.asn,
                     ring=ring_name,
                     users=location.users,
-                    front_end_site_id=flow.site.site_id,
-                    front_end_region_id=flow.site.region_id,
+                    front_end_site_id=int(batch.site_ids[index]),
+                    front_end_region_id=int(batch.site_region_ids[index]),
                     median_rtt_ms=float(np.median(samples)),
                     samples=count,
                 )
@@ -120,32 +128,40 @@ def collect_biased_server_logs(
         name: 0.75 * (1.0 - rank / max(1, len(ring_order) - 1))
         for rank, name in enumerate(ring_order)
     }
+    locations = list(user_base)
+    resolved = cdn.resolve_many(
+        [loc.asn for loc in locations], [loc.region_id for loc in locations]
+    )
     rows: list[ServerLogRow] = []
-    for location in user_base:
+    for index, location in enumerate(locations):
         openness = topology.node(location.asn).openness
         score = (
             enterprise_correlation * openness
             + (1.0 - enterprise_correlation) * float(rng.uniform())
         )
-        for ring_name, ring in cdn.rings.items():
+        for ring_name in cdn.rings:
             if score < thresholds[ring_name]:
                 continue  # this ring's services have no users here
-            flow = ring.resolve(location.asn, location.region_id)
-            if flow is None:
+            batch = resolved[ring_name]
+            if not batch.ok[index]:
                 continue
+            base_rtt = float(batch.base_rtt_ms[index])
             count = int(
                 np.clip(samples_per_location * (1 + location.users // 100_000), 10, 5_000)
             )
-            batch = min(count, 64)
-            samples = [flow.measured_rtt_ms(rng) for _ in range(batch)]
+            n_samples = min(count, 64)
+            samples = [
+                base_rtt * float(rng.lognormal(mean=0.0, sigma=0.05))
+                for _ in range(n_samples)
+            ]
             rows.append(
                 ServerLogRow(
                     region_id=location.region_id,
                     asn=location.asn,
                     ring=ring_name,
                     users=location.users,
-                    front_end_site_id=flow.site.site_id,
-                    front_end_region_id=flow.site.region_id,
+                    front_end_site_id=int(batch.site_ids[index]),
+                    front_end_region_id=int(batch.site_region_ids[index]),
                     median_rtt_ms=float(np.median(samples)),
                     samples=count,
                 )

@@ -35,7 +35,12 @@ from ..geo import make_rng
 from ..topology import ASKind, GeneratedInternet
 from .population import UserBase
 
-__all__ = ["RecursiveCluster", "RecursivePopulation", "build_recursives"]
+__all__ = [
+    "FIRST_RESOLVER_SLASH24_INDEX",
+    "RecursiveCluster",
+    "RecursivePopulation",
+    "build_recursives",
+]
 
 #: Resolver software mix: (name, probability, redundant-query bug).
 _SOFTWARE_MIX = (
@@ -45,6 +50,14 @@ _SOFTWARE_MIX = (
     ("knot", 0.10, False),
     ("custom", 0.08, False),
 )
+
+#: First /24 of an AS's address plan that resolver clusters may claim.
+#: Each AS's space is carved into consecutive /24 blocks
+#: (``plan.address_in(asn, index * 256)`` is the base of block
+#: ``index``); the blocks below this index — the AS's lowest 2048
+#: addresses — are reserved for end-user / infrastructure addressing so
+#: resolver /24s never collide with them.
+FIRST_RESOLVER_SLASH24_INDEX = 8
 
 
 @dataclass(slots=True)
@@ -161,7 +174,7 @@ def build_recursives(
         asn: int, region_id: int, users: int, public: bool, automated: bool = False
     ) -> None:
         nonlocal cluster_id
-        index = next_slash24_index.get(asn, 8)  # leave low /24s for users
+        index = next_slash24_index.get(asn, FIRST_RESOLVER_SLASH24_INDEX)
         next_slash24_index[asn] = index + 1
         try:
             base_ip = plan.address_in(asn, index * 256)

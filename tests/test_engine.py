@@ -243,7 +243,7 @@ class TestScenarioApi:
 class TestResultSchema:
     def test_stable_fields(self, cache):
         result = run_experiment("table1", make_scenario(cache))
-        assert result.id == result.experiment_id == "table1"
+        assert result.id == "table1"
         assert result.version == RESULT_SCHEMA_VERSION
         assert isinstance(result.data, dict)
         assert isinstance(result.series, dict)
@@ -254,6 +254,11 @@ class TestResultSchema:
         result = ExperimentResult("x", "title")
         assert result.report is None
         assert result.version == RESULT_SCHEMA_VERSION
+
+    def test_experiment_id_is_deprecated_alias(self):
+        result = ExperimentResult("x", "title")
+        with pytest.warns(DeprecationWarning, match="use .id"):
+            assert result.experiment_id == "x"
 
 
 class TestRunReport:

@@ -25,7 +25,7 @@ class TestRegistry:
     def test_runs_and_renders(self, scenario, experiment_id):
         result = run_experiment(experiment_id, scenario)
         assert isinstance(result, ExperimentResult)
-        assert result.experiment_id == experiment_id
+        assert result.id == experiment_id
         text = result.to_text()
         assert experiment_id in text
         assert result.sections or result.data
