@@ -1,0 +1,109 @@
+"""Benchmark: observability overhead on the resolve hot path.
+
+The acceptance bar for ``repro.obs``: with no trace sink configured the
+instrumentation must stay within 2% of the uninstrumented resolve path
+at the paper-scale (``medium``) world — a disabled span is two clock
+reads and a contextvar swap, and this guards that it stays that way.
+The enabled-tracer cost is recorded (not bounded): emission is opt-in,
+so its price is paid only when the user asks for a trace file.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.anycast.batch import _as_index_arrays
+from repro.obs import Tracer, trace
+
+from .conftest import bench_scale, run_once
+
+
+def _population(scenario):
+    seen = {}
+    for location in scenario.user_base:
+        seen.setdefault((location.asn, location.region_id), None)
+    pairs = list(seen)
+    return [a for a, _ in pairs], [r for _, r in pairs]
+
+
+@pytest.fixture(scope="module")
+def population(scenario):
+    return _population(scenario)
+
+
+@pytest.fixture(scope="module")
+def deployment(scenario, population):
+    asns, regions = population
+    letters = scenario.letters_2018
+    deployment = letters[sorted(letters)[0]]
+    # Warm the one-time precompute (distance matrix, routing tables) so
+    # every measurement below times steady-state resolution.
+    deployment.resolve_many(asns[:1], regions[:1])
+    return deployment
+
+
+def _min_time(func, *args, repeats=7):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        func(*args)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_bench_disabled_tracer_overhead(benchmark, deployment, population):
+    """Instrumented ``resolve_many`` vs the span-free ``_resolve_batch`` core."""
+    assert not trace.enabled
+    asns, regions = population
+
+    def baseline():
+        deployment._resolve_batch(*_as_index_arrays(asns, regions))
+
+    instrumented_s = _min_time(deployment.resolve_many, asns, regions)
+    baseline_s = _min_time(baseline)
+    overhead = instrumented_s / baseline_s - 1.0
+
+    run_once(benchmark, deployment.resolve_many, asns, regions)
+    benchmark.extra_info["disabled_overhead"] = overhead
+    if bench_scale() == "medium":
+        assert overhead < 0.02, (
+            f"disabled tracer costs {overhead:.1%} on resolve_many "
+            f"(instrumented {instrumented_s:.4f}s vs baseline {baseline_s:.4f}s)"
+        )
+    else:
+        # Sub-millisecond batches at the small scale make a ratio noisy;
+        # keep a loose sanity bound rather than a meaningless tight one.
+        assert overhead < 0.50
+
+
+def test_bench_disabled_span_micro_cost(benchmark):
+    """Absolute per-span price with no sink: must stay microseconds."""
+    tracer = Tracer()
+    n = 50_000
+
+    def spin():
+        for _ in range(n):
+            with tracer.span("micro"):
+                pass
+
+    run_once(benchmark, spin)
+    per_span_s = _min_time(spin, repeats=3) / n
+    benchmark.extra_info["per_span_us"] = per_span_s * 1e6
+    assert per_span_s < 20e-6, f"disabled span costs {per_span_s * 1e6:.1f}us"
+
+
+def test_bench_enabled_tracer_cost(benchmark, deployment, population, tmp_path):
+    """Record (not bound) what emitting a trace file costs on the same path."""
+    asns, regions = population
+    disabled_s = _min_time(deployment.resolve_many, asns, regions)
+
+    def traced():
+        with trace.capture(tmp_path / "bench-trace.jsonl", name="bench"):
+            deployment.resolve_many(asns, regions)
+
+    enabled_s = _min_time(traced, repeats=3)
+    run_once(benchmark, traced)
+    benchmark.extra_info["enabled_overhead"] = enabled_s / disabled_s - 1.0
+    assert not trace.enabled  # capture always restores the disabled state

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Validate observability output files against the checked-in schemas.
+
+Usage::
+
+    python scripts/validate_obs.py TRACE.jsonl METRICS.json
+
+Validates the trace line by line against ``docs/trace.schema.json`` and
+the metrics dump against ``docs/metrics.schema.json`` using the
+stdlib-only validator in :mod:`repro.obs.schema`.  Exits non-zero and
+prints every violation when either file does not conform.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+try:
+    from repro.obs.schema import validate_metrics_file, validate_trace_file
+except ImportError:  # uninstalled checkout: fall back to the src layout
+    sys.path.insert(0, str(REPO / "src"))
+    from repro.obs.schema import validate_metrics_file, validate_trace_file
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    trace_path, metrics_path = argv
+
+    with open(REPO / "docs" / "trace.schema.json", encoding="utf-8") as handle:
+        trace_schema = json.load(handle)
+    with open(REPO / "docs" / "metrics.schema.json", encoding="utf-8") as handle:
+        metrics_schema = json.load(handle)
+
+    failures = 0
+    for label, path, errors in (
+        ("trace", trace_path, validate_trace_file(trace_path, trace_schema)),
+        ("metrics", metrics_path, validate_metrics_file(metrics_path, metrics_schema)),
+    ):
+        if errors:
+            failures += 1
+            print(f"{label} file {path} is INVALID:", file=sys.stderr)
+            for error in errors:
+                print(f"  {error}", file=sys.stderr)
+        else:
+            print(f"{label} file {path} is valid")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

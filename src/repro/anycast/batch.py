@@ -35,6 +35,7 @@ import numpy as np
 
 from ..geo.coords import great_circle_km
 from ..geo.latency import SPEED_OF_LIGHT_FIBER_KM_PER_MS
+from ..obs import metrics, trace
 from ..topology.graph import Topology
 
 __all__ = ["ResolvedBatch", "FlowBatch", "FlowKernel", "region_distance_matrix"]
@@ -60,16 +61,18 @@ def region_distance_matrix(topology: Topology) -> np.ndarray:
         lats = [float(v) for v in world.latitudes]
         lons = [float(v) for v in world.longitudes]
         n = len(lats)
-        matrix = np.zeros((n, n))
-        for i in range(n):
-            lat1, lon1 = lats[i], lons[i]
-            row = matrix[i]
-            for j in range(i + 1, n):
-                row[j] = great_circle_km(lat1, lon1, lats[j], lons[j])
-        lower = matrix.T.copy()
-        matrix += lower
-        matrix.setflags(write=False)
-        _DISTANCE_CACHE[topology] = matrix
+        with trace.span("kernel.distance_matrix", n_regions=n):
+            matrix = np.zeros((n, n))
+            for i in range(n):
+                lat1, lon1 = lats[i], lons[i]
+                row = matrix[i]
+                for j in range(i + 1, n):
+                    row[j] = great_circle_km(lat1, lon1, lats[j], lons[j])
+            lower = matrix.T.copy()
+            matrix += lower
+            matrix.setflags(write=False)
+            _DISTANCE_CACHE[topology] = matrix
+        metrics.counter("kernel.distance_matrix.builds.total").inc()
     return matrix
 
 
@@ -169,6 +172,12 @@ class FlowKernel:
     """
 
     def __init__(self, topology: Topology, routing) -> None:
+        with trace.span("kernel.build") as span:
+            self._build(topology, routing)
+            span.set(n_ases=len(self._as_ids), n_routes=len(self._routed_asns))
+        metrics.counter("kernel.builds.total").inc()
+
+    def _build(self, topology: Topology, routing) -> None:
         self.topology = topology
         self.routing = routing
         self.distances = region_distance_matrix(topology)
@@ -249,12 +258,16 @@ class FlowKernel:
         may pass raw per-client columns without deduplicating first.
         """
         asns, regions = _as_index_arrays(asns, regions)
-        n_regions = len(self.topology.world)
-        pair_key = asns * n_regions + regions
-        unique_keys, inverse = np.unique(pair_key, return_inverse=True)
-        u_asns = unique_keys // n_regions
-        u_regions = unique_keys % n_regions
-        unique = self._resolve_unique(u_asns, u_regions, want_chain)
+        with trace.span("kernel.resolve", rows=len(asns)) as span:
+            n_regions = len(self.topology.world)
+            pair_key = asns * n_regions + regions
+            unique_keys, inverse = np.unique(pair_key, return_inverse=True)
+            u_asns = unique_keys // n_regions
+            u_regions = unique_keys % n_regions
+            span.set(unique=len(unique_keys))
+            unique = self._resolve_unique(u_asns, u_regions, want_chain)
+        metrics.counter("kernel.resolves.total").inc()
+        metrics.histogram("kernel.batch.rows").observe(len(asns))
 
         def scatter(column: np.ndarray) -> np.ndarray:
             return column[inverse]

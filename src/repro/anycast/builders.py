@@ -16,6 +16,7 @@ import numpy as np
 
 from ..bgp import Attachment
 from ..geo import make_rng
+from ..obs import trace
 from ..topology import ASKind, GeneratedInternet, Relationship
 from .batch import ResolvedBatch
 from .cdn import CdnFabric, CdnRing
@@ -280,14 +281,16 @@ class CdnSystem:
         per-ring WAN leg differs.  Returns ``{ring_name: ResolvedBatch}``
         with rows aligned to the inputs.
         """
-        shared_ingress = self.fabric.ingress_many(asns, regions)
-        return {
-            name: ring._resolve_batch(
-                shared_ingress.asns, shared_ingress.region_ids,
-                ingress_batch=shared_ingress,
-            )
-            for name, ring in self.rings.items()
-        }
+        with trace.span("cdn.resolve_many", rings=len(self.rings)) as span:
+            shared_ingress = self.fabric.ingress_many(asns, regions)
+            span.set(rows=len(shared_ingress.asns))
+            return {
+                name: ring._resolve_batch(
+                    shared_ingress.asns, shared_ingress.region_ids,
+                    ingress_batch=shared_ingress,
+                )
+                for name, ring in self.rings.items()
+            }
 
 
 def build_cdn(internet: GeneratedInternet, spec: CdnSpec | None = None, seed: int = 0) -> CdnSystem:

@@ -29,6 +29,7 @@ import numpy as np
 from ..bgp import Attachment, FlowResolution, RoutingTable, propagate, resolve_flow
 from ..geo import GeoPoint, optimal_rtt_ms, path_rtt_ms
 from ..geo.latency import SPEED_OF_LIGHT_FIBER_KM_PER_MS
+from ..obs import trace
 from ..topology.graph import Topology
 from .batch import FlowKernel, ResolvedBatch, _as_index_arrays, region_distance_matrix
 from .deployment import EXTERNAL_HOP_COST_MS, EXTERNAL_STRETCH, Deployment, ServedFlow
@@ -185,6 +186,12 @@ class CdnFabric:
         replaces one :meth:`ingress` call per client.
         """
         asns, regions = _as_index_arrays(asns, regions)
+        with trace.span("cdn.ingress_many", rows=len(asns)):
+            return self._ingress_batch(asns, regions, want_chain)
+
+    def _ingress_batch(
+        self, asns: np.ndarray, regions: np.ndarray, want_chain: bool
+    ) -> IngressBatch:
         flows = self.kernel.resolve(asns, regions, want_chain=want_chain)
         ok = flows.ok
         distances = region_distance_matrix(self.topology)

@@ -30,6 +30,7 @@ import numpy as np
 from ..bgp import Attachment, RoutingTable, propagate, resolve_flow
 from ..geo import GeoPoint, optimal_rtt_ms, path_rtt_ms
 from ..geo.latency import SPEED_OF_LIGHT_FIBER_KM_PER_MS
+from ..obs import trace
 from ..topology.graph import Topology
 from .batch import FlowKernel, ResolvedBatch, _as_index_arrays, region_distance_matrix
 from .site import Site
@@ -153,7 +154,8 @@ class Deployment(abc.ABC):
         is a one-element wrapper around it.
         """
         asns, regions = _as_index_arrays(asns, regions)
-        return self._resolve_batch(asns, regions)
+        with trace.span("deployment.resolve_many", deployment=self.name, rows=len(asns)):
+            return self._resolve_batch(asns, regions)
 
     def resolve(self, client_asn: int, region_id: int) -> ServedFlow | None:
         """Resolve service for a client of ``client_asn`` in ``region_id``.

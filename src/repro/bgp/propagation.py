@@ -28,12 +28,15 @@ from __future__ import annotations
 from collections import defaultdict
 from collections.abc import Iterable
 
+from ..obs import get_logger, metrics, trace
 from ..topology.graph import Topology
 from ..topology.kinds import Relationship
 from .policy import DefaultTieBreaker
 from .route import Attachment, Route, RouteClass
 
 __all__ = ["RoutingTable", "propagate"]
+
+_log = get_logger("bgp.propagation")
 
 
 class RoutingTable:
@@ -90,6 +93,26 @@ def propagate(
     seed: int = 0,
 ) -> RoutingTable:
     """Run the three-phase propagation and return per-AS selected routes."""
+    with trace.span(
+        "bgp.propagate", origin=origin_asn, attachments=len(attachments)
+    ) as span:
+        table = _propagate(topology, origin_asn, attachments, seed)
+        span.set(routes=len(table))
+    metrics.counter("bgp.propagations.total").inc()
+    metrics.counter("bgp.routes.total").inc(len(table))
+    _log.debug(
+        "propagated AS%d via %d attachments: %d routes (%.1f%% coverage)",
+        origin_asn, len(attachments), len(table), 100.0 * table.coverage(topology),
+    )
+    return table
+
+
+def _propagate(
+    topology: Topology,
+    origin_asn: int,
+    attachments: list[Attachment],
+    seed: int = 0,
+) -> RoutingTable:
     if not attachments:
         raise ValueError("cannot announce a prefix with no attachments")
     ids = [a.attachment_id for a in attachments]

@@ -6,22 +6,33 @@ Examples::
     anycast-repro run fig02a --scale small
     anycast-repro all --scale medium --workers 4 --report
     anycast-repro all --scale medium --out results.txt
+    anycast-repro run fig02a --trace trace.jsonl --metrics metrics.json
+    anycast-repro inspect trace.jsonl
     anycast-repro summary
 
 Heavy substrates and experiment results are cached on disk (default
 ``~/.cache/anycast-repro``); rerunning any experiment is near-instant.
 Use ``--cache-dir`` / ``--no-cache`` (or ``ANYCAST_REPRO_CACHE_DIR`` /
 ``ANYCAST_REPRO_NO_CACHE=1``) to control the cache.
+
+Observability: ``--trace FILE.jsonl`` records every span the run opened
+(merged across worker processes), ``--metrics FILE.json`` dumps the
+metrics registry, ``repro inspect TRACE`` analyses a recorded trace, and
+``-v`` turns on DEBUG logging for the ``repro`` logger tree.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 
 from .engine import ArtifactCache, run_experiments
 from .experiments import Scenario, list_experiments, run_experiment, write_series_csv
+from .obs import configure_logging, metrics, rss_peak_bytes, trace
+from .obs.inspect import render_trace
+from .obs.trace import load_trace
 
 __all__ = ["main", "build_parser"]
 
@@ -36,7 +47,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list", help="list available experiments")
+    _add_verbose_arg(sub.add_parser("list", help="list available experiments"))
 
     run = sub.add_parser("run", help="run one experiment")
     run.add_argument("experiment", help="experiment id, e.g. fig02a")
@@ -49,14 +60,24 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--report", action="store_true",
                      help="print the engine's per-stage RunReport afterwards")
     _add_scenario_args(run)
+    _add_obs_args(run)
 
     everything = sub.add_parser("all", help="run every experiment")
     _add_scenario_args(everything)
+    _add_obs_args(everything)
     everything.add_argument("--out", help="write the report to this file")
     everything.add_argument("--workers", type=_positive_int, default=1, metavar="N",
                             help="fan experiments out across N processes")
     everything.add_argument("--report", action="store_true",
                             help="print the engine's per-stage RunReport afterwards")
+
+    inspect = sub.add_parser(
+        "inspect", help="analyse a trace recorded with --trace"
+    )
+    inspect.add_argument("trace", help="merged trace JSONL file")
+    inspect.add_argument("--top", type=_positive_int, default=10, metavar="N",
+                         help="how many slowest spans to list (default 10)")
+    _add_verbose_arg(inspect)
 
     summary = sub.add_parser("summary", help="key headline numbers only")
     _add_scenario_args(summary)
@@ -83,7 +104,17 @@ def _positive_int(text: str) -> int:
     return value
 
 
+def _add_verbose_arg(parser: argparse.ArgumentParser) -> None:
+    # On every subparser (not the main parser): a subparser's default
+    # would otherwise overwrite a pre-subcommand -v during parse_args.
+    parser.add_argument(
+        "-v", "--verbose", action="count", default=0,
+        help="DEBUG logging for the repro logger tree",
+    )
+
+
 def _add_scenario_args(parser: argparse.ArgumentParser) -> None:
+    _add_verbose_arg(parser)
     parser.add_argument(
         "--scale", choices=("small", "medium"), default="small",
         help="world size: small (seconds) or medium (paper scale, minutes)",
@@ -96,6 +127,17 @@ def _add_scenario_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--no-cache", action="store_true",
         help="disable the on-disk artifact cache for this run",
+    )
+
+
+def _add_obs_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace", metavar="FILE.jsonl", default=None,
+        help="record every span of this run into a merged trace file",
+    )
+    parser.add_argument(
+        "--metrics", metavar="FILE.json", default=None,
+        help="dump the metrics registry (counters/gauges/histograms) as JSON",
     )
 
 
@@ -116,13 +158,133 @@ _HEADLINES = (
 )
 
 
+def _print_report(report) -> None:
+    """The single choke point both ``run --report`` and ``all --report`` use."""
+    print()
+    print(report.to_text())
+
+
+def _run_observed(args: argparse.Namespace, command, scenario: Scenario) -> int:
+    """Execute a run/all command under the --trace / --metrics sinks."""
+    metrics.reset()
+    if args.trace:
+        try:
+            with trace.capture(
+                args.trace, name=f"cli.{args.command}", command=args.command
+            ):
+                code = command(args, scenario)
+        except OSError as error:
+            print(f"cannot write trace to {args.trace}: {error}", file=sys.stderr)
+            return 1
+        print(f"wrote {args.trace}", file=sys.stderr)
+    else:
+        code = command(args, scenario)
+    if args.metrics:
+        rss = rss_peak_bytes()
+        if rss is not None:
+            metrics.gauge("process.peak_rss.bytes").set_max(rss)
+        try:
+            metrics.dump(args.metrics)
+        except OSError as error:
+            print(f"cannot write metrics to {args.metrics}: {error}", file=sys.stderr)
+            return 1
+        print(f"wrote {args.metrics}", file=sys.stderr)
+    return code
+
+
+def _cmd_run(args: argparse.Namespace, scenario: Scenario) -> int:
+    result = run_experiment(args.experiment, scenario)
+    if args.csv:
+        try:
+            for path in write_series_csv(result, args.csv):
+                print(f"wrote {path}", file=sys.stderr)
+        except OSError as error:
+            print(f"cannot write CSVs to {args.csv}: {error}", file=sys.stderr)
+            return 1
+    if args.plot and result.series:
+        from .core import render_series
+
+        logx = args.experiment in ("fig03", "fig08", "fig09")
+        print(render_series(result.series, x_label="ms" if not logx else "q/user/day",
+                            logx=logx))
+        print()
+    if args.json:
+        payload = {
+            "experiment": result.id,
+            "title": result.title,
+            "data": {k: v for k, v in result.data.items()
+                     if isinstance(v, (int, float, str, list, tuple))},
+        }
+        print(json.dumps(payload, indent=2, default=list))
+    else:
+        print(result.to_text())
+    if args.report:
+        _print_report(scenario.report)
+    return 0
+
+
+def _cmd_all(args: argparse.Namespace, scenario: Scenario) -> int:
+    out_handle = None
+    if args.out:
+        try:
+            out_handle = open(args.out, "w", encoding="utf-8")
+        except OSError as error:
+            print(f"cannot write report to {args.out}: {error}", file=sys.stderr)
+            return 1
+    results = run_experiments(list_experiments(), scenario, workers=args.workers)
+    chunks = []
+    for result in results:
+        cached = ", cached" if result.report and result.report.cache_hit else ""
+        elapsed = result.report.wall_s if result.report else 0.0
+        chunks.append(result.to_text())
+        chunks.append(f"(elapsed: {elapsed:.1f}s{cached})\n")
+    report = "\n".join(chunks)
+    if out_handle is not None:
+        with out_handle:
+            out_handle.write(report)
+        print(f"wrote {args.out}")
+    else:
+        print(report)
+    if args.report:
+        _print_report(results.report)
+    return 0
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    try:
+        records = load_trace(args.trace)
+    except OSError as error:
+        print(f"cannot read trace {args.trace}: {error}", file=sys.stderr)
+        return 1
+    if not records:
+        print(f"no span records in {args.trace}", file=sys.stderr)
+        return 1
+    print(render_trace(records, top=args.top))
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
+    try:
+        return _dispatch(argv)
+    except BrokenPipeError:
+        # Output piped into e.g. `head` and the reader closed first; not
+        # an error worth a traceback.  Point stdout at devnull so the
+        # interpreter's shutdown flush does not trip over the dead pipe.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+
+
+def _dispatch(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    configure_logging(getattr(args, "verbose", 0))
 
     if args.command == "list":
         for experiment_id in list_experiments():
             print(experiment_id)
         return 0
+
+    if args.command == "inspect":
+        return _cmd_inspect(args)
 
     scenario = _build_scenario(args)
 
@@ -131,61 +293,10 @@ def main(argv: list[str] | None = None) -> int:
             print(f"unknown experiment: {args.experiment}", file=sys.stderr)
             print(f"known: {', '.join(list_experiments())}", file=sys.stderr)
             return 2
-        result = run_experiment(args.experiment, scenario)
-        if args.csv:
-            try:
-                for path in write_series_csv(result, args.csv):
-                    print(f"wrote {path}", file=sys.stderr)
-            except OSError as error:
-                print(f"cannot write CSVs to {args.csv}: {error}", file=sys.stderr)
-                return 1
-        if args.plot and result.series:
-            from .core import render_series
-
-            logx = args.experiment in ("fig03", "fig08", "fig09")
-            print(render_series(result.series, x_label="ms" if not logx else "q/user/day",
-                                logx=logx))
-            print()
-        if args.json:
-            payload = {
-                "experiment": result.id,
-                "title": result.title,
-                "data": {k: v for k, v in result.data.items()
-                         if isinstance(v, (int, float, str, list, tuple))},
-            }
-            print(json.dumps(payload, indent=2, default=list))
-        else:
-            print(result.to_text())
-        if args.report:
-            print()
-            print(scenario.report.to_text())
-        return 0
+        return _run_observed(args, _cmd_run, scenario)
 
     if args.command == "all":
-        out_handle = None
-        if args.out:
-            try:
-                out_handle = open(args.out, "w", encoding="utf-8")
-            except OSError as error:
-                print(f"cannot write report to {args.out}: {error}", file=sys.stderr)
-                return 1
-        results = run_experiments(list_experiments(), scenario, workers=args.workers)
-        chunks = []
-        for result in results:
-            cached = ", cached" if result.report and result.report.cache_hit else ""
-            elapsed = result.report.wall_s if result.report else 0.0
-            chunks.append(result.to_text())
-            chunks.append(f"(elapsed: {elapsed:.1f}s{cached})\n")
-        report = "\n".join(chunks)
-        if out_handle is not None:
-            with out_handle:
-                out_handle.write(report)
-            print(f"wrote {args.out}")
-        else:
-            print(report)
-        if args.report:
-            print(results.report.to_text())
-        return 0
+        return _run_observed(args, _cmd_all, scenario)
 
     if args.command == "summary":
         cache: dict[str, dict] = {}

@@ -16,8 +16,16 @@ Quickstart::
 
 from .cache import ArtifactCache, default_cache, default_cache_dir
 from .keys import StageKey, code_version, params_digest
-from .report import ExperimentRecord, RunReport, StageRecord, TimerStack
+from .report import ExperimentRecord, RunReport, StageRecord
 from .runner import ExperimentResults, run_experiments
+
+
+def __getattr__(name):
+    if name == "TimerStack":  # deprecated: emits a DeprecationWarning in report
+        from . import report
+
+        return report.TimerStack
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
     "ArtifactCache",

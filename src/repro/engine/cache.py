@@ -22,9 +22,12 @@ import pickle
 import tempfile
 from pathlib import Path
 
+from ..obs import get_logger, metrics
 from .keys import StageKey
 
 __all__ = ["ArtifactCache", "default_cache_dir", "default_cache"]
+
+_log = get_logger("engine.cache")
 
 _ENV_DIR = "ANYCAST_REPRO_CACHE_DIR"
 _ENV_OFF = "ANYCAST_REPRO_NO_CACHE"
@@ -60,11 +63,17 @@ class ArtifactCache:
         path = self.path_for(key)
         try:
             with open(path, "rb") as handle:
-                return True, pickle.load(handle)
+                value = pickle.load(handle)
+                metrics.counter("cache.read.total").inc()
+                metrics.counter("cache.read.bytes").inc(handle.tell())
+                _log.debug("cache hit: %s (%d bytes)", path.name, handle.tell())
+                return True, value
         except FileNotFoundError:
             return False, None
         except Exception:
             # Truncated/corrupted pickle, or unreadable file: drop it and rebuild.
+            metrics.counter("cache.corrupt.total").inc()
+            _log.debug("cache artifact corrupt, dropping: %s", path.name)
             try:
                 path.unlink(missing_ok=True)
             except OSError:
@@ -93,7 +102,12 @@ class ArtifactCache:
                 except OSError:
                     pass
                 raise
-            return path.stat().st_size
+            size = path.stat().st_size
+            metrics.counter("cache.write.total").inc()
+            metrics.counter("cache.write.bytes").inc(size)
+            metrics.histogram("cache.artifact.bytes").observe(size)
+            _log.debug("cache store: %s (%d bytes)", path.name, size)
+            return size
         except (OSError, pickle.PicklingError):
             return None
 

@@ -3,44 +3,33 @@
 Every substrate stage a :class:`~repro.experiments.scenario.Scenario`
 materialises and every experiment the engine runs appends a record to a
 :class:`RunReport`: wall time, cache hit/miss, and artifact size.  The
-CLI prints the report with ``--report``; tests assert on it directly.
+records are derived from :mod:`repro.obs` span frames — a record's
+``wall_s`` is its span's exclusive time, so summing a report reproduces
+true wall time — and :meth:`RunReport.from_trace` rebuilds the same
+report from a merged ``--trace`` file.  The CLI prints the report with
+``--report``; tests assert on it directly.
 """
 
 from __future__ import annotations
 
-from contextlib import contextmanager
+import warnings
 from dataclasses import dataclass, field
-from time import perf_counter
 
 __all__ = ["StageRecord", "ExperimentRecord", "RunReport", "TimerStack"]
 
 
-class TimerStack:
-    """Nested timing with exclusive (self) durations.
+def __getattr__(name):
+    if name == "TimerStack":
+        warnings.warn(
+            "repro.engine.TimerStack is deprecated and now internal to repro.obs; "
+            "use repro.obs.trace spans for nested timing",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from ..obs.trace import TimerStack
 
-    Stage builds recurse into their dependencies; timing each frame
-    naively would double-count every nested build.  Each frame therefore
-    subtracts the time its children accounted for, so summing ``self_s``
-    over all records reproduces true wall time.
-    """
-
-    def __init__(self):
-        self._child_time: list[float] = []
-
-    @contextmanager
-    def frame(self):
-        started = perf_counter()
-        self._child_time.append(0.0)
-        timing = {"self_s": 0.0, "total_s": 0.0}
-        try:
-            yield timing
-        finally:
-            elapsed = perf_counter() - started
-            children = self._child_time.pop()
-            if self._child_time:
-                self._child_time[-1] += elapsed
-            timing["self_s"] = elapsed - children
-            timing["total_s"] = elapsed
+        return TimerStack
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def _fmt_size(size: int | None) -> str:
@@ -64,6 +53,19 @@ class StageRecord:
     scale: str = "small"
     seed: int = 0
 
+    @classmethod
+    def from_span(cls, span) -> "StageRecord":
+        """Derive a record from a finished ``stage.*`` span frame."""
+        attrs = span.attrs
+        return cls(
+            stage=attrs.get("stage", span.name),
+            wall_s=span.self_s,
+            cache_hit=bool(attrs.get("cache_hit", False)),
+            size_bytes=attrs.get("size_bytes"),
+            scale=attrs.get("scale", "small"),
+            seed=int(attrs.get("seed", 0)),
+        )
+
 
 @dataclass(slots=True)
 class ExperimentRecord:
@@ -74,6 +76,17 @@ class ExperimentRecord:
     cache_hit: bool
     size_bytes: int | None = None
     worker: int | None = None  #: worker process id, None for in-process runs
+
+    @classmethod
+    def from_span(cls, span) -> "ExperimentRecord":
+        """Derive a record from a finished ``experiment.*`` span frame."""
+        attrs = span.attrs
+        return cls(
+            experiment_id=attrs.get("experiment", span.name),
+            wall_s=span.self_s,
+            cache_hit=bool(attrs.get("cache_hit", False)),
+            size_bytes=attrs.get("size_bytes"),
+        )
 
 
 @dataclass(slots=True)
@@ -92,6 +105,42 @@ class RunReport:
     def merge(self, other: "RunReport") -> None:
         self.stages.extend(other.stages)
         self.experiments.extend(other.experiments)
+
+    @classmethod
+    def from_trace(cls, records: list[dict]) -> "RunReport":
+        """Rebuild a report from merged trace records (``--trace`` output).
+
+        The inverse view of the span-derived records: any span carrying
+        ``attrs.kind`` of ``"stage"``/``"experiment"`` becomes the same
+        record the live run produced, so a trace file alone reproduces
+        the ``--report`` table.
+        """
+        report = cls()
+        for record in records:
+            attrs = record.get("attrs") or {}
+            kind = attrs.get("kind")
+            if kind == "stage":
+                report.add_stage(
+                    StageRecord(
+                        stage=attrs.get("stage", record.get("name", "?")),
+                        wall_s=float(record.get("self_s", 0.0)),
+                        cache_hit=bool(attrs.get("cache_hit", False)),
+                        size_bytes=attrs.get("size_bytes"),
+                        scale=attrs.get("scale", "small"),
+                        seed=int(attrs.get("seed", 0)),
+                    )
+                )
+            elif kind == "experiment":
+                report.add_experiment(
+                    ExperimentRecord(
+                        experiment_id=attrs.get("experiment", record.get("name", "?")),
+                        wall_s=float(record.get("self_s", 0.0)),
+                        cache_hit=bool(attrs.get("cache_hit", False)),
+                        size_bytes=attrs.get("size_bytes"),
+                        worker=record.get("pid"),
+                    )
+                )
+        return report
 
     # -- aggregates ---------------------------------------------------------
     @property

@@ -11,6 +11,14 @@ deterministic function of ``(scale, seed, params, code)``.
 The pool uses the ``fork`` start method where available so workers share
 the parent's interpreter state (including its hash seed, which keeps any
 set-iteration order identical across workers).
+
+Observability: the whole run is one ``engine.run`` span.  Pool workers
+shard their spans into the tracer's shard directory (re-rooted under the
+run span via :meth:`~repro.obs.trace.Tracer.adopt`) and ship a metrics
+snapshot *delta* back with each result; the parent merges the deltas so
+``repro.obs.metrics`` totals match a serial run, and attributes each
+worker task's wall time to the run span so exclusive times keep
+telescoping across process boundaries.
 """
 
 from __future__ import annotations
@@ -20,10 +28,13 @@ import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 
+from ..obs import get_logger, metrics, trace
 from .cache import ArtifactCache
 from .report import RunReport
 
 __all__ = ["ExperimentResults", "run_experiments"]
+
+_log = get_logger("engine.runner")
 
 
 class ExperimentResults(list):
@@ -41,6 +52,8 @@ class _WorkerSpec:
     params: object  #: ScenarioParams
     cache_root: str
     cache_enabled: bool
+    trace_dir: str | None = None  #: tracer shard directory, None when tracing is off
+    trace_parent: str | None = None  #: engine.run span id workers re-root under
 
 
 _WORKER_SCENARIO = None
@@ -50,6 +63,7 @@ def _init_worker(spec: _WorkerSpec) -> None:
     global _WORKER_SCENARIO
     from ..experiments import Scenario
 
+    trace.adopt(spec.trace_dir, spec.trace_parent)
     cache = ArtifactCache(root=spec.cache_root, enabled=spec.cache_enabled)
     _WORKER_SCENARIO = Scenario(params=spec.params, cache=cache)
 
@@ -59,12 +73,18 @@ def _run_in_worker(experiment_id: str):
 
     scenario = _WORKER_SCENARIO
     stage_mark = len(scenario.report.stages)
-    result = execute_experiment(experiment_id, scenario)
+    metrics_mark = metrics.snapshot()
+    with trace.span("engine.worker", experiment=experiment_id) as span:
+        result = execute_experiment(experiment_id, scenario)
     if result.report is not None:
         result.report.worker = os.getpid()
-    # Ship the stages this run materialised so the parent's RunReport
-    # covers work done inside the pool, not just the experiments.
-    return result, scenario.report.stages[stage_mark:]
+    # Ship the stages this run materialised (so the parent's RunReport
+    # covers work done inside the pool), the metrics this task moved
+    # (as a delta, so fork-inherited counts are not double-merged), and
+    # the task's wall time (so the parent can attribute it to the run
+    # span and keep exclusive times telescoping).
+    delta = metrics.diff(metrics.snapshot(), metrics_mark)
+    return result, scenario.report.stages[stage_mark:], delta, span.dur_s
 
 
 def _pool_context():
@@ -111,39 +131,59 @@ def run_experiments(
         raise ValueError(f"workers must be >= 1, got {workers}")
 
     report = RunReport()
-    if workers == 1 or len(ids) <= 1:
-        stage_mark = len(scenario.report.stages)
-        results = [execute_experiment(experiment_id, scenario) for experiment_id in ids]
-        report.stages.extend(scenario.report.stages[stage_mark:])
+    with trace.span(
+        "engine.run",
+        ids=len(ids),
+        workers=workers,
+        scale=scenario.params.scale,
+        seed=scenario.params.seed,
+    ) as run_span:
+        if workers == 1 or len(ids) <= 1:
+            _log.debug("running %d experiment(s) serially", len(ids))
+            stage_mark = len(scenario.report.stages)
+            results = [execute_experiment(experiment_id, scenario) for experiment_id in ids]
+            report.stages.extend(scenario.report.stages[stage_mark:])
+            report.experiments.extend(r.report for r in results if r.report is not None)
+            return ExperimentResults(results, report)
+
+        if prewarm is None:
+            # Prewarming pays off when many experiments share the substrate;
+            # for a handful of ids, let each worker pull only what it needs.
+            prewarm = scenario.cache.enabled and len(ids) >= 8
+        if prewarm:
+            stage_mark = len(scenario.report.stages)
+            with trace.span("engine.prewarm"):
+                scenario.prepare()
+            report.stages.extend(scenario.report.stages[stage_mark:])
+
+        spec = _WorkerSpec(
+            params=scenario.params,
+            cache_root=str(scenario.cache.root),
+            cache_enabled=scenario.cache.enabled,
+            trace_dir=str(trace.shard_dir) if trace.enabled else None,
+            trace_parent=run_span.span_id if trace.enabled else None,
+        )
+        _log.debug(
+            "running %d experiments across %d workers (prewarm=%s)",
+            len(ids), min(workers, len(ids)), prewarm,
+        )
+        with ProcessPoolExecutor(
+            max_workers=min(workers, len(ids)),
+            mp_context=_pool_context(),
+            initializer=_init_worker,
+            initargs=(spec,),
+        ) as pool:
+            futures = [pool.submit(_run_in_worker, experiment_id) for experiment_id in ids]
+            results = []
+            for future in futures:
+                result, worker_stages, delta, task_dur_s = future.result()
+                results.append(result)
+                report.stages.extend(worker_stages)
+                metrics.merge(delta)
+                # The worker's top-level span ran under this run span (by
+                # id); attribute its wall time here so Σ self_s still
+                # telescopes to total wall time across processes.
+                run_span.child_s += task_dur_s
+
         report.experiments.extend(r.report for r in results if r.report is not None)
         return ExperimentResults(results, report)
-
-    if prewarm is None:
-        # Prewarming pays off when many experiments share the substrate;
-        # for a handful of ids, let each worker pull only what it needs.
-        prewarm = scenario.cache.enabled and len(ids) >= 8
-    if prewarm:
-        stage_mark = len(scenario.report.stages)
-        scenario.prepare()
-        report.stages.extend(scenario.report.stages[stage_mark:])
-
-    spec = _WorkerSpec(
-        params=scenario.params,
-        cache_root=str(scenario.cache.root),
-        cache_enabled=scenario.cache.enabled,
-    )
-    with ProcessPoolExecutor(
-        max_workers=min(workers, len(ids)),
-        mp_context=_pool_context(),
-        initializer=_init_worker,
-        initargs=(spec,),
-    ) as pool:
-        futures = [pool.submit(_run_in_worker, experiment_id) for experiment_id in ids]
-        results = []
-        for future in futures:
-            result, worker_stages = future.result()
-            results.append(result)
-            report.stages.extend(worker_stages)
-
-    report.experiments.extend(r.report for r in results if r.report is not None)
-    return ExperimentResults(results, report)

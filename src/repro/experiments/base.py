@@ -18,6 +18,7 @@ from collections.abc import Callable
 from dataclasses import dataclass, field
 
 from ..engine import ExperimentRecord
+from ..obs import get_logger, metrics, trace
 from .scenario import Scenario
 
 __all__ = [
@@ -34,6 +35,8 @@ __all__ = [
 #: results carrying an older version are ignored and recomputed.
 #: (v3: the ``experiment_id`` field was renamed to ``id``.)
 RESULT_SCHEMA_VERSION = 3
+
+_log = get_logger("engine.experiment")
 
 
 @dataclass(slots=True)
@@ -137,7 +140,9 @@ def execute_experiment(experiment_id: str, scenario: Scenario) -> ExperimentResu
         known = ", ".join(sorted(_REGISTRY))
         raise KeyError(f"unknown experiment {experiment_id!r}; known: {known}") from None
 
-    with scenario.timers.frame() as timing:
+    with trace.span(
+        f"experiment.{experiment_id}", kind="experiment", experiment=experiment_id
+    ) as span:
         key = scenario.stage_key(f"result__{experiment_id}")
         hit, cached = scenario.cache.load(key)
         if hit and isinstance(cached, ExperimentResult) and cached.version == RESULT_SCHEMA_VERSION:
@@ -147,14 +152,16 @@ def execute_experiment(experiment_id: str, scenario: Scenario) -> ExperimentResu
             hit = False
             result = runner(scenario)
             size = scenario.cache.store(key, result)
-    record = ExperimentRecord(
-        experiment_id=experiment_id,
-        wall_s=timing["self_s"],
-        cache_hit=hit,
-        size_bytes=size,
-    )
+        span.set(cache_hit=hit, size_bytes=size)
+        metrics.counter("engine.experiments.total").inc()
+        if hit:
+            metrics.counter("engine.experiments.cache_hits.total").inc()
+    record = ExperimentRecord.from_span(span)
     result.report = record
     scenario.report.add_experiment(record)
+    _log.debug(
+        "experiment %s: %s in %.3fs", experiment_id, "replayed" if hit else "ran", span.dur_s
+    )
     return result
 
 

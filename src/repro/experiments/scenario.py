@@ -20,6 +20,7 @@ Two presets:
 from __future__ import annotations
 
 import functools
+import tracemalloc
 import warnings
 from dataclasses import dataclass
 
@@ -48,7 +49,6 @@ from ..engine import (
     RunReport,
     StageKey,
     StageRecord,
-    TimerStack,
     code_version,
     params_digest,
 )
@@ -61,6 +61,7 @@ from ..measurement import (
     collect_server_logs,
 )
 from ..net import IpToAsnMapper
+from ..obs import get_logger, metrics, rss_peak_bytes, trace
 from ..topology import GeneratedInternet, TopologyParams, build_internet
 from ..users import (
     ApnicUserCounts,
@@ -81,6 +82,8 @@ __all__ = [
     "default_scenario",
     "SCALES",
 ]
+
+_log = get_logger("engine.scenario")
 
 
 @dataclass(frozen=True, slots=True)
@@ -208,7 +211,6 @@ class Scenario:
         self.config = _config(params.scale, params.seed)
         self.cache = cache if cache is not None else ArtifactCache()
         self.report = RunReport()
-        self.timers = TimerStack()
         self._artifact_cache: dict[str, object] = {}
         self._params_digest = params_digest(self.config)
 
@@ -226,14 +228,23 @@ class Scenario:
     def _materialise(self, name: str, build):
         """In-memory memo → disk cache → build (recording a StageRecord).
 
-        Recorded wall times are *exclusive*: a stage that recursed into
-        its dependencies reports only its own share, so the report's
-        stage times sum to true wall time.
+        Each materialisation runs inside a ``stage.<name>`` span; the
+        recorded wall time is the span's *exclusive* time, so a stage
+        that recursed into its dependencies reports only its own share
+        and the report's stage times sum to true wall time.
         """
         memo = self._artifact_cache
         if name in memo:
             return memo[name]
-        with self.timers.frame() as timing:
+        if trace.enabled and tracemalloc.is_tracing():
+            tracemalloc.reset_peak()
+        with trace.span(
+            f"stage.{name}",
+            kind="stage",
+            stage=name,
+            scale=self.params.scale,
+            seed=self.params.seed,
+        ) as span:
             key = self.stage_key(name)
             hit, value = self.cache.load(key)
             size = self.cache.size_of(key) if hit else None
@@ -241,15 +252,20 @@ class Scenario:
                 value = build(self)
                 size = self.cache.store(key, value)
             memo[name] = value
-        self.report.add_stage(
-            StageRecord(
-                stage=name,
-                wall_s=timing["self_s"],
-                cache_hit=hit,
-                size_bytes=size,
-                scale=self.params.scale,
-                seed=self.params.seed,
-            )
+            span.set(cache_hit=hit, size_bytes=size)
+            metrics.counter("engine.stages.built.total").inc()
+            if hit:
+                metrics.counter("engine.stages.cache_hits.total").inc()
+            rss = rss_peak_bytes()
+            if rss is not None:
+                metrics.gauge("engine.stage.peak_rss.bytes").set_max(rss)
+                span.set(rss_peak_bytes=rss)
+            if trace.enabled and tracemalloc.is_tracing():
+                span.set(py_peak_bytes=tracemalloc.get_traced_memory()[1])
+        self.report.add_stage(StageRecord.from_span(span))
+        _log.debug(
+            "stage %s: %s in %.3fs (scale=%s seed=%d)",
+            name, "hit" if hit else "built", span.dur_s, self.params.scale, self.params.seed,
         )
         return value
 

@@ -14,6 +14,8 @@ import hashlib
 
 import numpy as np
 
+from ..obs import metrics
+
 __all__ = ["derive_seed", "make_rng", "spawn"]
 
 _MASK64 = (1 << 64) - 1
@@ -33,9 +35,11 @@ def derive_seed(root_seed: int, label: str) -> int:
 
 def make_rng(root_seed: int, label: str) -> np.random.Generator:
     """Create a generator seeded from ``root_seed`` and ``label``."""
+    metrics.counter("rng.streams.total").inc()
     return np.random.default_rng(derive_seed(root_seed, label))
 
 
 def spawn(rng: np.random.Generator, count: int) -> list[np.random.Generator]:
     """Split ``rng`` into ``count`` independent child generators."""
+    metrics.counter("rng.streams.total").inc(count)
     return [np.random.default_rng(s) for s in rng.integers(0, _MASK64, size=count, dtype=np.uint64)]

@@ -1,0 +1,149 @@
+"""Trace analysis: slowest spans, exclusive-time aggregates, cache effectiveness.
+
+Pure functions over the span records :func:`~repro.obs.trace.load_trace`
+returns; :func:`render_trace` formats the whole analysis as the text the
+``repro inspect TRACE.jsonl`` subcommand prints.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+__all__ = [
+    "trace_wall_s",
+    "top_spans",
+    "aggregate_by_name",
+    "cache_effectiveness",
+    "render_trace",
+]
+
+
+def _roots(records: list[dict]) -> list[dict]:
+    """Spans with no parent in the trace (normally exactly one)."""
+    ids = {r.get("id") for r in records}
+    return [r for r in records if r.get("parent") not in ids]
+
+
+def trace_wall_s(records: list[dict]) -> float:
+    """Total wall time: the summed duration of the trace's root spans.
+
+    Because every child's duration is attributed to exactly one parent,
+    summing ``self_s`` over all records telescopes to the same number.
+    """
+    return sum(float(r.get("dur_s", 0.0)) for r in _roots(records))
+
+
+def top_spans(records: list[dict], n: int = 10) -> list[dict]:
+    """The ``n`` slowest spans by total duration, slowest first."""
+    return sorted(records, key=lambda r: float(r.get("dur_s", 0.0)), reverse=True)[:n]
+
+
+def aggregate_by_name(records: list[dict]) -> list[dict]:
+    """Per-span-name aggregates, sorted by total exclusive time.
+
+    Each row: ``{"name", "count", "total_s", "self_s", "share"}`` where
+    ``share`` is the name's fraction of total exclusive (= wall) time.
+    """
+    totals: dict[str, dict] = defaultdict(lambda: {"count": 0, "total_s": 0.0, "self_s": 0.0})
+    for record in records:
+        row = totals[record.get("name", "?")]
+        row["count"] += 1
+        row["total_s"] += float(record.get("dur_s", 0.0))
+        row["self_s"] += float(record.get("self_s", 0.0))
+    wall = sum(row["self_s"] for row in totals.values()) or 1.0
+    rows = [
+        {"name": name, **row, "share": row["self_s"] / wall}
+        for name, row in totals.items()
+    ]
+    rows.sort(key=lambda row: row["self_s"], reverse=True)
+    return rows
+
+
+def cache_effectiveness(records: list[dict]) -> list[dict]:
+    """Hit/miss economics per cached span kind (``stage``, ``experiment``).
+
+    Each row: kind, hit/miss counts, mean wall per hit vs per miss, and
+    bytes read (hits) / written (misses).
+    """
+    by_kind: dict[str, dict] = {}
+    for record in records:
+        attrs = record.get("attrs") or {}
+        if "cache_hit" not in attrs:
+            continue
+        kind = attrs.get("kind", "other")
+        row = by_kind.setdefault(
+            kind,
+            {
+                "kind": kind,
+                "hits": 0,
+                "misses": 0,
+                "hit_s": 0.0,
+                "miss_s": 0.0,
+                "read_bytes": 0,
+                "written_bytes": 0,
+            },
+        )
+        size = attrs.get("size_bytes") or 0
+        if attrs["cache_hit"]:
+            row["hits"] += 1
+            row["hit_s"] += float(record.get("dur_s", 0.0))
+            row["read_bytes"] += size
+        else:
+            row["misses"] += 1
+            row["miss_s"] += float(record.get("dur_s", 0.0))
+            row["written_bytes"] += size
+    return sorted(by_kind.values(), key=lambda row: row["kind"])
+
+
+def _fmt_bytes(size: float) -> str:
+    if size >= 1_000_000:
+        return f"{size / 1_000_000:.1f} MB"
+    if size >= 1_000:
+        return f"{size / 1_000:.1f} kB"
+    return f"{int(size)} B"
+
+
+def render_trace(records: list[dict], top: int = 10) -> str:
+    """The full inspection report as printable text."""
+    if not records:
+        return "(empty trace)"
+    pids = {r.get("pid") for r in records}
+    wall = trace_wall_s(records)
+    t0 = min(float(r.get("ts", 0.0)) for r in records)
+    lines = [
+        f"== trace: {len(records)} spans / {len(pids)} process"
+        f"{'es' if len(pids) != 1 else ''} / wall {wall:.3f}s =="
+    ]
+
+    lines.append(f"-- top {min(top, len(records))} slowest spans --")
+    lines.append(f"{'dur_s':>10} {'self_s':>10} {'+t_s':>8}  {'pid':>7}  name")
+    for record in top_spans(records, top):
+        lines.append(
+            f"{float(record.get('dur_s', 0.0)):>10.3f} "
+            f"{float(record.get('self_s', 0.0)):>10.3f} "
+            f"{float(record.get('ts', t0)) - t0:>8.3f}  "
+            f"{record.get('pid', '?'):>7}  {record.get('name', '?')}"
+        )
+
+    lines.append("-- exclusive time by span name --")
+    lines.append(f"{'count':>6} {'self_s':>10} {'share':>7}  name")
+    for row in aggregate_by_name(records):
+        lines.append(
+            f"{row['count']:>6} {row['self_s']:>10.3f} {row['share']:>6.1%}  {row['name']}"
+        )
+
+    effectiveness = cache_effectiveness(records)
+    if effectiveness:
+        lines.append("-- cache effectiveness --")
+        for row in effectiveness:
+            total = row["hits"] + row["misses"]
+            rate = row["hits"] / total if total else 0.0
+            hit_mean = row["hit_s"] / row["hits"] if row["hits"] else 0.0
+            miss_mean = row["miss_s"] / row["misses"] if row["misses"] else 0.0
+            lines.append(
+                f"{row['kind']}: {row['hits']} hits / {row['misses']} misses "
+                f"({rate:.1%}); mean {hit_mean:.3f}s per hit vs {miss_mean:.3f}s per miss; "
+                f"{_fmt_bytes(row['read_bytes'])} read, "
+                f"{_fmt_bytes(row['written_bytes'])} written"
+            )
+    return "\n".join(lines)

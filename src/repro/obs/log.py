@@ -1,0 +1,49 @@
+"""Stdlib-``logging`` wiring for the ``repro`` logger tree.
+
+Every module logs through ``get_logger("<subsystem>")`` →
+``logging.getLogger("repro.<subsystem>")``.  The ``repro`` root carries a
+:class:`~logging.NullHandler` so library users see nothing unless they
+configure logging themselves; the CLI's ``-v``/``--verbose`` flag calls
+:func:`configure_logging` to attach a stderr handler at DEBUG.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+__all__ = ["ROOT_LOGGER", "get_logger", "configure_logging"]
+
+ROOT_LOGGER = "repro"
+
+#: Marks handlers we attached, so reconfiguration replaces rather than stacks.
+_HANDLER_FLAG = "_repro_obs_handler"
+
+logging.getLogger(ROOT_LOGGER).addHandler(logging.NullHandler())
+
+
+def get_logger(name: str = "") -> logging.Logger:
+    """The ``repro.<name>`` logger (the ``repro`` root when no name)."""
+    return logging.getLogger(f"{ROOT_LOGGER}.{name}" if name else ROOT_LOGGER)
+
+
+def configure_logging(verbose: int = 0, stream=None) -> logging.Logger:
+    """Attach one stderr handler to the ``repro`` root logger.
+
+    ``verbose >= 1`` (the CLI's ``-v``) logs at DEBUG; ``0`` keeps the
+    tree at WARNING.  Idempotent: a previous handler attached by this
+    function is replaced, never stacked, so repeated CLI invocations in
+    one process do not multiply output.
+    """
+    logger = logging.getLogger(ROOT_LOGGER)
+    for handler in list(logger.handlers):
+        if getattr(handler, _HANDLER_FLAG, False):
+            logger.removeHandler(handler)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(
+        logging.Formatter("%(asctime)s %(name)s %(levelname)s: %(message)s", datefmt="%H:%M:%S")
+    )
+    setattr(handler, _HANDLER_FLAG, True)
+    logger.addHandler(handler)
+    logger.setLevel(logging.DEBUG if verbose >= 1 else logging.WARNING)
+    return logger

@@ -140,3 +140,96 @@ class TestEngineFlags:
         args = build_parser().parse_args(["all", "--workers", "4", "--report"])
         assert args.workers == 4
         assert args.report is True
+
+
+class TestObservabilityFlags:
+    def test_verbose_flag_parses_on_every_subcommand(self):
+        parser = build_parser()
+        assert parser.parse_args(["run", "fig03", "-v"]).verbose == 1
+        assert parser.parse_args(["all", "-vv"]).verbose == 2
+        assert parser.parse_args(["list", "-v"]).verbose == 1
+
+    def test_trace_and_metrics_files_written(self, capsys, tmp_path):
+        import json
+
+        trace_path = tmp_path / "t.jsonl"
+        metrics_path = tmp_path / "m.json"
+        code = main([
+            "run", "fig02a", "--scale", "small",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--trace", str(trace_path), "--metrics", str(metrics_path),
+        ])
+        assert code == 0
+        err = capsys.readouterr().err
+        assert f"wrote {trace_path}" in err and f"wrote {metrics_path}" in err
+
+        records = [json.loads(line) for line in trace_path.open()]
+        assert records[0]["name"] == "cli.run"
+        assert records[0]["parent"] is None
+        assert sum(r["parent"] is None for r in records) == 1
+        assert any(r["name"] == "engine.run" for r in records)
+        assert any(r["name"].startswith("stage.") for r in records)
+
+        snapshot = json.loads(metrics_path.read_text())
+        assert snapshot["schema"] == 1
+        assert snapshot["counters"]["engine.experiments.total"] == 1
+        assert "process.peak_rss.bytes" in snapshot["gauges"]
+
+    def test_trace_to_missing_directory_fails_cleanly(self, capsys, tmp_path):
+        code = main([
+            "run", "table1", "--scale", "small",
+            "--trace", str(tmp_path / "missing" / "t.jsonl"),
+        ])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "cannot write trace" in err
+        assert "Traceback" not in err
+
+    def test_unknown_experiment_leaves_no_trace_file(self, capsys, tmp_path):
+        trace_path = tmp_path / "t.jsonl"
+        assert main(["run", "fig99", "--trace", str(trace_path)]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+        assert not trace_path.exists()
+
+    def test_inspect_prints_slowest_spans_table(self, capsys, tmp_path):
+        trace_path = tmp_path / "t.jsonl"
+        assert main([
+            "run", "table1", "--scale", "small",
+            "--cache-dir", str(tmp_path / "cache"), "--trace", str(trace_path),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["inspect", str(trace_path), "--top", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "slowest spans" in out
+        assert "exclusive time by span name" in out
+        assert "cli.run" in out
+
+    def test_inspect_missing_file_fails_cleanly(self, capsys, tmp_path):
+        assert main(["inspect", str(tmp_path / "nope.jsonl")]) == 1
+        err = capsys.readouterr().err
+        assert "cannot read trace" in err
+        assert "Traceback" not in err
+
+    def test_inspect_empty_trace_fails_cleanly(self, capsys, tmp_path):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert main(["inspect", str(empty)]) == 1
+        assert "no span records" in capsys.readouterr().err
+
+    def test_report_flag_routes_through_single_path(self, capsys, monkeypatch, tmp_path):
+        import repro.cli as cli
+
+        calls = []
+        real = cli._print_report
+        monkeypatch.setattr(
+            cli, "_print_report", lambda report: (calls.append(report), real(report))[1]
+        )
+        cache_dir = str(tmp_path / "cache")
+        assert main(["run", "table1", "--scale", "small",
+                     "--cache-dir", cache_dir, "--report"]) == 0
+        assert len(calls) == 1
+        assert "RunReport" in capsys.readouterr().out
+        assert main(["all", "--scale", "small",
+                     "--cache-dir", cache_dir, "--report"]) == 0
+        assert len(calls) == 2
+        assert "RunReport" in capsys.readouterr().out
