@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Regenerate the golden result digests checked in under ``tests/goldens/``.
+
+Usage::
+
+    python scripts/update_goldens.py [--scale small] [--seed 0] [--out PATH]
+
+Runs every registered experiment at the given scale/seed, computes the
+canonical digest of each result (see :mod:`repro.experiments.digest`),
+and rewrites the golden file that ``tests/test_golden.py`` verifies.
+
+Run this ONLY when an output change is intentional — the diff of the
+golden file is the reviewable record of what moved.  CI rejects any
+run whose digests drift from this file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+try:
+    from repro.experiments import list_experiments  # noqa: F401
+except ImportError:  # uninstalled checkout: fall back to the src layout
+    sys.path.insert(0, str(REPO / "src"))
+
+from repro.engine import ArtifactCache, run_experiments
+from repro.experiments import (
+    RESULT_SCHEMA_VERSION,
+    Scenario,
+    list_experiments,
+    result_digest,
+)
+
+DEFAULT_OUT = REPO / "tests" / "goldens" / "small_seed0.json"
+
+
+def compute_digests(scale: str, seed: int) -> dict[str, str]:
+    """Run every experiment in a throwaway cache and digest the results."""
+    ids = list_experiments()
+    with tempfile.TemporaryDirectory(prefix="goldens-") as tmp:
+        scenario = Scenario(scale=scale, seed=seed, cache=ArtifactCache(root=Path(tmp)))
+        results = run_experiments(ids, scenario)
+    return {result.id: result_digest(result) for result in results}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", default="small")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT)
+    args = parser.parse_args(argv)
+
+    digests = compute_digests(args.scale, args.seed)
+    payload = {
+        "scale": args.scale,
+        "seed": args.seed,
+        "schema": RESULT_SCHEMA_VERSION,
+        "digests": digests,
+    }
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    args.out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {len(digests)} digests to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -19,6 +19,17 @@ Observability: ``--trace FILE.jsonl`` records every span the run opened
 (merged across worker processes), ``--metrics FILE.json`` dumps the
 metrics registry, ``repro inspect TRACE`` analyses a recorded trace, and
 ``-v`` turns on DEBUG logging for the ``repro`` logger tree.
+
+Failure semantics: experiments that crash, raise, or blow ``--timeout``
+are retried ``--retries`` times with exponential backoff, then
+quarantined — the run completes with every other result intact.  Chaos
+drills are driven by ``--inject SPEC`` (repeatable) or the
+``REPRO_FAULTS`` environment variable, e.g.
+``--inject worker_crash:p=0.3:seed=1``.
+
+Exit codes: 0 success · 1 I/O error (unwritable ``--out``/``--csv``/
+``--trace``/``--metrics``) · 2 usage (unknown command/experiment) ·
+3 one or more experiments quarantined (partial results were produced).
 """
 
 from __future__ import annotations
@@ -28,7 +39,8 @@ import json
 import os
 import sys
 
-from .engine import ArtifactCache, run_experiments
+from . import faults
+from .engine import ArtifactCache, ExperimentFailure, run_experiments
 from .experiments import Scenario, list_experiments, run_experiment, write_series_csv
 from .obs import configure_logging, metrics, rss_peak_bytes, trace
 from .obs.inspect import render_trace
@@ -61,10 +73,12 @@ def build_parser() -> argparse.ArgumentParser:
                      help="print the engine's per-stage RunReport afterwards")
     _add_scenario_args(run)
     _add_obs_args(run)
+    _add_resilience_args(run)
 
     everything = sub.add_parser("all", help="run every experiment")
     _add_scenario_args(everything)
     _add_obs_args(everything)
+    _add_resilience_args(everything)
     everything.add_argument("--out", help="write the report to this file")
     everything.add_argument("--workers", type=_positive_int, default=1, metavar="N",
                             help="fan experiments out across N processes")
@@ -130,6 +144,23 @@ def _add_scenario_args(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_resilience_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--inject", metavar="SPEC", action="append", default=None,
+        help="inject a deterministic fault, e.g. worker_crash:p=0.3:seed=1 "
+             "(repeatable; also honours the REPRO_FAULTS env var)",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-experiment attempt deadline (pooled runs kill and retry "
+             "hung workers; unset = unbounded)",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=2, metavar="N",
+        help="re-runs before a failing experiment is quarantined (default 2)",
+    )
+
+
 def _add_obs_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--trace", metavar="FILE.jsonl", default=None,
@@ -164,6 +195,16 @@ def _print_report(report) -> None:
     print(report.to_text())
 
 
+def _print_failures(results) -> None:
+    """Describe every quarantined experiment on stderr."""
+    for record in results.report.quarantined:
+        print(
+            f"experiment {record.experiment_id} {record.status} after "
+            f"{record.attempts} attempt(s): {record.error}",
+            file=sys.stderr,
+        )
+
+
 def _run_observed(args: argparse.Namespace, command, scenario: Scenario) -> int:
     """Execute a run/all command under the --trace / --metrics sinks."""
     metrics.reset()
@@ -193,7 +234,13 @@ def _run_observed(args: argparse.Namespace, command, scenario: Scenario) -> int:
 
 
 def _cmd_run(args: argparse.Namespace, scenario: Scenario) -> int:
-    result = run_experiment(args.experiment, scenario)
+    results = run_experiments(
+        [args.experiment], scenario, timeout=args.timeout, retries=args.retries
+    )
+    result = results[0]
+    if result is None:
+        _print_failures(results)
+        return 3
     if args.csv:
         try:
             for path in write_series_csv(result, args.csv):
@@ -231,9 +278,14 @@ def _cmd_all(args: argparse.Namespace, scenario: Scenario) -> int:
         except OSError as error:
             print(f"cannot write report to {args.out}: {error}", file=sys.stderr)
             return 1
-    results = run_experiments(list_experiments(), scenario, workers=args.workers)
+    results = run_experiments(
+        list_experiments(), scenario, workers=args.workers,
+        timeout=args.timeout, retries=args.retries,
+    )
     chunks = []
     for result in results:
+        if result is None:  # quarantined: reported via _print_failures below
+            continue
         cached = ", cached" if result.report and result.report.cache_hit else ""
         elapsed = result.report.wall_s if result.report else 0.0
         chunks.append(result.to_text())
@@ -247,6 +299,9 @@ def _cmd_all(args: argparse.Namespace, scenario: Scenario) -> int:
         print(report)
     if args.report:
         _print_report(results.report)
+    if not results.ok:
+        _print_failures(results)
+        return 3
     return 0
 
 
@@ -286,6 +341,13 @@ def _dispatch(argv: list[str] | None = None) -> int:
     if args.command == "inspect":
         return _cmd_inspect(args)
 
+    if getattr(args, "inject", None):
+        try:
+            faults.install(faults.FaultPlan.from_string(";".join(args.inject)))
+        except ValueError as error:
+            print(f"bad --inject spec: {error}", file=sys.stderr)
+            return 2
+
     scenario = _build_scenario(args)
 
     if args.command == "run":
@@ -302,7 +364,11 @@ def _dispatch(argv: list[str] | None = None) -> int:
         cache: dict[str, dict] = {}
         for experiment_id, key, label in _HEADLINES:
             if experiment_id not in cache:
-                cache[experiment_id] = run_experiment(experiment_id, scenario).data
+                try:
+                    cache[experiment_id] = run_experiment(experiment_id, scenario).data
+                except ExperimentFailure as error:
+                    print(error, file=sys.stderr)
+                    return 3
             value = cache[experiment_id].get(key)
             if isinstance(value, float):
                 rendered = f"{value:.3f}"

@@ -16,8 +16,9 @@ Quickstart::
 
 from .cache import ArtifactCache, default_cache, default_cache_dir
 from .keys import StageKey, code_version, params_digest
+from .pool import AttemptFailure, MonitoredPool, TaskOutcome
 from .report import ExperimentRecord, RunReport, StageRecord
-from .runner import ExperimentResults, run_experiments
+from .runner import ExperimentFailure, ExperimentResults, run_experiments
 
 
 def __getattr__(name):
@@ -34,10 +35,14 @@ __all__ = [
     "StageKey",
     "code_version",
     "params_digest",
+    "AttemptFailure",
+    "MonitoredPool",
+    "TaskOutcome",
     "ExperimentRecord",
     "RunReport",
     "StageRecord",
     "TimerStack",
+    "ExperimentFailure",
     "ExperimentResults",
     "run_experiments",
 ]

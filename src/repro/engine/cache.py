@@ -19,9 +19,11 @@ from __future__ import annotations
 
 import os
 import pickle
+import struct
 import tempfile
 from pathlib import Path
 
+from .. import faults
 from ..obs import get_logger, metrics
 from .keys import StageKey
 
@@ -31,6 +33,22 @@ _log = get_logger("engine.cache")
 
 _ENV_DIR = "ANYCAST_REPRO_CACHE_DIR"
 _ENV_OFF = "ANYCAST_REPRO_NO_CACHE"
+
+#: Everything a corrupted/truncated/stale pickle can legitimately raise.
+#: Deliberately NOT ``Exception``: ``MemoryError``, ``KeyboardInterrupt``,
+#: and friends must propagate instead of being mistaken for corruption.
+_CORRUPT_ERRORS = (
+    OSError,
+    pickle.UnpicklingError,
+    EOFError,
+    AttributeError,
+    ImportError,
+    IndexError,
+    KeyError,
+    TypeError,
+    ValueError,  # also covers UnicodeDecodeError
+    struct.error,
+)
 
 
 def default_cache_dir() -> Path:
@@ -64,13 +82,15 @@ class ArtifactCache:
         try:
             with open(path, "rb") as handle:
                 value = pickle.load(handle)
+                if faults.maybe_fire("cache_corrupt", key.stage) is not None:
+                    raise pickle.UnpicklingError(f"injected cache_corrupt for {key.stage}")
                 metrics.counter("cache.read.total").inc()
                 metrics.counter("cache.read.bytes").inc(handle.tell())
                 _log.debug("cache hit: %s (%d bytes)", path.name, handle.tell())
                 return True, value
         except FileNotFoundError:
             return False, None
-        except Exception:
+        except _CORRUPT_ERRORS:
             # Truncated/corrupted pickle, or unreadable file: drop it and rebuild.
             metrics.counter("cache.corrupt.total").inc()
             _log.debug("cache artifact corrupt, dropping: %s", path.name)
@@ -102,6 +122,12 @@ class ArtifactCache:
                 except OSError:
                     pass
                 raise
+            if faults.maybe_fire("cache_partial_write", key.stage) is not None:
+                # A torn write: leave a truncated artifact on disk, exactly
+                # what a crash mid-write would.  The next load treats it as
+                # corrupt and rebuilds.
+                with open(path, "r+b") as handle:
+                    handle.truncate(max(1, path.stat().st_size // 2))
             size = path.stat().st_size
             metrics.counter("cache.write.total").inc()
             metrics.counter("cache.write.bytes").inc(size)

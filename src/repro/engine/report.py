@@ -69,13 +69,24 @@ class StageRecord:
 
 @dataclass(slots=True)
 class ExperimentRecord:
-    """One experiment execution (or cached replay)."""
+    """One experiment execution (or cached replay).
+
+    ``status`` is the engine's terminal verdict: ``ok`` (first try),
+    ``retried`` (succeeded after ≥1 retry), ``failed`` (quarantined
+    after repeated errors/crashes), or ``timeout`` (quarantined after
+    repeated deadline kills).  ``attempts`` counts every run including
+    the final one; ``error`` carries the last failure's description for
+    quarantined experiments.
+    """
 
     experiment_id: str
     wall_s: float
     cache_hit: bool
     size_bytes: int | None = None
     worker: int | None = None  #: worker process id, None for in-process runs
+    status: str = "ok"  #: ok | retried | failed | timeout
+    attempts: int = 1
+    error: str | None = None  #: last failure description, quarantined runs only
 
     @classmethod
     def from_span(cls, span) -> "ExperimentRecord":
@@ -144,6 +155,19 @@ class RunReport:
 
     # -- aggregates ---------------------------------------------------------
     @property
+    def status_counts(self) -> dict[str, int]:
+        """How many experiments ended in each status (only statuses seen)."""
+        counts: dict[str, int] = {}
+        for record in self.experiments:
+            counts[record.status] = counts.get(record.status, 0) + 1
+        return counts
+
+    @property
+    def quarantined(self) -> list[ExperimentRecord]:
+        """Records of experiments the engine gave up on."""
+        return [r for r in self.experiments if r.status in ("failed", "timeout")]
+
+    @property
     def cache_hits(self) -> int:
         return sum(r.cache_hit for r in self.stages) + sum(
             r.cache_hit for r in self.experiments
@@ -186,10 +210,15 @@ class RunReport:
             lines.append("-- experiments --")
             for record in self.experiments:
                 where = f"  w{record.worker}" if record.worker is not None else ""
+                state = ""
+                if record.status != "ok":
+                    state = f"  {record.status}(x{record.attempts})"
+                    if record.error:
+                        state += f": {record.error}"
                 lines.append(
                     f"{record.experiment_id:<24} {record.wall_s:>8.3f}s  "
                     f"{'hit ' if record.cache_hit else 'miss'}  "
-                    f"{_fmt_size(record.size_bytes):>9}{where}"
+                    f"{_fmt_size(record.size_bytes):>9}{where}{state}"
                 )
         summary = self.summary()
         lines.append(
@@ -197,4 +226,10 @@ class RunReport:
             f"{summary['cache_hits']} hits / {summary['cache_misses']} misses, "
             f"{summary['wall_s']:.2f}s"
         )
+        quarantined = self.quarantined
+        if quarantined:
+            lines.append(
+                "quarantined: "
+                + ", ".join(f"{r.experiment_id} ({r.status})" for r in quarantined)
+            )
         return "\n".join(lines)

@@ -1,12 +1,33 @@
-"""Parallel experiment runner.
+"""Parallel experiment runner with failure containment.
 
 ``run_experiments`` fans independent experiment ids out across a
-``ProcessPoolExecutor``.  Workers coordinate through the shared on-disk
-artifact cache: the parent pre-warms the scenario's substrate stages
-once (writing them to the cache), each worker then loads them instead of
-rebuilding.  Results come back in input order and are byte-identical
-regardless of worker count — every stage and experiment is a
-deterministic function of ``(scale, seed, params, code)``.
+:class:`~repro.engine.pool.MonitoredPool`.  Workers coordinate through
+the shared on-disk artifact cache: the parent pre-warms the scenario's
+substrate stages once (writing them to the cache), each worker then
+loads them instead of rebuilding.  Results come back in input order and
+are byte-identical regardless of worker count — every stage and
+experiment is a deterministic function of ``(scale, seed, params,
+code)``.
+
+Failure semantics (serial and pooled paths agree):
+
+* an experiment that raises — or whose worker process dies, or that
+  blows the per-experiment ``timeout`` (pooled runs only) — is retried
+  up to ``retries`` times with exponential backoff;
+* an experiment still failing after that is **quarantined**: its slot in
+  the returned list is ``None``, its
+  :class:`~repro.engine.report.ExperimentRecord` carries a terminal
+  ``status`` (``failed`` or ``timeout``) plus the last error, and the
+  run completes with every other result intact instead of crashing;
+* per-experiment ``status`` is one of ``ok`` / ``retried`` / ``failed``
+  / ``timeout``; retry and quarantine totals land in the metrics
+  registry (``engine.retries.total``, ``engine.quarantined.total``,
+  ``engine.worker_crashes.total``, ``engine.timeouts.total``).
+
+Chaos hooks: the :mod:`repro.faults` plan in force (installed, or via
+``REPRO_FAULTS``) is forwarded to every worker, and the ``worker_crash``
+chokepoint lives here — a real ``os._exit`` in pool workers, a
+:class:`~repro.faults.WorkerCrash` exception in-process.
 
 The pool uses the ``fork`` start method where available so workers share
 the parent's interpreter state (including its hash seed, which keeps any
@@ -15,34 +36,77 @@ set-iteration order identical across workers).
 Observability: the whole run is one ``engine.run`` span.  Pool workers
 shard their spans into the tracer's shard directory (re-rooted under the
 run span via :meth:`~repro.obs.trace.Tracer.adopt`) and ship a metrics
-snapshot *delta* back with each result; the parent merges the deltas so
-``repro.obs.metrics`` totals match a serial run, and attributes each
-worker task's wall time to the run span so exclusive times keep
-telescoping across process boundaries.
+snapshot *delta* back with each attempt — failed attempts included, so
+fault-fire and cache counters survive the retry path; the parent merges
+the deltas so ``repro.obs.metrics`` totals match a serial run, and
+attributes each worker task's wall time to the run span so exclusive
+times keep telescoping across process boundaries.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
-from concurrent.futures import ProcessPoolExecutor
+import time
 from dataclasses import dataclass
 
+from .. import faults
 from ..obs import get_logger, metrics, trace
 from .cache import ArtifactCache
-from .report import RunReport
+from .pool import MonitoredPool
+from .report import ExperimentRecord, RunReport
 
-__all__ = ["ExperimentResults", "run_experiments"]
+__all__ = ["ExperimentFailure", "ExperimentResults", "run_experiments"]
 
 _log = get_logger("engine.runner")
 
 
+class ExperimentFailure(RuntimeError):
+    """A single requested experiment was quarantined.
+
+    Raised by strict single-experiment entry points
+    (:func:`repro.experiments.run_experiment`); batch callers inspect
+    :attr:`ExperimentResults.failed_ids` instead.  Carries the terminal
+    :class:`~repro.engine.report.ExperimentRecord` as ``record``.
+    """
+
+    def __init__(self, record: ExperimentRecord):
+        self.record = record
+        super().__init__(
+            f"experiment {record.experiment_id!r} {record.status} after "
+            f"{record.attempts} attempt(s): {record.error}"
+        )
+
+
 class ExperimentResults(list):
-    """A list of :class:`ExperimentResult` plus the run's :class:`RunReport`."""
+    """A list of :class:`ExperimentResult` plus the run's :class:`RunReport`.
+
+    Quarantined experiments occupy their input-order slot as ``None``;
+    ``report.experiments`` carries a status record for every id either way.
+    """
 
     def __init__(self, results=(), report: RunReport | None = None):
         super().__init__(results)
         self.report = report if report is not None else RunReport()
+
+    @property
+    def statuses(self) -> dict[str, str]:
+        """Experiment id → terminal status (``ok``/``retried``/``failed``/``timeout``)."""
+        return {r.experiment_id: r.status for r in self.report.experiments}
+
+    @property
+    def failed_ids(self) -> list[str]:
+        """Ids that were quarantined, in input order."""
+        return [
+            r.experiment_id
+            for r in self.report.experiments
+            if r.status in ("failed", "timeout")
+        ]
+
+    @property
+    def ok(self) -> bool:
+        """True when no experiment was quarantined."""
+        return not self.failed_ids
 
 
 @dataclass(frozen=True, slots=True)
@@ -54,6 +118,7 @@ class _WorkerSpec:
     cache_enabled: bool
     trace_dir: str | None = None  #: tracer shard directory, None when tracing is off
     trace_parent: str | None = None  #: engine.run span id workers re-root under
+    fault_plan: str | None = None  #: serialized FaultPlan, None when no chaos
 
 
 _WORKER_SCENARIO = None
@@ -64,27 +129,42 @@ def _init_worker(spec: _WorkerSpec) -> None:
     from ..experiments import Scenario
 
     trace.adopt(spec.trace_dir, spec.trace_parent)
+    if spec.fault_plan is not None:
+        faults.install(faults.FaultPlan.from_string(spec.fault_plan))
+    else:
+        faults.install(None)
     cache = ArtifactCache(root=spec.cache_root, enabled=spec.cache_enabled)
     _WORKER_SCENARIO = Scenario(params=spec.params, cache=cache)
 
 
-def _run_in_worker(experiment_id: str):
+def _run_in_worker(experiment_id: str, attempt: int):
+    """One pooled attempt; returns ``(ok, payload)`` for the MonitoredPool.
+
+    The payload always carries the stages this attempt materialised, the
+    metrics the attempt moved (as a delta, so fork-inherited counts are
+    not double-merged), and the attempt's wall time — even when the
+    experiment itself failed, so the parent's RunReport and metric
+    totals cover work done by failed attempts too.
+    """
     from ..experiments import execute_experiment
 
     scenario = _WORKER_SCENARIO
+    faults.set_attempt(attempt)
     stage_mark = len(scenario.report.stages)
     metrics_mark = metrics.snapshot()
-    with trace.span("engine.worker", experiment=experiment_id) as span:
-        result = execute_experiment(experiment_id, scenario)
-    if result.report is not None:
+    result, error = None, None
+    with trace.span("engine.worker", experiment=experiment_id, attempt=attempt) as span:
+        if faults.maybe_fire("worker_crash", experiment_id) is not None:
+            os._exit(faults.CRASH_EXIT_CODE)  # a real worker death, not an exception
+        try:
+            result = execute_experiment(experiment_id, scenario)
+        except Exception as err:
+            error = f"{type(err).__name__}: {err}"
+    if result is not None and result.report is not None:
         result.report.worker = os.getpid()
-    # Ship the stages this run materialised (so the parent's RunReport
-    # covers work done inside the pool), the metrics this task moved
-    # (as a delta, so fork-inherited counts are not double-merged), and
-    # the task's wall time (so the parent can attribute it to the run
-    # span and keep exclusive times telescoping).
     delta = metrics.diff(metrics.snapshot(), metrics_mark)
-    return result, scenario.report.stages[stage_mark:], delta, span.dur_s
+    payload = (result, error, scenario.report.stages[stage_mark:], delta, span.dur_s)
+    return error is None, payload
 
 
 def _pool_context():
@@ -92,6 +172,80 @@ def _pool_context():
         return multiprocessing.get_context("fork")
     except ValueError:  # pragma: no cover - non-POSIX fallback
         return multiprocessing.get_context()
+
+
+def _finalise_record(result, outcome, experiment_id) -> ExperimentRecord:
+    """Fold an outcome's status/attempts into the experiment's record."""
+    if result is not None and result.report is not None:
+        record = result.report
+    else:
+        record = ExperimentRecord(
+            experiment_id=experiment_id,
+            wall_s=outcome.elapsed_s,
+            cache_hit=False,
+        )
+    record.status = outcome.status
+    record.attempts = outcome.attempts
+    record.error = outcome.error
+    return record
+
+
+def _run_serial(ids, scenario, report, *, retries: int, backoff: float):
+    """In-process execution with the same retry/quarantine semantics as the pool.
+
+    ``worker_crash`` degrades to a :class:`~repro.faults.WorkerCrash`
+    exception here (killing the only process would kill the run), and
+    ``timeout`` is not enforced — hang containment needs a process to kill.
+    """
+    from ..experiments import execute_experiment
+    from .pool import AttemptFailure, TaskOutcome
+
+    results = []
+    for experiment_id in ids:
+        outcome = TaskOutcome()
+        result = None
+        while True:
+            outcome.attempts += 1
+            attempt = outcome.attempts - 1
+            faults.set_attempt(attempt)
+            stage_mark = len(scenario.report.stages)
+            started = time.perf_counter()
+            error = None
+            try:
+                if faults.maybe_fire("worker_crash", experiment_id) is not None:
+                    raise faults.WorkerCrash(
+                        f"injected worker_crash in {experiment_id} (attempt {attempt})"
+                    )
+                result = execute_experiment(experiment_id, scenario)
+            except Exception as err:
+                error = f"{type(err).__name__}: {err}"
+            outcome.elapsed_s += time.perf_counter() - started
+            report.stages.extend(scenario.report.stages[stage_mark:])
+            if error is None:
+                outcome.status = "retried" if outcome.attempts > 1 else "ok"
+                break
+            outcome.failures.append(AttemptFailure("error", error))
+            if outcome.attempts <= retries:
+                metrics.counter("engine.retries.total").inc()
+                delay = backoff * (2 ** (outcome.attempts - 1))
+                _log.warning(
+                    "experiment %s attempt %d failed (%s); retrying in %.2fs",
+                    experiment_id, outcome.attempts, error, delay,
+                )
+                time.sleep(delay)
+                continue
+            outcome.status = "failed"
+            metrics.counter("engine.quarantined.total").inc()
+            _log.error(
+                "experiment %s quarantined after %d attempts: %s",
+                experiment_id, outcome.attempts, error,
+            )
+            result = None
+            break
+        faults.set_attempt(0)
+        report.add_experiment(_finalise_record(result, outcome, experiment_id))
+        results.append(result)
+    return results
 
 
 def run_experiments(
@@ -103,6 +257,9 @@ def run_experiments(
     workers: int = 1,
     cache: ArtifactCache | None = None,
     prewarm: bool | None = None,
+    timeout: float | None = None,
+    retries: int = 2,
+    backoff: float = 0.05,
 ) -> ExperimentResults:
     """Run many experiments, optionally fanned out across processes.
 
@@ -110,25 +267,44 @@ def run_experiments(
     ----------
     experiment_ids:
         Iterable of registered experiment ids; results come back in the
-        same order.
+        same order.  Unknown ids raise ``KeyError`` before anything runs.
     scenario:
         The :class:`Scenario` to run against.  When omitted, one is
         built from ``scale``/``seed``/``cache``.
     workers:
-        ``1`` runs serially in-process; ``N > 1`` uses a process pool.
+        ``1`` runs serially in-process; ``N > 1`` uses a monitored
+        process pool that survives worker crashes and hangs.
     prewarm:
         Materialise the scenario's substrate stages in the parent (so
         workers hit the cache instead of each rebuilding the world).
         By default this happens when the cache is enabled and the batch
         is large enough (≥ 8 ids) for the shared substrate to pay off.
+    timeout:
+        Per-experiment attempt deadline in seconds (pooled runs only —
+        a hung worker is killed and the experiment retried).  ``None``
+        disables the deadline.
+    retries:
+        How many times a failed/crashed/timed-out experiment is re-run
+        before being quarantined.
+    backoff:
+        Base of the exponential retry delay (``backoff * 2**(attempt-1)``
+        seconds).
     """
-    from ..experiments import Scenario, execute_experiment
+    from ..experiments import Scenario, list_experiments
 
     ids = list(experiment_ids)
+    known = set(list_experiments())
+    for experiment_id in ids:
+        if experiment_id not in known:
+            raise KeyError(
+                f"unknown experiment {experiment_id!r}; known: {', '.join(sorted(known))}"
+            )
     if scenario is None:
         scenario = Scenario(scale=scale, seed=seed, cache=cache)
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
+    if retries < 0:
+        raise ValueError(f"retries must be >= 0, got {retries}")
 
     report = RunReport()
     with trace.span(
@@ -140,10 +316,7 @@ def run_experiments(
     ) as run_span:
         if workers == 1 or len(ids) <= 1:
             _log.debug("running %d experiment(s) serially", len(ids))
-            stage_mark = len(scenario.report.stages)
-            results = [execute_experiment(experiment_id, scenario) for experiment_id in ids]
-            report.stages.extend(scenario.report.stages[stage_mark:])
-            report.experiments.extend(r.report for r in results if r.report is not None)
+            results = _run_serial(ids, scenario, report, retries=retries, backoff=backoff)
             return ExperimentResults(results, report)
 
         if prewarm is None:
@@ -156,34 +329,60 @@ def run_experiments(
                 scenario.prepare()
             report.stages.extend(scenario.report.stages[stage_mark:])
 
+        plan = faults.active_plan()
         spec = _WorkerSpec(
             params=scenario.params,
             cache_root=str(scenario.cache.root),
             cache_enabled=scenario.cache.enabled,
             trace_dir=str(trace.shard_dir) if trace.enabled else None,
             trace_parent=run_span.span_id if trace.enabled else None,
+            fault_plan=plan.to_string() if plan is not None else None,
         )
         _log.debug(
-            "running %d experiments across %d workers (prewarm=%s)",
-            len(ids), min(workers, len(ids)), prewarm,
+            "running %d experiments across %d workers (prewarm=%s, timeout=%s, retries=%d)",
+            len(ids), min(workers, len(ids)), prewarm, timeout, retries,
         )
-        with ProcessPoolExecutor(
-            max_workers=min(workers, len(ids)),
-            mp_context=_pool_context(),
+        with MonitoredPool(
+            min(workers, len(ids)),
             initializer=_init_worker,
             initargs=(spec,),
+            task=_run_in_worker,
+            mp_context=_pool_context(),
         ) as pool:
-            futures = [pool.submit(_run_in_worker, experiment_id) for experiment_id in ids]
-            results = []
-            for future in futures:
-                result, worker_stages, delta, task_dur_s = future.result()
-                results.append(result)
+            outcomes = pool.run(
+                [(experiment_id,) for experiment_id in ids],
+                timeout=timeout,
+                retries=retries,
+                backoff=backoff,
+            )
+
+        results = []
+        for experiment_id, outcome in zip(ids, outcomes):
+            result = None
+            # Merge what every attempt shipped back — failed attempts
+            # still contribute stage records, metric deltas, and wall
+            # time, so the parent's view matches a serial run.
+            payloads = []
+            for failure in outcome.failures:
+                if failure.payload is None:
+                    continue
+                payloads.append(failure.payload)
+                if failure.detail is None:
+                    failure.detail = failure.payload[1]  # the worker's exception string
+            if outcome.value is not None:
+                payloads.append(outcome.value)
+            for payload in payloads:
+                attempt_result, _, worker_stages, delta, task_dur_s = payload
                 report.stages.extend(worker_stages)
                 metrics.merge(delta)
                 # The worker's top-level span ran under this run span (by
                 # id); attribute its wall time here so Σ self_s still
                 # telescopes to total wall time across processes.
                 run_span.child_s += task_dur_s
-
-        report.experiments.extend(r.report for r in results if r.report is not None)
+                if attempt_result is not None:
+                    result = attempt_result
+            if outcome.quarantined:
+                result = None
+            report.add_experiment(_finalise_record(result, outcome, experiment_id))
+            results.append(result)
         return ExperimentResults(results, report)

@@ -16,6 +16,7 @@ from .base import (
     run_experiment,
     write_series_csv,
 )
+from .digest import canonical_payload, result_digest
 from .scenario import SCALES, STAGES, Scenario, ScenarioConfig, ScenarioParams, default_scenario
 from .validation import SHAPE_CHECKS, ShapeCheck, ValidationReport, validate_scenario
 
@@ -26,6 +27,8 @@ __all__ = [
     "RESULT_SCHEMA_VERSION",
     "RunReport",
     "write_series_csv",
+    "canonical_payload",
+    "result_digest",
     "execute_experiment",
     "experiment",
     "list_experiments",

@@ -13,10 +13,12 @@ from __future__ import annotations
 
 import csv
 import os
+import time
 import warnings
 from collections.abc import Callable
 from dataclasses import dataclass, field
 
+from .. import faults
 from ..engine import ExperimentRecord
 from ..obs import get_logger, metrics, trace
 from .scenario import Scenario
@@ -143,6 +145,17 @@ def execute_experiment(experiment_id: str, scenario: Scenario) -> ExperimentResu
     with trace.span(
         f"experiment.{experiment_id}", kind="experiment", experiment=experiment_id
     ) as span:
+        # Chaos chokepoints: an injected hang stalls here (the engine's
+        # per-experiment timeout is what contains it); an injected
+        # exception takes the same path a genuinely buggy experiment would.
+        hang = faults.maybe_fire("worker_hang", experiment_id)
+        if hang is not None:
+            time.sleep(hang.delay())
+        if faults.maybe_fire("worker_exception", experiment_id) is not None:
+            raise faults.InjectedFault(
+                f"injected worker_exception in {experiment_id} "
+                f"(attempt {faults.current_attempt()})"
+            )
         key = scenario.stage_key(f"result__{experiment_id}")
         hit, cached = scenario.cache.load(key)
         if hit and isinstance(cached, ExperimentResult) and cached.version == RESULT_SCHEMA_VERSION:
@@ -171,11 +184,17 @@ def run_experiment(experiment_id: str, scenario: Scenario) -> ExperimentResult:
     A thin wrapper over the engine: equivalent to
     ``run_experiments([experiment_id], scenario)[0]``, so the returned
     result's ``report`` is populated exactly as the batch entry point
-    would.
+    would.  Unlike the batch entry point — which degrades to partial
+    results — this strict single-experiment form raises
+    :class:`~repro.engine.ExperimentFailure` if the experiment is
+    quarantined after the engine's retries.
     """
-    from ..engine import run_experiments
+    from ..engine import ExperimentFailure, run_experiments
 
-    return run_experiments([experiment_id], scenario)[0]
+    results = run_experiments([experiment_id], scenario)
+    if results[0] is None:
+        raise ExperimentFailure(results.report.experiments[-1])
+    return results[0]
 
 
 def list_experiments() -> list[str]:

@@ -1,0 +1,66 @@
+"""Canonical result digests — the golden-regression currency.
+
+A digest is a SHA-256 over a canonical JSON rendering of everything an
+:class:`~repro.experiments.base.ExperimentResult` asserts about the
+paper: id, title, sections, the machine-readable ``data`` dict, and
+every plotted series point.  Floats go through JSON's shortest-roundtrip
+``repr``, so two results digest equal **iff** they are bitwise equal —
+which is exactly the determinism contract the engine already promises
+(same scale/seed/params/code → same bytes, any worker count).
+
+``tests/test_golden.py`` compares these digests against the checked-in
+``tests/goldens/`` snapshots; ``scripts/update_goldens.py`` regenerates
+the snapshots after an intentional behaviour change.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import numbers
+
+__all__ = ["canonical_payload", "result_digest"]
+
+
+def _normalise(obj):
+    """Reduce ``obj`` to a deterministic JSON-serialisable structure.
+
+    Numpy scalars and arrays collapse to plain ints/floats/lists, so a
+    digest never depends on how a number happens to be boxed.
+    """
+    if isinstance(obj, bool):  # before Integral: bool is an int subclass
+        return obj
+    if isinstance(obj, numbers.Integral):
+        return int(obj)
+    if isinstance(obj, numbers.Real):
+        return float(obj)
+    if isinstance(obj, str) or obj is None:
+        return obj
+    if isinstance(obj, dict):
+        return {str(k): _normalise(v) for k, v in sorted(obj.items(), key=lambda kv: str(kv[0]))}
+    if hasattr(obj, "tolist"):  # numpy arrays
+        return _normalise(obj.tolist())
+    if isinstance(obj, (list, tuple)):
+        return [_normalise(v) for v in obj]
+    if isinstance(obj, (set, frozenset)):
+        return sorted((_normalise(v) for v in obj), key=repr)
+    return repr(obj)
+
+
+def canonical_payload(result) -> dict:
+    """The digestable view of one result (stable keys, normalised values)."""
+    return {
+        "id": result.id,
+        "title": result.title,
+        "sections": _normalise(result.sections),
+        "data": _normalise(result.data),
+        "series": _normalise(result.series),
+    }
+
+
+def result_digest(result) -> str:
+    """Hex SHA-256 of the canonical JSON rendering of ``result``."""
+    payload = json.dumps(
+        canonical_payload(result), sort_keys=True, separators=(",", ":"), allow_nan=True
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()

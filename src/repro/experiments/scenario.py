@@ -20,6 +20,7 @@ Two presets:
 from __future__ import annotations
 
 import functools
+import time
 import tracemalloc
 import warnings
 from dataclasses import dataclass
@@ -44,6 +45,7 @@ from ..ditl import (
     preprocess,
     volumes_by_asn,
 )
+from .. import faults
 from ..engine import (
     ArtifactCache,
     RunReport,
@@ -245,6 +247,9 @@ class Scenario:
             scale=self.params.scale,
             seed=self.params.seed,
         ) as span:
+            slow = faults.maybe_fire("slow_stage", name)
+            if slow is not None:
+                time.sleep(slow.delay())
             key = self.stage_key(name)
             hit, value = self.cache.load(key)
             size = self.cache.size_of(key) if hit else None

@@ -1,0 +1,50 @@
+"""``repro.faults`` — deterministic fault injection for chaos testing.
+
+Seed-driven, replayable fault triggers (worker crash/exception/hang,
+cache corruption, torn writes, slow stages) that the engine's retry,
+timeout, and quarantine hardening is tested against.  See
+:mod:`repro.faults.plan` for the trigger semantics and
+``docs/API.md`` for the failure-handling contract.
+
+Quickstart::
+
+    from repro import faults
+
+    faults.install(faults.FaultPlan.from_string("worker_crash:p=0.3:seed=1"))
+    results = run_experiments(ids, scenario, workers=4)   # survives the chaos
+    results.failed_ids                                    # quarantined, if any
+"""
+
+from .plan import (
+    CRASH_EXIT_CODE,
+    ENV_VAR,
+    FAULT_KINDS,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    WorkerCrash,
+    active_plan,
+    clear,
+    current_attempt,
+    install,
+    maybe_fire,
+    set_attempt,
+    throw,
+)
+
+__all__ = [
+    "CRASH_EXIT_CODE",
+    "ENV_VAR",
+    "FAULT_KINDS",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
+    "WorkerCrash",
+    "active_plan",
+    "clear",
+    "current_attempt",
+    "install",
+    "maybe_fire",
+    "set_attempt",
+    "throw",
+]

@@ -1,0 +1,320 @@
+"""Deterministic, seed-driven fault injection.
+
+``repro.faults`` is the chaos layer the engine's hardening is verified
+against.  A :class:`FaultPlan` is a list of :class:`FaultSpec` triggers;
+the engine, cache, and experiment layers call :func:`maybe_fire` at
+fixed chokepoints and act on whatever the plan says — crash the worker,
+raise an exception, hang, corrupt an artifact, or slow a stage down.
+
+Determinism rules:
+
+* **Probability triggers are counter-based, not stream-based.**  A
+  ``p=0.3`` spec decides each (kind, context, attempt) site by hashing
+  ``seed|kind|context|attempt`` into a uniform draw — a pure function,
+  so the same plan seed fires the same faults no matter how many
+  workers run, how the pool schedules them, or how often the run is
+  replayed.  There is no shared RNG stream to fork-skew.
+* **Nth-call triggers fail the first ``n`` tries of every context.**
+  ``worker_crash:n=1`` crashes attempt 0 of each experiment and lets
+  attempt 1 through — the precise shape the retry path needs.  For
+  sites without an engine-managed attempt number (cache reads, stage
+  builds) the plan keeps a per-process, per-context call counter.
+
+Activation: :func:`install` a plan in-process, pass ``--inject SPEC``
+on the CLI, or set ``REPRO_FAULTS`` in the environment (the hook
+subprocess workers and CI smoke runs use).  Specs look like
+``worker_crash:p=0.3:seed=1`` or ``cache_corrupt:n=1:match=result__*``;
+join several with ``;``.
+
+Fault kinds:
+
+=====================  =======================================================
+``worker_crash``       kill the worker process (``os._exit``); raises
+                       :class:`WorkerCrash` when running in-process
+``worker_exception``   raise :class:`InjectedFault` inside the experiment
+``worker_hang``        sleep ``s`` seconds inside the experiment (pair with
+                       the engine's per-experiment ``timeout``)
+``cache_corrupt``      treat a cache artifact read as corrupted
+``cache_partial_write``truncate a just-written artifact (torn write)
+``slow_stage``         sleep ``s`` seconds inside a stage build
+=====================  =======================================================
+
+This module is nearly a leaf: it imports only :mod:`repro.obs` (fault
+firings are counted in the metrics registry), so every layer can call
+into it without import cycles.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import hashlib
+import os
+from dataclasses import dataclass, field
+
+from ..obs import get_logger, metrics
+
+__all__ = [
+    "ENV_VAR",
+    "CRASH_EXIT_CODE",
+    "FAULT_KINDS",
+    "InjectedFault",
+    "WorkerCrash",
+    "FaultSpec",
+    "FaultPlan",
+    "throw",
+    "install",
+    "clear",
+    "active_plan",
+    "maybe_fire",
+    "set_attempt",
+    "current_attempt",
+]
+
+_log = get_logger("faults")
+
+#: Environment hook: ``REPRO_FAULTS="worker_crash:p=0.3:seed=1;slow_stage:s=0.01"``.
+ENV_VAR = "REPRO_FAULTS"
+
+#: Exit code an injected worker crash dies with (distinct from a clean
+#: exit and from Python's generic error exit, so tests can assert on it).
+CRASH_EXIT_CODE = 70
+
+FAULT_KINDS = frozenset(
+    {
+        "worker_crash",
+        "worker_exception",
+        "worker_hang",
+        "cache_corrupt",
+        "cache_partial_write",
+        "slow_stage",
+    }
+)
+
+#: Kinds whose trigger counter is the engine-managed retry attempt
+#: number (set via :func:`set_attempt`) rather than a per-context call count.
+_WORKER_KINDS = frozenset({"worker_crash", "worker_exception", "worker_hang"})
+
+#: Default sleep, per kind, when a spec carries no ``s=`` parameter.
+_DEFAULT_DELAY_S = {"worker_hang": 30.0, "slow_stage": 0.05}
+
+
+class InjectedFault(RuntimeError):
+    """An injected failure (raised by the ``worker_exception`` kind)."""
+
+
+class WorkerCrash(InjectedFault):
+    """Stands in for process death when the engine runs in-process."""
+
+
+def throw(seed: int, kind: str, context: str, attempt: int) -> float:
+    """The deterministic uniform draw behind every probability trigger.
+
+    A pure function of its arguments — replaying a plan seed replays
+    every firing decision, independent of worker count or scheduling.
+    """
+    digest = hashlib.sha256(f"{seed}|{kind}|{context}|{attempt}".encode()).digest()
+    return int.from_bytes(digest[:8], "big") / 2.0**64
+
+
+@dataclass(frozen=True, slots=True)
+class FaultSpec:
+    """One trigger: a fault kind plus when (and where) it fires.
+
+    Exactly one of ``p`` (probability per site) and ``n`` (fail the
+    first ``n`` tries of each context) is normally set; with neither,
+    the fault always fires.  ``match`` restricts firing to contexts
+    matching an ``fnmatch`` glob (experiment ids for worker kinds,
+    stage names for cache/stage kinds).
+    """
+
+    kind: str
+    p: float | None = None
+    n: int | None = None
+    seed: int = 0
+    delay_s: float | None = None
+    match: str | None = None
+
+    def __post_init__(self):
+        if self.kind not in FAULT_KINDS:
+            known = ", ".join(sorted(FAULT_KINDS))
+            raise ValueError(f"unknown fault kind {self.kind!r}; known: {known}")
+        if self.p is not None and not 0.0 <= self.p <= 1.0:
+            raise ValueError(f"fault probability must be in [0, 1], got {self.p}")
+        if self.n is not None and self.n < 1:
+            raise ValueError(f"fault n must be >= 1, got {self.n}")
+        if self.p is not None and self.n is not None:
+            raise ValueError("give either p= or n=, not both")
+        if self.delay_s is not None and self.delay_s < 0:
+            raise ValueError(f"fault s= delay must be >= 0, got {self.delay_s}")
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultSpec":
+        """Parse ``kind[:p=F|n=K][:seed=I][:s=F][:match=GLOB]``."""
+        parts = [part for part in text.strip().split(":") if part]
+        if not parts:
+            raise ValueError("empty fault spec")
+        kind, fields = parts[0], {}
+        for part in parts[1:]:
+            key, sep, value = part.partition("=")
+            if not sep:
+                raise ValueError(f"malformed fault parameter {part!r} (expected key=value)")
+            try:
+                if key == "p":
+                    fields["p"] = float(value)
+                elif key == "n":
+                    fields["n"] = int(value)
+                elif key == "seed":
+                    fields["seed"] = int(value)
+                elif key == "s":
+                    fields["delay_s"] = float(value)
+                elif key == "match":
+                    fields["match"] = value
+                else:
+                    raise ValueError(f"unknown fault parameter {key!r}")
+            except ValueError as error:
+                raise ValueError(f"bad fault spec {text!r}: {error}") from None
+        return cls(kind=kind, **fields)
+
+    def to_string(self) -> str:
+        """The canonical spec string (``parse`` round-trips it)."""
+        parts = [self.kind]
+        if self.p is not None:
+            parts.append(f"p={self.p:g}")
+        if self.n is not None:
+            parts.append(f"n={self.n}")
+        if self.seed:
+            parts.append(f"seed={self.seed}")
+        if self.delay_s is not None:
+            parts.append(f"s={self.delay_s:g}")
+        if self.match is not None:
+            parts.append(f"match={self.match}")
+        return ":".join(parts)
+
+    def delay(self) -> float:
+        """Sleep duration for hang/slow kinds (``s=`` or the kind default)."""
+        if self.delay_s is not None:
+            return self.delay_s
+        return _DEFAULT_DELAY_S.get(self.kind, 0.0)
+
+
+@dataclass
+class FaultPlan:
+    """An ordered set of fault triggers plus their firing record.
+
+    ``firings`` lists every fired (kind, context, attempt) in this
+    process, in order — the replay assertion currency.  ``_counters``
+    hold the per-context call counts n-triggers use at sites without an
+    engine attempt number.
+    """
+
+    specs: tuple[FaultSpec, ...] = ()
+    firings: list[tuple[str, str, int]] = field(default_factory=list)
+    _counters: dict[tuple[int, str], int] = field(default_factory=dict)
+
+    @classmethod
+    def from_string(cls, text: str) -> "FaultPlan":
+        """Parse a ``;``-joined spec list (the CLI/env wire format)."""
+        specs = tuple(
+            FaultSpec.parse(part)
+            for part in text.replace(",", ";").split(";")
+            if part.strip()
+        )
+        if not specs:
+            raise ValueError(f"no fault specs in {text!r}")
+        return cls(specs=specs)
+
+    def to_string(self) -> str:
+        return ";".join(spec.to_string() for spec in self.specs)
+
+    def should_fire(self, kind: str, context: str) -> FaultSpec | None:
+        """Evaluate every matching spec; return the first that fires.
+
+        Worker kinds are keyed by the engine's current attempt number;
+        other kinds by a per-(spec, context) call counter.  Firing is
+        recorded in :attr:`firings` and the metrics registry.
+        """
+        for index, spec in enumerate(self.specs):
+            if spec.kind != kind:
+                continue
+            if spec.match is not None and not fnmatch.fnmatchcase(context, spec.match):
+                continue
+            if kind in _WORKER_KINDS:
+                attempt = current_attempt()
+            else:
+                key = (index, context)
+                attempt = self._counters.get(key, 0)
+                self._counters[key] = attempt + 1
+            if spec.n is not None:
+                fire = attempt < spec.n
+            elif spec.p is not None:
+                fire = throw(spec.seed, kind, context, attempt) < spec.p
+            else:
+                fire = True
+            if fire:
+                self.firings.append((kind, context, attempt))
+                metrics.counter("faults.fired.total").inc()
+                metrics.counter(f"faults.{kind}.fired.total").inc()
+                _log.debug("fault fired: %s on %s (attempt %d)", kind, context, attempt)
+                return spec
+        return None
+
+
+# -- process-wide activation ------------------------------------------------
+
+#: The installed plan; ``False`` means "not yet resolved from the environment".
+_PLAN: FaultPlan | None | bool = False
+
+#: The engine-managed attempt number of the task currently executing in
+#: this process (one task at a time per process, so a plain global works).
+_ATTEMPT = 0
+
+
+def install(plan: FaultPlan | None) -> None:
+    """Activate ``plan`` process-wide (``None`` = explicitly no faults).
+
+    Installing ``None`` also stops :func:`active_plan` from consulting
+    ``REPRO_FAULTS``, which is how the test suite shields itself while a
+    CI smoke spec is exported.
+    """
+    global _PLAN
+    _PLAN = plan
+
+
+def clear() -> None:
+    """Drop any installed plan and re-arm the ``REPRO_FAULTS`` env hook."""
+    global _PLAN, _ATTEMPT
+    _PLAN = False
+    _ATTEMPT = 0
+
+
+def active_plan() -> FaultPlan | None:
+    """The plan in force, resolving ``REPRO_FAULTS`` lazily once."""
+    global _PLAN
+    if _PLAN is False:
+        text = os.environ.get(ENV_VAR)
+        _PLAN = FaultPlan.from_string(text) if text else None
+        if _PLAN is not None:
+            _log.debug("fault plan from %s: %s", ENV_VAR, _PLAN.to_string())
+    return _PLAN
+
+
+def maybe_fire(kind: str, context: str) -> FaultSpec | None:
+    """The chokepoint call: does a fault of ``kind`` fire at ``context``?
+
+    Near-free when no plan is active (one global load and an ``is``
+    check), so chokepoints need no gating.
+    """
+    plan = active_plan()
+    if plan is None:
+        return None
+    return plan.should_fire(kind, context)
+
+
+def set_attempt(attempt: int) -> None:
+    """Engine hook: record the retry attempt of the task about to run."""
+    global _ATTEMPT
+    _ATTEMPT = attempt
+
+
+def current_attempt() -> int:
+    return _ATTEMPT

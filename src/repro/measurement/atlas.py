@@ -81,8 +81,8 @@ class AtlasPlatform:
         if n_probes < 1:
             raise ValueError("need at least one probe")
         self.internet = internet
+        self._seed = seed
         rng = make_rng(seed, "atlas")
-        self._rng = rng
         topology = internet.topology
         world = internet.world
         eyeballs = topology.ases_of_kind(ASKind.EYEBALL)
@@ -116,11 +116,17 @@ class AtlasPlatform:
     def ping(
         self, deployment: Deployment, attempts: int = 3
     ) -> dict[int, list[float]]:
-        """RTT samples per probe id (empty list when unreachable)."""
+        """RTT samples per probe id (empty list when unreachable).
+
+        Noise comes from a stream derived per (seed, destination) so the
+        measurement is a pure function of its inputs — results cannot
+        depend on which experiments ran (or pinged) beforehand.
+        """
         batch = deployment.resolve_many(
             [probe.asn for probe in self.probes],
             [probe.region_id for probe in self.probes],
         )
+        rng = make_rng(self._seed, f"atlas-ping:{deployment.name}:{attempts}")
         results: dict[int, list[float]] = {}
         for index, probe in enumerate(self.probes):
             if not batch.ok[index]:
@@ -128,7 +134,7 @@ class AtlasPlatform:
                 continue
             base_rtt = float(batch.base_rtt_ms[index])
             results[probe.probe_id] = [
-                base_rtt * float(self._rng.lognormal(mean=0.0, sigma=0.05))
+                base_rtt * float(rng.lognormal(mean=0.0, sigma=0.05))
                 for _ in range(attempts)
             ]
         return results
@@ -147,7 +153,7 @@ class AtlasPlatform:
         flow = deployment.resolve(probe.asn, probe.region_id)
         if flow is None:
             return None
-        rng = self._rng
+        rng = make_rng(self._seed, f"atlas-tr:{deployment.name}:{probe.probe_id}")
         hops: list[Hop] = []
         for asn in flow.as_path:
             # A traversed AS shows up as one or more router hops.

@@ -3,13 +3,35 @@
 Scenario artifacts are lazy and cached, so tests pay only for what they
 touch; the ``default_scenario`` lru-cache means the scenario survives
 across test modules.
+
+Hypothesis runs under one of two shared profiles instead of per-test
+``@settings`` blocks: ``dev`` (default, fast) and ``ci`` (more examples;
+selected in the workflow via ``HYPOTHESIS_PROFILE=ci``).  Both disable
+the deadline — substrate fixtures make first examples arbitrarily slow.
 """
 
 from __future__ import annotations
 
+import os
+
 import pytest
+from hypothesis import HealthCheck, settings
 
 from repro.experiments import default_scenario
+
+settings.register_profile(
+    "ci",
+    max_examples=100,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile(
+    "dev",
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 
 
 @pytest.fixture(scope="session")

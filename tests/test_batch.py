@@ -13,7 +13,7 @@ import math
 
 import numpy as np
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
 
 from repro.anycast.batch import FlowKernel, region_distance_matrix
 from repro.anycast.cdn import _mix, _mix_many
@@ -56,7 +56,6 @@ def assert_batch_matches_reference(deployment, asns, regions):
 
 
 class TestLetterEquivalence:
-    @settings(max_examples=25, deadline=None)
     @given(data=st.data())
     def test_resolve_many_matches_reference(self, letter, all_asns, data):
         n_regions = len(letter.topology.world)
@@ -87,7 +86,6 @@ class TestLetterEquivalence:
 
 
 class TestCdnEquivalence:
-    @settings(max_examples=25, deadline=None)
     @given(data=st.data())
     def test_resolve_many_matches_reference(self, ring, all_asns, data):
         n_regions = len(ring.topology.world)
@@ -183,7 +181,6 @@ class TestDistanceMatrix:
 
 
 class TestMixMany:
-    @settings(max_examples=100, deadline=None)
     @given(
         seed=st.integers(min_value=0, max_value=2**63 - 1),
         asns=st.lists(st.integers(min_value=0, max_value=2**31 - 1), min_size=1, max_size=20),

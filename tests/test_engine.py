@@ -119,6 +119,37 @@ class TestCorruption:
         hit, _ = cache.load(scenario.stage_key("zone"))
         assert not hit
 
+    def test_corrupt_then_retried_counts_exactly_once(self, cache):
+        from repro.obs import metrics
+
+        scenario = make_scenario(cache)
+        scenario.zone
+        key = scenario.stage_key("zone")
+        cache.path_for(key).write_bytes(b"not a pickle")
+
+        before = metrics.counter("cache.corrupt.total").value
+        hit, _ = cache.load(key)  # corrupt: dropped, counted
+        assert not hit
+        hit, _ = cache.load(key)  # retried: plain miss (file gone), not corrupt
+        assert not hit
+        assert metrics.counter("cache.corrupt.total").value == before + 1
+
+        rebuilt = make_scenario(cache)
+        assert rebuilt.zone.tlds == scenario.zone.tlds
+        assert metrics.counter("cache.corrupt.total").value == before + 1
+
+    @pytest.mark.parametrize("error", [KeyboardInterrupt, MemoryError])
+    def test_corrupt_handler_does_not_swallow_control_errors(
+        self, cache, monkeypatch, error
+    ):
+        scenario = make_scenario(cache)
+        scenario.zone
+        monkeypatch.setattr(pickle, "load", lambda handle: (_ for _ in ()).throw(error()))
+        with pytest.raises(error):
+            cache.load(scenario.stage_key("zone"))
+        # and the artifact survived: a narrow handler must not unlink it
+        assert cache.path_for(scenario.stage_key("zone")).exists()
+
     def test_unwritable_root_degrades_gracefully(self, tmp_path):
         blocker = tmp_path / "blocked"
         blocker.write_text("a file where the cache dir should go")

@@ -1,0 +1,336 @@
+"""Chaos suite: deterministic fault injection vs the hardened engine.
+
+Every injection point is driven twice — serially and through the
+monitored pool — and must either *converge* (the run retries past the
+fault and produces results bitwise-identical to a clean run) or
+*quarantine* (a structured failure with a terminal status, never a
+crashed run).  Determinism is load-bearing: the same FaultPlan seed
+must replay the same firing sequence, so every chaos run here is
+reproducible by construction.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro import faults
+from repro.engine import ArtifactCache, run_experiments
+from repro.experiments import Scenario, result_digest
+from repro.obs import metrics
+
+IDS = ["table1", "table2", "fig02a"]
+WORKER_COUNTS = (1, 4)
+
+
+@pytest.fixture(autouse=True)
+def _shielded_plan():
+    """Each test starts with explicitly no plan (REPRO_FAULTS ignored)."""
+    faults.install(None)
+    yield
+    faults.install(None)
+
+
+@pytest.fixture(scope="module")
+def cache_root(tmp_path_factory):
+    """A warm artifact cache: stages + results for IDS, built cleanly once."""
+    root = tmp_path_factory.mktemp("chaos-cache")
+    faults.install(None)
+    run_experiments(IDS, _scenario(root))
+    return root
+
+
+@pytest.fixture(scope="module")
+def clean_digests(cache_root):
+    faults.install(None)
+    results = run_experiments(IDS, _scenario(cache_root))
+    return {result.id: result_digest(result) for result in results}
+
+
+def _scenario(root) -> Scenario:
+    return Scenario(scale="small", seed=0, cache=ArtifactCache(root=root))
+
+
+def _chaos(spec: str, root, *, workers: int = 1, **kw):
+    faults.install(faults.FaultPlan.from_string(spec))
+    kw.setdefault("backoff", 0.01)
+    return run_experiments(IDS, _scenario(root), workers=workers, **kw)
+
+
+def assert_converged(results, clean_digests) -> None:
+    """Every non-quarantined result must be bitwise-identical to clean."""
+    for result in results:
+        if result is not None:
+            assert result_digest(result) == clean_digests[result.id]
+
+
+class TestSpecs:
+    def test_parse_round_trip(self):
+        for text in (
+            "worker_crash:p=0.3:seed=1",
+            "worker_exception:n=2:match=fig*",
+            "worker_hang:s=0.5",
+            "cache_corrupt:p=0.25:seed=7;slow_stage:s=0.01",
+        ):
+            plan = faults.FaultPlan.from_string(text)
+            assert faults.FaultPlan.from_string(plan.to_string()).specs == plan.specs
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "definitely_not_a_kind",
+            "worker_crash:p=1.5",
+            "worker_crash:n=0",
+            "worker_crash:p=0.5:n=1",
+            "worker_crash:frequency=often",
+            "worker_crash:p",
+            "",
+        ],
+    )
+    def test_invalid_specs_rejected(self, bad):
+        with pytest.raises(ValueError):
+            faults.FaultPlan.from_string(bad)
+
+    def test_env_hook(self, monkeypatch):
+        monkeypatch.setenv(faults.ENV_VAR, "worker_exception:n=1")
+        faults.clear()  # re-arm the lazy env read
+        plan = faults.active_plan()
+        assert plan is not None
+        assert plan.specs[0].kind == "worker_exception"
+
+    def test_install_none_shields_env(self, monkeypatch):
+        monkeypatch.setenv(faults.ENV_VAR, "worker_exception:n=1")
+        faults.install(None)
+        assert faults.active_plan() is None
+
+
+class TestDeterminism:
+    def test_throw_is_pure(self):
+        a = faults.throw(1, "worker_crash", "fig02a", 0)
+        assert faults.throw(1, "worker_crash", "fig02a", 0) == a
+        assert 0.0 <= a < 1.0
+
+    def test_same_seed_replays_firing_sequence(self):
+        def firings(seed):
+            plan = faults.FaultPlan.from_string(f"worker_crash:p=0.3:seed={seed}")
+            for context in (f"exp{i}" for i in range(50)):
+                for attempt in range(3):
+                    faults.set_attempt(attempt)
+                    plan.should_fire("worker_crash", context)
+            faults.set_attempt(0)
+            return plan.firings
+
+        assert firings(1) == firings(1)
+        assert firings(1) != firings(2)
+
+    def test_nth_trigger_fails_first_n_tries_per_context(self):
+        plan = faults.FaultPlan.from_string("worker_exception:n=2")
+        for context in ("a", "b"):
+            for attempt, expected in ((0, True), (1, True), (2, False)):
+                faults.set_attempt(attempt)
+                assert (plan.should_fire("worker_exception", context) is not None) is expected
+        faults.set_attempt(0)
+
+    def test_match_glob_restricts_contexts(self):
+        plan = faults.FaultPlan.from_string("worker_exception:n=1:match=fig*")
+        faults.set_attempt(0)
+        assert plan.should_fire("worker_exception", "fig02a") is not None
+        assert plan.should_fire("worker_exception", "table1") is None
+
+
+class TestRetryConvergence:
+    """Each injection point: the engine retries past it and converges."""
+
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_worker_exception(self, cache_root, clean_digests, workers):
+        metrics.reset()
+        results = _chaos("worker_exception:n=1", cache_root, workers=workers)
+        assert set(results.statuses.values()) == {"retried"}
+        assert_converged(results, clean_digests)
+        assert results.ok
+        assert metrics.counter("engine.retries.total").value == len(IDS)
+        assert metrics.counter("faults.worker_exception.fired.total").value == len(IDS)
+
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_worker_crash(self, cache_root, clean_digests, workers):
+        metrics.reset()
+        results = _chaos("worker_crash:n=1", cache_root, workers=workers)
+        assert set(results.statuses.values()) == {"retried"}
+        assert_converged(results, clean_digests)
+        if workers > 1:  # pooled crashes are real process deaths
+            assert metrics.counter("engine.worker_crashes.total").value == len(IDS)
+
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_cache_corrupt(self, cache_root, clean_digests, workers):
+        metrics.reset()
+        results = _chaos("cache_corrupt:p=1", cache_root, workers=workers)
+        assert results.ok
+        assert_converged(results, clean_digests)
+        assert metrics.counter("cache.corrupt.total").value > 0
+
+    def test_cache_partial_write_converges_on_reread(self, cache_root, clean_digests):
+        # Tear every result write, then verify a clean rerun self-heals.
+        _chaos("cache_partial_write:n=1:match=result__*", cache_root)
+        faults.install(None)
+        results = run_experiments(IDS, _scenario(cache_root))
+        assert results.ok
+        assert_converged(results, clean_digests)
+
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_slow_stage(self, cache_root, clean_digests, workers):
+        results = _chaos("slow_stage:s=0.01", cache_root, workers=workers)
+        assert results.ok
+        assert_converged(results, clean_digests)
+
+    def test_hang_is_killed_and_retried(self, cache_root, clean_digests):
+        started = time.perf_counter()
+        results = _chaos(
+            "worker_hang:n=1:s=30:match=table1", cache_root, workers=2, timeout=1.0
+        )
+        elapsed = time.perf_counter() - started
+        assert results.statuses["table1"] == "retried"
+        assert results.ok
+        assert_converged(results, clean_digests)
+        assert elapsed < 15.0  # the 30s sleep was killed at the 1s deadline
+
+
+class TestQuarantine:
+    """A poison experiment is contained, not fatal."""
+
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_poison_experiment_quarantined(self, cache_root, clean_digests, workers):
+        metrics.reset()
+        results = _chaos(
+            "worker_exception:n=99:match=table1", cache_root, workers=workers, retries=1
+        )
+        assert results.statuses["table1"] == "failed"
+        assert results.failed_ids == ["table1"]
+        assert results[IDS.index("table1")] is None
+        assert not results.ok
+        assert_converged(results, clean_digests)  # the survivors are intact
+        assert metrics.counter("engine.quarantined.total").value == 1
+        [record] = results.report.quarantined
+        assert record.attempts == 2
+        assert "InjectedFault" in record.error
+        assert results.report.status_counts == {"failed": 1, "ok": 2}
+
+    def test_hang_quarantines_as_timeout(self, cache_root, clean_digests):
+        results = _chaos(
+            "worker_hang:n=99:s=30:match=table1",
+            cache_root, workers=2, retries=1, timeout=0.5,
+        )
+        assert results.statuses["table1"] == "timeout"
+        assert results.failed_ids == ["table1"]
+        assert_converged(results, clean_digests)
+        [record] = results.report.quarantined
+        assert "timed out" in record.error
+
+
+class TestAcceptance:
+    """The issue's literal acceptance scenario."""
+
+    SPEC = "worker_crash:p=0.3:seed=1"
+
+    def _expected_status(self, experiment_id, retries=2):
+        """Simulate the pure firing decisions the engine will make."""
+        for attempt in range(retries + 1):
+            if faults.throw(1, "worker_crash", experiment_id, attempt) >= 0.3:
+                return "ok" if attempt == 0 else "retried"
+        return "failed"
+
+    def test_chaos_run_matches_clean_run(self, cache_root, clean_digests):
+        results = _chaos(self.SPEC, cache_root, workers=4)
+        expected = {i: self._expected_status(i) for i in IDS}
+        assert results.statuses == expected
+        assert_converged(results, clean_digests)
+
+    def test_same_seed_same_outcome(self, cache_root):
+        first = _chaos(self.SPEC, cache_root, workers=4)
+        second = _chaos(self.SPEC, cache_root, workers=4)
+        assert first.statuses == second.statuses
+        for a, b in zip(first, second):
+            assert (a is None) == (b is None)
+            if a is not None:
+                assert result_digest(a) == result_digest(b)
+
+    def test_firing_decisions_drive_statuses_for_any_seed(self, cache_root, clean_digests):
+        # A seed chosen so at least one experiment crashes on attempt 0.
+        seed = next(
+            s for s in range(1, 100)
+            if any(faults.throw(s, "worker_crash", i, 0) < 0.3 for i in IDS)
+        )
+        faults.install(faults.FaultPlan.from_string(f"worker_crash:p=0.3:seed={seed}"))
+        results = run_experiments(IDS, _scenario(cache_root), workers=4, backoff=0.01)
+        expected = {
+            i: (
+                "failed"
+                if all(faults.throw(seed, "worker_crash", i, a) < 0.3 for a in range(3))
+                else ("ok" if faults.throw(seed, "worker_crash", i, 0) >= 0.3 else "retried")
+            )
+            for i in IDS
+        }
+        assert results.statuses == expected
+        assert "retried" in results.statuses.values()
+        assert_converged(results, clean_digests)
+
+
+class TestCli:
+    def test_retried_run_exits_zero(self, cache_root):
+        from repro.cli import main
+
+        faults.clear()
+        code = main([
+            "run", "table1", "--scale", "small",
+            "--cache-dir", str(cache_root),
+            "--inject", "worker_exception:n=1",
+        ])
+        assert code == 0
+
+    def test_quarantined_run_exits_three(self, cache_root, capsys):
+        from repro.cli import main
+
+        faults.clear()
+        code = main([
+            "run", "table1", "--scale", "small",
+            "--cache-dir", str(cache_root),
+            "--inject", "worker_exception:n=99", "--retries", "1",
+        ])
+        assert code == 3
+        assert "failed after 2 attempt(s)" in capsys.readouterr().err
+
+    def test_all_partial_failure_exits_three(self, cache_root, capsys, monkeypatch):
+        from repro import cli
+
+        faults.clear()
+        monkeypatch.setattr(cli, "list_experiments", lambda: list(IDS))
+        code = cli.main([
+            "all", "--scale", "small", "--cache-dir", str(cache_root),
+            "--inject", "worker_exception:n=99:match=table2", "--retries", "1",
+        ])
+        captured = capsys.readouterr()
+        assert code == 3
+        assert "table2" in captured.err
+        assert "table1" in captured.out  # the survivors still printed
+
+    def test_bad_inject_spec_exits_two(self, cache_root, capsys):
+        from repro.cli import main
+
+        code = main([
+            "run", "table1", "--cache-dir", str(cache_root),
+            "--inject", "not_a_fault:p=1",
+        ])
+        assert code == 2
+        assert "bad --inject" in capsys.readouterr().err
+
+    def test_env_hook_smoke(self, cache_root, monkeypatch):
+        """The REPRO_FAULTS hook drives a run end to end (the CI chaos spec)."""
+        from repro.cli import main
+
+        monkeypatch.setenv(faults.ENV_VAR, "worker_exception:n=1;slow_stage:s=0.001")
+        faults.clear()
+        metrics.reset()
+        assert main([
+            "run", "table1", "--scale", "small", "--cache-dir", str(cache_root),
+        ]) == 0
+        assert metrics.counter("faults.worker_exception.fired.total").value >= 1

@@ -1,0 +1,68 @@
+"""Golden regression: every experiment's canonical digest vs the checked-in
+baseline in ``tests/goldens/``.
+
+A digest drift means an experiment's *output* changed.  If the change is
+intentional, regenerate with ``python scripts/update_goldens.py`` and
+review the golden diff; if not, this suite just caught a regression.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import (
+    RESULT_SCHEMA_VERSION,
+    canonical_payload,
+    list_experiments,
+    result_digest,
+    run_experiments,
+)
+
+GOLDEN_PATH = Path(__file__).parent / "goldens" / "small_seed0.json"
+GOLDEN = json.loads(GOLDEN_PATH.read_text())
+
+
+@pytest.fixture(scope="module")
+def results(scenario):
+    """One clean run of every registered experiment on the shared scenario."""
+    run = run_experiments(list_experiments(), scenario)
+    return {result.id: result for result in run}
+
+
+def test_golden_file_covers_every_experiment():
+    assert sorted(GOLDEN["digests"]) == sorted(list_experiments())
+
+
+def test_golden_file_matches_current_schema():
+    assert GOLDEN["schema"] == RESULT_SCHEMA_VERSION
+    assert GOLDEN["scale"] == "small"
+    assert GOLDEN["seed"] == 0
+
+
+@pytest.mark.parametrize("experiment_id", json.loads(GOLDEN_PATH.read_text())["digests"])
+def test_digest_matches_golden(results, experiment_id):
+    assert result_digest(results[experiment_id]) == GOLDEN["digests"][experiment_id], (
+        f"{experiment_id} output drifted from tests/goldens/small_seed0.json; "
+        "if intentional, regenerate with scripts/update_goldens.py"
+    )
+
+
+def test_canonical_payload_is_json_stable():
+    """The digest currency itself must serialise deterministically."""
+    import numpy as np
+
+    from repro.experiments import ExperimentResult
+
+    sample = ExperimentResult(
+        "x",
+        "title",
+        data={"b": np.arange(3), "a": {True: 1, 2: np.float64(0.5)}},
+        series={"s": [(np.int64(1), 2.0)]},
+    )
+    one = canonical_payload(sample)
+    two = canonical_payload(sample)
+    assert json.dumps(one, sort_keys=True) == json.dumps(two, sort_keys=True)
+    assert result_digest(sample) == result_digest(sample)

@@ -6,7 +6,7 @@ must conserve counts exactly, no matter how weird the input mix.
 
 from __future__ import annotations
 
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
 
 from repro.ditl import DitlCapture, LetterCapture, QueryRow, preprocess
 from repro.net import str_to_ip
@@ -45,7 +45,6 @@ captures = st.builds(
 
 
 class TestPreprocessInvariants:
-    @settings(max_examples=60, deadline=None)
     @given(captures)
     def test_drop_accounting_is_exact(self, capture):
         stats = preprocess(capture).stats
@@ -60,7 +59,6 @@ class TestPreprocessInvariants:
             row.queries for letter in capture.letters.values() for row in letter.rows
         )
 
-    @settings(max_examples=60, deadline=None)
     @given(captures)
     def test_site_maps_partition_slash24_volumes(self, capture):
         filtered = preprocess(capture)
@@ -69,7 +67,6 @@ class TestPreprocessInvariants:
                 site_sum = sum(volumes.site_valid_by_slash24[slash24].values())
                 assert site_sum == total
 
-    @settings(max_examples=60, deadline=None)
     @given(captures)
     def test_ip_maps_aggregate_exactly(self, capture):
         filtered = preprocess(capture)
@@ -79,7 +76,6 @@ class TestPreprocessInvariants:
                 rebuilt[ip >> 8] = rebuilt.get(ip >> 8, 0) + sum(site_map.values())
             assert rebuilt == volumes.valid_by_slash24
 
-    @settings(max_examples=60, deadline=None)
     @given(captures)
     def test_all_volume_dominates_valid(self, capture):
         filtered = preprocess(capture)
@@ -87,7 +83,6 @@ class TestPreprocessInvariants:
             for slash24, valid in volumes.valid_by_slash24.items():
                 assert volumes.all_by_slash24.get(slash24, 0) >= valid
 
-    @settings(max_examples=60, deadline=None)
     @given(captures)
     def test_no_private_or_v6_survives(self, capture):
         filtered = preprocess(capture)
@@ -95,7 +90,6 @@ class TestPreprocessInvariants:
             for slash24 in volumes.all_by_slash24:
                 assert (slash24 >> 16) != 10  # 10/8 sources are dropped
 
-    @settings(max_examples=40, deadline=None)
     @given(captures)
     def test_preprocess_is_pure(self, capture):
         first = preprocess(capture)
