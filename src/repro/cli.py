@@ -27,9 +27,19 @@ drills are driven by ``--inject SPEC`` (repeatable) or the
 ``REPRO_FAULTS`` environment variable, e.g.
 ``--inject worker_crash:p=0.3:seed=1``.
 
+Durable runs: ``run``/``all`` journal every completed experiment into a
+run directory (default ``<cache>/runs/<run-id>``; ``--run-dir`` to
+override, ``--no-journal`` to opt out).  SIGINT/SIGTERM — or an expired
+``--deadline`` — drains the run gracefully: in-flight experiments get
+``--grace`` seconds to finish, the journal is flushed, and the process
+exits 4 with a printed ``--resume RUN_ID`` hint; a second signal
+hard-kills.  ``repro runs`` lists run directories, ``repro runs gc``
+prunes completed ones.
+
 Exit codes: 0 success · 1 I/O error (unwritable ``--out``/``--csv``/
-``--trace``/``--metrics``) · 2 usage (unknown command/experiment) ·
-3 one or more experiments quarantined (partial results were produced).
+``--trace``/``--metrics``) · 2 usage (unknown command/experiment,
+``--resume`` mismatch) · 3 one or more experiments quarantined (partial
+results were produced) · 4 run preempted (journal written; resumable).
 """
 
 from __future__ import annotations
@@ -38,9 +48,21 @@ import argparse
 import json
 import os
 import sys
+import time
+from pathlib import Path
 
 from . import faults
-from .engine import ArtifactCache, ExperimentFailure, run_experiments
+from .engine import (
+    ArtifactCache,
+    ExperimentFailure,
+    JournalError,
+    JournalMismatch,
+    RunJournal,
+    default_cache_dir,
+    new_run_id,
+    run_experiments,
+    runs_root,
+)
 from .experiments import Scenario, list_experiments, run_experiment, write_series_csv
 from .obs import configure_logging, metrics, rss_peak_bytes, trace
 from .obs.inspect import render_trace
@@ -74,11 +96,13 @@ def build_parser() -> argparse.ArgumentParser:
     _add_scenario_args(run)
     _add_obs_args(run)
     _add_resilience_args(run)
+    _add_durability_args(run)
 
     everything = sub.add_parser("all", help="run every experiment")
     _add_scenario_args(everything)
     _add_obs_args(everything)
     _add_resilience_args(everything)
+    _add_durability_args(everything)
     everything.add_argument("--out", help="write the report to this file")
     everything.add_argument("--workers", type=_positive_int, default=1, metavar="N",
                             help="fan experiments out across N processes")
@@ -107,6 +131,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="check every qualitative claim of the paper against this world",
     )
     _add_scenario_args(validate)
+
+    runs = sub.add_parser(
+        "runs", help="list run directories (journals), or prune completed ones"
+    )
+    runs.add_argument(
+        "action", nargs="?", choices=("list", "gc"), default="list",
+        help="list (default) shows every run with its status; gc prunes "
+             "completed run directories",
+    )
+    runs.add_argument(
+        "--cache-dir", metavar="DIR", default=None,
+        help="cache root whose runs/ directory to scan "
+             "(default ~/.cache/anycast-repro)",
+    )
+    _add_verbose_arg(runs)
 
     return parser
 
@@ -161,6 +200,33 @@ def _add_resilience_args(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_durability_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--run-dir", metavar="DIR", default=None,
+        help="run directory for the write-ahead journal "
+             "(default <cache>/runs/<run-id>)",
+    )
+    parser.add_argument(
+        "--resume", metavar="RUN_ID", default=None,
+        help="resume a preempted run: skip journaled-ok experiments and "
+             "execute only the remainder",
+    )
+    parser.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="wall-clock budget; on expiry the run drains gracefully and "
+             "exits 4 (resumable)",
+    )
+    parser.add_argument(
+        "--grace", type=float, default=30.0, metavar="SECONDS",
+        help="how long in-flight experiments may finish once a drain "
+             "starts (default 30)",
+    )
+    parser.add_argument(
+        "--no-journal", action="store_true",
+        help="disable the write-ahead run journal for this invocation",
+    )
+
+
 def _add_obs_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--trace", metavar="FILE.jsonl", default=None,
@@ -205,6 +271,74 @@ def _print_failures(results) -> None:
         )
 
 
+def _open_journal(args: argparse.Namespace, scenario: Scenario, ids):
+    """Create or resume the run journal; returns ``(journal, exit_code)``.
+
+    ``exit_code`` is ``None`` on success; a failed ``--resume`` (header
+    mismatch, missing journal) reports on stderr and returns 2.
+    Journaling is on by default whenever the cache is enabled — without
+    the cache there is nothing to hydrate a resume from, so a plain run
+    skips it unless ``--run-dir`` asks for one explicitly.
+    """
+    if args.no_journal:
+        if args.resume:
+            print("--resume and --no-journal are contradictory", file=sys.stderr)
+            return None, 2
+        return None, None
+    if args.resume:
+        run_dir = Path(args.run_dir) if args.run_dir else (
+            runs_root(scenario.cache.root) / args.resume
+        )
+        try:
+            return RunJournal.resume(run_dir, scenario, ids), None
+        except JournalMismatch as error:
+            print(f"--resume refused: {error}", file=sys.stderr)
+            return None, 2
+        except JournalError as error:
+            print(f"--resume failed: {error}", file=sys.stderr)
+            return None, 2
+    if not scenario.cache.enabled and args.run_dir is None:
+        return None, None
+    run_id = new_run_id()
+    run_dir = Path(args.run_dir) if args.run_dir else (
+        runs_root(scenario.cache.root) / run_id
+    )
+    try:
+        return RunJournal.create(run_dir, scenario, ids, run_id=run_id), None
+    except (JournalError, OSError) as error:
+        print(f"cannot create run journal in {run_dir}: {error}", file=sys.stderr)
+        return None, 2 if isinstance(error, JournalError) else 1
+
+
+def _resume_hint(args: argparse.Namespace, journal) -> str:
+    """The exact command line that resumes this preempted run."""
+    parts = ["anycast-repro", args.command]
+    if args.command == "run":
+        parts.append(args.experiment)
+    parts += ["--scale", args.scale, "--seed", str(args.seed)]
+    if args.cache_dir:
+        parts += ["--cache-dir", args.cache_dir]
+    if args.run_dir:
+        parts += ["--run-dir", args.run_dir]
+    workers = getattr(args, "workers", 1)
+    if workers != 1:
+        parts += ["--workers", str(workers)]
+    parts += ["--resume", journal.run_id]
+    return " ".join(parts)
+
+
+def _print_preempted(results, journal, args: argparse.Namespace) -> None:
+    """Exit-code-4 epilogue: what drained, and how to pick it back up."""
+    done = len(results.report.experiments) - len(results.preempted_ids)
+    print(
+        f"run preempted ({results.preempt_reason}): {done} experiment(s) "
+        f"journaled, {len(results.preempted_ids)} remaining",
+        file=sys.stderr,
+    )
+    if journal is not None:
+        print(f"resume with: {_resume_hint(args, journal)}", file=sys.stderr)
+
+
 def _run_observed(args: argparse.Namespace, command, scenario: Scenario) -> int:
     """Execute a run/all command under the --trace / --metrics sinks."""
     metrics.reset()
@@ -234,9 +368,20 @@ def _run_observed(args: argparse.Namespace, command, scenario: Scenario) -> int:
 
 
 def _cmd_run(args: argparse.Namespace, scenario: Scenario) -> int:
-    results = run_experiments(
-        [args.experiment], scenario, timeout=args.timeout, retries=args.retries
-    )
+    journal, code = _open_journal(args, scenario, [args.experiment])
+    if code is not None:
+        return code
+    try:
+        results = run_experiments(
+            [args.experiment], scenario, timeout=args.timeout, retries=args.retries,
+            journal=journal, deadline=args.deadline, grace=args.grace, signals=True,
+        )
+    finally:
+        if journal is not None:
+            journal.close()
+    if results.preempted:
+        _print_preempted(results, journal, args)
+        return 4
     result = results[0]
     if result is None:
         _print_failures(results)
@@ -278,10 +423,20 @@ def _cmd_all(args: argparse.Namespace, scenario: Scenario) -> int:
         except OSError as error:
             print(f"cannot write report to {args.out}: {error}", file=sys.stderr)
             return 1
-    results = run_experiments(
-        list_experiments(), scenario, workers=args.workers,
-        timeout=args.timeout, retries=args.retries,
-    )
+    journal, code = _open_journal(args, scenario, list_experiments())
+    if code is not None:
+        if out_handle is not None:
+            out_handle.close()
+        return code
+    try:
+        results = run_experiments(
+            list_experiments(), scenario, workers=args.workers,
+            timeout=args.timeout, retries=args.retries,
+            journal=journal, deadline=args.deadline, grace=args.grace, signals=True,
+        )
+    finally:
+        if journal is not None:
+            journal.close()
     chunks = []
     for result in results:
         if result is None:  # quarantined: reported via _print_failures below
@@ -299,9 +454,42 @@ def _cmd_all(args: argparse.Namespace, scenario: Scenario) -> int:
         print(report)
     if args.report:
         _print_report(results.report)
+    if results.preempted:
+        _print_failures(results)
+        _print_preempted(results, journal, args)
+        return 4
     if not results.ok:
         _print_failures(results)
         return 3
+    return 0
+
+
+def _cmd_runs(args: argparse.Namespace) -> int:
+    from .engine import code_version, gc_runs, scan_runs
+
+    root = args.cache_dir if args.cache_dir else default_cache_dir()
+    if args.action == "gc":
+        pruned = gc_runs(root)
+        for info in pruned:
+            print(f"pruned {info.run_id} ({info.done}/{info.total})")
+        print(f"{len(pruned)} completed run(s) pruned")
+        return 0
+    infos = scan_runs(root, code=code_version())
+    if not infos:
+        print(f"no runs under {runs_root(root)}")
+        return 0
+    print(f"{'RUN':<26} {'STATUS':<10} {'SCALE':<7} {'SEED':>5} {'DONE':>9}  CREATED")
+    for info in infos:
+        created = (
+            time.strftime("%Y-%m-%d %H:%M:%S", time.localtime(info.created))
+            if info.created
+            else "?"
+        )
+        seed = "?" if info.seed is None else info.seed
+        print(
+            f"{info.run_id:<26} {info.status:<10} {info.scale:<7} {seed:>5} "
+            f"{f'{info.done}/{info.total}':>9}  {created}"
+        )
     return 0
 
 
@@ -340,6 +528,9 @@ def _dispatch(argv: list[str] | None = None) -> int:
 
     if args.command == "inspect":
         return _cmd_inspect(args)
+
+    if args.command == "runs":
+        return _cmd_runs(args)
 
     if getattr(args, "inject", None):
         try:

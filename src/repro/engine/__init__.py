@@ -15,6 +15,16 @@ Quickstart::
 """
 
 from .cache import ArtifactCache, default_cache, default_cache_dir
+from .journal import (
+    JournalError,
+    JournalMismatch,
+    RunInfo,
+    RunJournal,
+    gc_runs,
+    new_run_id,
+    runs_root,
+    scan_runs,
+)
 from .keys import StageKey, code_version, params_digest
 from .pool import AttemptFailure, MonitoredPool, TaskOutcome
 from .report import ExperimentRecord, RunReport, StageRecord
@@ -45,4 +55,12 @@ __all__ = [
     "ExperimentFailure",
     "ExperimentResults",
     "run_experiments",
+    "JournalError",
+    "JournalMismatch",
+    "RunInfo",
+    "RunJournal",
+    "new_run_id",
+    "runs_root",
+    "scan_runs",
+    "gc_runs",
 ]

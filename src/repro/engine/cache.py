@@ -13,19 +13,36 @@ entirely with ``ANYCAST_REPRO_NO_CACHE=1`` / ``--no-cache``.
 Robustness rules: a corrupted or truncated artifact is treated as a
 miss (and deleted) so the stage is rebuilt; an unwritable cache
 directory degrades to cache-off instead of failing the run.
+
+Concurrency rules: artifacts are written to a ``.tmp`` file, fsync'd,
+and renamed into place, so readers never see a torn write under POSIX
+rename atomicity.  Every artifact carries a sha256 footer
+(``payload ‖ magic ‖ digest``) verified on load, catching silent
+corruption that still unpickles cleanly.  :meth:`ArtifactCache.lock`
+takes an advisory ``fcntl.flock`` on a per-key lock file so concurrent
+invocations build each stage single-flight: the loser blocks, then
+finds the winner's artifact and loads it instead of rebuilding.
 """
 
 from __future__ import annotations
 
+import contextlib
+import hashlib
 import os
 import pickle
 import struct
 import tempfile
+import time
 from pathlib import Path
 
 from .. import faults
 from ..obs import get_logger, metrics
 from .keys import StageKey
+
+try:  # pragma: no cover - fcntl is POSIX-only
+    import fcntl
+except ImportError:  # pragma: no cover
+    fcntl = None
 
 __all__ = ["ArtifactCache", "default_cache_dir", "default_cache"]
 
@@ -33,6 +50,15 @@ _log = get_logger("engine.cache")
 
 _ENV_DIR = "ANYCAST_REPRO_CACHE_DIR"
 _ENV_OFF = "ANYCAST_REPRO_NO_CACHE"
+
+#: Footer layout: ``pickle-payload ‖ magic ‖ sha256(payload)``.  The magic
+#: doubles as a format version tag — bump it if the footer layout changes.
+_FOOTER_MAGIC = b"ARCSUM01"
+_FOOTER_LEN = len(_FOOTER_MAGIC) + hashlib.sha256().digest_size
+
+#: ``.tmp`` files older than this are orphans from crashed writers; any
+#: live writer renames its tmp file within seconds of creating it.
+_TMP_STALE_S = 3600.0
 
 #: Everything a corrupted/truncated/stale pickle can legitimately raise.
 #: Deliberately NOT ``Exception``: ``MemoryError``, ``KeyboardInterrupt``,
@@ -70,24 +96,32 @@ class ArtifactCache:
     def __init__(self, root: str | os.PathLike | None = None, enabled: bool = True):
         self.root = Path(root) if root is not None else default_cache_dir()
         self.enabled = enabled and not os.environ.get(_ENV_OFF)
+        if self.enabled and self.root.is_dir():
+            self._sweep_tmp()
 
     def path_for(self, key: StageKey) -> Path:
         return self.root / key.filename()
 
     def load(self, key: StageKey) -> tuple[bool, object]:
-        """Return ``(hit, value)``; corrupted artifacts count as misses."""
+        """Return ``(hit, value)``; corrupted artifacts count as misses.
+
+        Corruption covers a bad pickle *and* a missing or mismatched
+        sha256 footer — bytes that still unpickle but were silently
+        flipped on disk fail the digest check and rebuild.
+        """
         if not self.enabled:
             return False, None
         path = self.path_for(key)
         try:
-            with open(path, "rb") as handle:
-                value = pickle.load(handle)
-                if faults.maybe_fire("cache_corrupt", key.stage) is not None:
-                    raise pickle.UnpicklingError(f"injected cache_corrupt for {key.stage}")
-                metrics.counter("cache.read.total").inc()
-                metrics.counter("cache.read.bytes").inc(handle.tell())
-                _log.debug("cache hit: %s (%d bytes)", path.name, handle.tell())
-                return True, value
+            data = path.read_bytes()
+            payload = self._verify_footer(data, path)
+            value = pickle.loads(payload)
+            if faults.maybe_fire("cache_corrupt", key.stage) is not None:
+                raise pickle.UnpicklingError(f"injected cache_corrupt for {key.stage}")
+            metrics.counter("cache.read.total").inc()
+            metrics.counter("cache.read.bytes").inc(len(data))
+            _log.debug("cache hit: %s (%d bytes)", path.name, len(data))
+            return True, value
         except FileNotFoundError:
             return False, None
         except _CORRUPT_ERRORS:
@@ -100,9 +134,25 @@ class ArtifactCache:
                 pass
             return False, None
 
+    @staticmethod
+    def _verify_footer(data: bytes, path: Path) -> bytes:
+        """Strip and check the sha256 footer; raise on any mismatch."""
+        if len(data) <= _FOOTER_LEN:
+            raise pickle.UnpicklingError(f"{path.name}: too short for a footer")
+        payload, trailer = data[:-_FOOTER_LEN], data[-_FOOTER_LEN:]
+        magic, digest = trailer[: len(_FOOTER_MAGIC)], trailer[len(_FOOTER_MAGIC) :]
+        if magic != _FOOTER_MAGIC:
+            raise pickle.UnpicklingError(f"{path.name}: missing artifact footer")
+        if hashlib.sha256(payload).digest() != digest:
+            raise pickle.UnpicklingError(f"{path.name}: artifact checksum mismatch")
+        return payload
+
     def store(self, key: StageKey, value: object) -> int | None:
         """Atomically persist ``value``; returns the artifact size in bytes.
 
+        The artifact is fully written and fsync'd under a ``.tmp`` name
+        before the rename, so a crash at any point leaves either the old
+        artifact or the new one — never a torn file under the real name.
         Returns ``None`` (and leaves the cache untouched) when disabled
         or when the directory is unwritable.
         """
@@ -111,10 +161,15 @@ class ArtifactCache:
         path = self.path_for(key)
         try:
             self.root.mkdir(parents=True, exist_ok=True)
+            payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+            footer = _FOOTER_MAGIC + hashlib.sha256(payload).digest()
             fd, tmp_name = tempfile.mkstemp(dir=self.root, suffix=".tmp")
             try:
                 with os.fdopen(fd, "wb") as handle:
-                    pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                    handle.write(payload)
+                    handle.write(footer)
+                    handle.flush()
+                    os.fsync(handle.fileno())
                 os.replace(tmp_name, path)
             except BaseException:
                 try:
@@ -143,8 +198,68 @@ class ArtifactCache:
         except OSError:
             return None
 
+    @contextlib.contextmanager
+    def lock(self, key: StageKey):
+        """Advisory per-key lock: single-flight stage builds across processes.
+
+        Blocks on ``fcntl.flock`` of ``<artifact>.lock`` until the holder
+        releases it; the wait is observed in ``cache.lock_wait_seconds``.
+        Callers should re-check :meth:`load` after acquiring (double-checked
+        locking) — the usual reason the lock was held is that another
+        process was building exactly this artifact.  Degrades to a no-op
+        when the cache is disabled, ``fcntl`` is unavailable, or the lock
+        file cannot be created.
+        """
+        if not self.enabled or fcntl is None:
+            yield
+            return
+        lock_path = self.root / (key.filename() + ".lock")
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            handle = open(lock_path, "a")
+        except OSError:
+            yield
+            return
+        try:
+            started = time.monotonic()
+            fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+            waited = time.monotonic() - started
+            metrics.histogram("cache.lock_wait_seconds").observe(waited)
+            if waited > 0.01:
+                _log.debug("cache lock %s: waited %.3fs", lock_path.name, waited)
+            yield
+        finally:
+            try:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+            except OSError:  # pragma: no cover - unlock of a valid fd
+                pass
+            handle.close()
+
+    def _sweep_tmp(self, max_age_s: float = _TMP_STALE_S) -> int:
+        """Remove ``.tmp`` orphans older than ``max_age_s``; returns how many."""
+        removed = 0
+        now = time.time()
+        try:
+            candidates = list(self.root.glob("*.tmp"))
+        except OSError:  # pragma: no cover - unreadable root
+            return 0
+        for path in candidates:
+            try:
+                if now - path.stat().st_mtime >= max_age_s:
+                    path.unlink()
+                    removed += 1
+            except OSError:
+                pass
+        if removed:
+            _log.debug("swept %d stale .tmp file(s) under %s", removed, self.root)
+        return removed
+
     def clear(self) -> int:
-        """Delete every artifact under the root; returns how many."""
+        """Delete every artifact under the root; returns how many.
+
+        Also sweeps stale ``.tmp`` orphans and ``.lock`` files — fresh
+        ``.tmp`` files are left alone, they may belong to a live writer.
+        """
         removed = 0
         if self.root.is_dir():
             for path in self.root.glob("*.pkl"):
@@ -153,6 +268,12 @@ class ArtifactCache:
                     removed += 1
                 except OSError:
                     pass
+            for path in self.root.glob("*.lock"):
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+            self._sweep_tmp()
         return removed
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -1,0 +1,341 @@
+"""Write-ahead run journal: durable, resumable engine runs.
+
+A *run* is one ``run_experiments`` invocation made durable.  Each run
+owns a directory (default ``<cache-root>/runs/<run-id>``) holding an
+append-only JSONL journal:
+
+* a **header** record pinning the run's identity — scale, seed, the
+  scenario's params digest, the package code version, and the ordered
+  experiment id list;
+* one fsync'd **experiment** record per terminal outcome (id, status,
+  attempts, canonical result digest, artifact cache key, last error);
+* a **preempt** record when the run drained early (signal, ``deadline``,
+  or an injected ``preempt`` fault);
+* a **complete** record once every experiment reached a terminal state.
+
+The write-ahead discipline is: the artifact cache write happens first
+(itself fsync'd and footer-checksummed, see
+:mod:`repro.engine.cache`), then the journal line referencing it is
+appended and fsync'd.  A crash between the two leaves an orphaned cache
+artifact — harmless — never a journal record pointing at missing bytes.
+
+``RunJournal.resume`` re-opens a journal and validates its header
+against the scenario about to run; any identity mismatch raises
+:class:`JournalMismatch` (the CLI maps it to exit code 2) because
+replaying journaled results into a *different* world would silently mix
+incompatible outputs.  Journaled ``ok``/``retried`` experiments are then
+hydrated from the artifact cache by the runner instead of re-executing;
+everything else (pending, preempted, failed) runs again, and the
+completed run is bitwise-identical to one that was never interrupted.
+
+``repro runs`` lists run directories via :func:`scan_runs`;
+``repro runs gc`` prunes completed ones via :func:`gc_runs`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import uuid
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..obs import get_logger
+
+__all__ = [
+    "JOURNAL_NAME",
+    "JOURNAL_VERSION",
+    "JournalError",
+    "JournalMismatch",
+    "RunJournal",
+    "RunInfo",
+    "new_run_id",
+    "runs_root",
+    "scan_runs",
+    "gc_runs",
+]
+
+_log = get_logger("engine.journal")
+
+JOURNAL_NAME = "journal.jsonl"
+
+#: Bumped whenever the journal record layout changes; resuming a journal
+#: written by a different layout is refused.
+JOURNAL_VERSION = 1
+
+#: Terminal statuses a resumed run hydrates instead of re-executing.
+_RESUMABLE_OK = ("ok", "retried")
+
+
+class JournalError(RuntimeError):
+    """A run journal is missing, unreadable, or structurally invalid."""
+
+
+class JournalMismatch(JournalError):
+    """A journal's header does not match the scenario being resumed."""
+
+
+def new_run_id() -> str:
+    """A sortable, collision-safe run id (timestamp + random suffix)."""
+    stamp = time.strftime("%Y%m%d-%H%M%S", time.gmtime())
+    return f"{stamp}-{uuid.uuid4().hex[:6]}"
+
+
+def runs_root(cache_root: str | os.PathLike) -> Path:
+    """Where run directories live by default: ``<cache-root>/runs``."""
+    return Path(cache_root) / "runs"
+
+
+class RunJournal:
+    """One run directory plus its append-only JSONL journal.
+
+    Use the classmethods: :meth:`create` starts a fresh journal (writes
+    the header), :meth:`resume` re-opens and validates an existing one,
+    :meth:`load` reads one without validation (the ``repro runs``
+    listing path).  Appends are fsync'd line by line — every record that
+    :meth:`record_experiment` returned from is on disk.
+    """
+
+    def __init__(self, run_dir: str | os.PathLike):
+        self.run_dir = Path(run_dir)
+        self.path = self.run_dir / JOURNAL_NAME
+        self.header: dict = {}
+        #: experiment id → its *last* journaled record (retries overwrite).
+        self.records: dict[str, dict] = {}
+        self.completed = False
+        self.preempted: str | None = None  #: drain reason, if the run drained
+        self._handle = None
+
+    # -- construction ------------------------------------------------------
+    @classmethod
+    def create(
+        cls,
+        run_dir: str | os.PathLike,
+        scenario,
+        experiment_ids,
+        run_id: str | None = None,
+    ) -> "RunJournal":
+        """Start a fresh journal for ``scenario`` (writes the header)."""
+        journal = cls(run_dir)
+        if journal.path.exists():
+            raise JournalError(
+                f"run directory {journal.run_dir} already holds a journal; "
+                f"use --resume to continue it"
+            )
+        journal.run_dir.mkdir(parents=True, exist_ok=True)
+        journal.header = {
+            "type": "header",
+            "version": JOURNAL_VERSION,
+            "run_id": run_id if run_id is not None else journal.run_dir.name,
+            "created": time.time(),
+            "scale": scenario.params.scale,
+            "seed": scenario.params.seed,
+            "params": scenario.stage_key("header").params,
+            "code": scenario.stage_key("header").code,
+            "experiments": list(experiment_ids),
+        }
+        journal._append(journal.header)
+        _log.debug("journal created: %s (%s)", journal.run_id, journal.path)
+        return journal
+
+    @classmethod
+    def load(cls, run_dir: str | os.PathLike) -> "RunJournal":
+        """Read an existing journal without validating it against anything."""
+        journal = cls(run_dir)
+        try:
+            lines = journal.path.read_text(encoding="utf-8").splitlines()
+        except OSError as error:
+            raise JournalError(f"cannot read journal {journal.path}: {error}") from None
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                # A torn final line (crash mid-append): everything before
+                # it was fsync'd and stands; the tail is dropped.
+                _log.warning("journal %s has a torn trailing record; ignored", journal.path)
+                continue
+            kind = record.get("type")
+            if kind == "header":
+                journal.header = record
+            elif kind == "experiment":
+                journal.records[record["id"]] = record
+            elif kind == "preempt":
+                journal.preempted = record.get("reason")
+            elif kind == "complete":
+                journal.completed = True
+        if not journal.header:
+            raise JournalError(f"journal {journal.path} has no header record")
+        return journal
+
+    @classmethod
+    def resume(
+        cls, run_dir: str | os.PathLike, scenario, experiment_ids
+    ) -> "RunJournal":
+        """Re-open a journal, refusing unless its header matches ``scenario``."""
+        journal = cls.load(run_dir)
+        key = scenario.stage_key("header")
+        expected = {
+            "version": JOURNAL_VERSION,
+            "scale": scenario.params.scale,
+            "seed": scenario.params.seed,
+            "params": key.params,
+            "code": key.code,
+            "experiments": list(experiment_ids),
+        }
+        mismatches = [
+            f"{field}: journal has {journal.header.get(field)!r}, current run has {value!r}"
+            for field, value in expected.items()
+            if journal.header.get(field) != value
+        ]
+        if mismatches:
+            raise JournalMismatch(
+                f"cannot resume {journal.run_id}: the journal was written for a "
+                f"different run — " + "; ".join(mismatches)
+            )
+        return journal
+
+    # -- identity ----------------------------------------------------------
+    @property
+    def run_id(self) -> str:
+        return self.header.get("run_id", self.run_dir.name)
+
+    def completed_ok(self) -> dict[str, dict]:
+        """Journaled records a resume may hydrate (status ok/retried)."""
+        return {
+            experiment_id: record
+            for experiment_id, record in self.records.items()
+            if record.get("status") in _RESUMABLE_OK
+        }
+
+    # -- appends -----------------------------------------------------------
+    def _append(self, record: dict) -> None:
+        """Write one JSONL record and fsync it (the WAL guarantee)."""
+        if self._handle is None:
+            self.run_dir.mkdir(parents=True, exist_ok=True)
+            self._handle = open(self.path, "a", encoding="utf-8")
+        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def record_experiment(
+        self,
+        experiment_id: str,
+        *,
+        status: str,
+        attempts: int,
+        digest: str | None = None,
+        artifact: str | None = None,
+        error: str | None = None,
+    ) -> None:
+        """Journal one terminal experiment outcome (fsync'd)."""
+        record = {
+            "type": "experiment",
+            "id": experiment_id,
+            "status": status,
+            "attempts": attempts,
+            "digest": digest,
+            "artifact": artifact,
+            "error": error,
+        }
+        self._append(record)
+        self.records[experiment_id] = record
+
+    def record_preempt(self, reason: str) -> None:
+        """Journal that the run drained early (leaves the run resumable)."""
+        self._append({"type": "preempt", "reason": reason, "at": time.time()})
+        self.preempted = reason
+
+    def complete(self, ok: bool = True) -> None:
+        """Journal that every experiment reached a terminal state."""
+        self._append({"type": "complete", "ok": ok, "at": time.time()})
+        self.completed = True
+
+    def close(self) -> None:
+        if self._handle is not None:
+            try:
+                self._handle.close()
+            finally:
+                self._handle = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "complete" if self.completed else f"{len(self.records)} journaled"
+        return f"RunJournal({self.run_id!r}, {state})"
+
+
+# -- run-directory scanning (the `repro runs` subcommand) -------------------
+
+
+@dataclass(slots=True)
+class RunInfo:
+    """One run directory, summarised for the ``repro runs`` listing."""
+
+    run_id: str
+    run_dir: Path
+    status: str  #: ``complete`` | ``resumable`` | ``stale`` | ``corrupt``
+    scale: str = "?"
+    seed: int | None = None
+    done: int = 0
+    total: int = 0
+    created: float | None = None
+
+
+def scan_runs(cache_root: str | os.PathLike, *, code: str | None = None) -> list[RunInfo]:
+    """Summarise every run directory under ``<cache-root>/runs``.
+
+    ``code`` is the current code-version digest; a resumable journal
+    written by different code is reported ``stale`` (resuming it would
+    be refused, and its cached artifacts are unreachable anyway).
+    """
+    root = runs_root(cache_root)
+    if not root.is_dir():
+        return []
+    infos = []
+    for run_dir in sorted(p for p in root.iterdir() if p.is_dir()):
+        if not (run_dir / JOURNAL_NAME).is_file():
+            continue
+        try:
+            journal = RunJournal.load(run_dir)
+        except JournalError:
+            infos.append(RunInfo(run_id=run_dir.name, run_dir=run_dir, status="corrupt"))
+            continue
+        if journal.completed:
+            status = "complete"
+        elif code is not None and journal.header.get("code") != code:
+            status = "stale"
+        else:
+            status = "resumable"
+        infos.append(
+            RunInfo(
+                run_id=journal.run_id,
+                run_dir=run_dir,
+                status=status,
+                scale=journal.header.get("scale", "?"),
+                seed=journal.header.get("seed"),
+                done=sum(
+                    1 for r in journal.records.values() if r.get("status") in _RESUMABLE_OK
+                ),
+                total=len(journal.header.get("experiments", ())),
+                created=journal.header.get("created"),
+            )
+        )
+    return infos
+
+
+def gc_runs(cache_root: str | os.PathLike) -> list[RunInfo]:
+    """Delete completed run directories; returns what was pruned."""
+    import shutil
+
+    pruned = []
+    for info in scan_runs(cache_root):
+        if info.status != "complete":
+            continue
+        try:
+            shutil.rmtree(info.run_dir)
+        except OSError:  # pragma: no cover - racing deletion
+            continue
+        pruned.append(info)
+    return pruned

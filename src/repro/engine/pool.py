@@ -59,7 +59,7 @@ class AttemptFailure:
 class TaskOutcome:
     """Terminal state of one task after retries."""
 
-    status: str = "ok"  #: ``ok`` | ``retried`` | ``failed`` | ``timeout``
+    status: str = "ok"  #: ``ok`` | ``retried`` | ``failed`` | ``timeout`` | ``preempted``
     value: object | None = None  #: success payload (``None`` when quarantined)
     attempts: int = 0  #: how many attempts ran
     failures: list[AttemptFailure] = field(default_factory=list)
@@ -68,6 +68,10 @@ class TaskOutcome:
     @property
     def quarantined(self) -> bool:
         return self.status in ("failed", "timeout")
+
+    @property
+    def preempted(self) -> bool:
+        return self.status == "preempted"
 
     @property
     def error(self) -> str | None:
@@ -193,6 +197,9 @@ class MonitoredPool:
         timeout: float | None = None,
         retries: int = 2,
         backoff: float = 0.05,
+        drain=None,
+        grace: float = 30.0,
+        on_result=None,
     ) -> list[TaskOutcome]:
         """Run every task to a terminal outcome; never raises for task failures.
 
@@ -201,14 +208,55 @@ class MonitoredPool:
         deadline (``None`` = unbounded), ``retries`` bounds re-runs after
         a failed attempt, ``backoff`` is the base of the exponential
         retry delay (``backoff * 2**(attempt-1)`` seconds).
+
+        ``drain`` is the graceful-preemption hook: a callable invoked
+        with a task index right before that task would be dispatched and
+        with ``None`` once per scheduler pass.  The first truthy return
+        starts a **drain**: nothing new is dispatched, queued and
+        delayed tasks are immediately marked ``preempted``, in-flight
+        tasks get up to ``grace`` seconds to finish (their completions
+        still count), and whatever is left is killed and marked
+        ``preempted``.  A failed attempt during a drain is preempted
+        rather than retried (unless its retries were already exhausted,
+        in which case the quarantine verdict stands).
+
+        ``on_result`` is called as ``on_result(index, outcome)`` the
+        moment each task reaches a terminal state — the journaling hook;
+        it runs in the parent, in completion order.
         """
         outcomes = [TaskOutcome() for _ in tasks]
         ready: deque[int] = deque(range(len(tasks)))
         delayed: list[tuple[float, int]] = []  # (due, index) min-heap
         done = 0
+        draining = False
+        kill_at: float | None = None
+
+        def finish(index: int) -> None:
+            nonlocal done
+            done += 1
+            if on_result is not None:
+                on_result(index, outcomes[index])
+
+        def preempt(index: int) -> None:
+            outcomes[index].status = "preempted"
+            metrics.counter("engine.preempted.total").inc()
+            finish(index)
+
+        def begin_drain() -> None:
+            nonlocal draining, kill_at
+            draining = True
+            kill_at = time.monotonic() + max(0.0, grace)
+            while ready:
+                preempt(ready.popleft())
+            while delayed:
+                preempt(heapq.heappop(delayed)[1])
+            in_flight = sum(1 for w in self._workers if w.task is not None)
+            _log.warning(
+                "draining: %d task(s) in flight get %.1fs of grace, "
+                "the rest are preempted", in_flight, grace,
+            )
 
         def fail_attempt(index: int, failure: AttemptFailure) -> None:
-            nonlocal done
             outcome = outcomes[index]
             outcome.failures.append(failure)
             if failure.kind == "crash":
@@ -216,6 +264,11 @@ class MonitoredPool:
             elif failure.kind == "timeout":
                 metrics.counter("engine.timeouts.total").inc()
             if outcome.attempts <= retries:
+                if draining:
+                    # No retries while draining: leave the verdict open so
+                    # a resumed run re-executes this task from scratch.
+                    preempt(index)
+                    return
                 metrics.counter("engine.retries.total").inc()
                 delay = backoff * (2 ** (outcome.attempts - 1))
                 heapq.heappush(delayed, (time.monotonic() + delay, index))
@@ -230,24 +283,39 @@ class MonitoredPool:
                     "task %d quarantined after %d attempts (%s)",
                     index, outcome.attempts, outcome.error,
                 )
-                done += 1
+                finish(index)
 
         while done < len(tasks):
             now = time.monotonic()
-            while delayed and delayed[0][0] <= now:
-                ready.append(heapq.heappop(delayed)[1])
-            for worker in self._workers:
-                if worker.task is None and ready:
-                    self._assign(worker, ready.popleft(), tasks, outcomes, timeout)
+            if not draining and drain is not None and drain(None):
+                begin_drain()
+            if not draining:
+                while delayed and delayed[0][0] <= now:
+                    ready.append(heapq.heappop(delayed)[1])
+                for worker in self._workers:
+                    if worker.task is None and ready:
+                        index = ready[0]
+                        if drain is not None and drain(index):
+                            begin_drain()  # flushes `index` with the rest
+                            break
+                        ready.popleft()
+                        self._assign(worker, index, tasks, outcomes, timeout)
             busy = [worker for worker in self._workers if worker.task is not None]
             if not busy:
+                if draining:
+                    continue  # everything terminal: the loop condition ends it
                 if delayed:
                     time.sleep(max(0.0, delayed[0][0] - time.monotonic()))
                     continue
                 if ready:  # pragma: no cover - more tasks than live workers
                     continue
                 break  # pragma: no cover - accounting mismatch; fail open
-            wait_s = self._wait_budget(busy, delayed, time.monotonic())
+            wait_s = self._wait_budget(busy, delayed, time.monotonic(), kill_at)
+            if drain is not None:
+                # Poll while drainable: a signal handler can only set a
+                # flag, and an unbounded pipe wait would never re-check
+                # it (PEP 475 restarts the wait after the handler runs).
+                wait_s = 0.2 if wait_s is None else min(wait_s, 0.2)
             ready_conns = set(_connection_wait([w.conn for w in busy], timeout=wait_s))
             now = time.monotonic()
             for worker in busy:
@@ -270,7 +338,7 @@ class MonitoredPool:
                     if ok:
                         outcome.value = payload
                         outcome.status = "retried" if outcome.attempts > 1 else "ok"
-                        done += 1
+                        finish(index)
                     else:
                         fail_attempt(index, AttemptFailure("error", detail, payload))
                 elif worker.deadline is not None and now >= worker.deadline:
@@ -281,6 +349,13 @@ class MonitoredPool:
                         index,
                         AttemptFailure("timeout", f"timed out after {timeout:.1f}s"),
                     )
+                elif draining and kill_at is not None and now >= kill_at:
+                    # Grace expired: abandon the in-flight attempt; a
+                    # resumed run re-executes it from scratch.
+                    index = worker.task
+                    outcomes[index].elapsed_s += now - worker.started
+                    self._replace(worker)
+                    preempt(index)
         return outcomes
 
     def _assign(self, worker, index, tasks, outcomes, timeout) -> None:
@@ -297,7 +372,7 @@ class MonitoredPool:
         worker.deadline = (now + timeout) if timeout is not None else None
 
     @staticmethod
-    def _wait_budget(busy, delayed, now) -> float | None:
+    def _wait_budget(busy, delayed, now, kill_at=None) -> float | None:
         """How long the scheduler may block before something needs attention."""
         horizon = None
         for worker in busy:
@@ -306,6 +381,9 @@ class MonitoredPool:
                 horizon = slack if horizon is None else min(horizon, slack)
         if delayed:
             slack = delayed[0][0] - now
+            horizon = slack if horizon is None else min(horizon, slack)
+        if kill_at is not None:
+            slack = kill_at - now
             horizon = slack if horizon is None else min(horizon, slack)
         if horizon is None:
             return None

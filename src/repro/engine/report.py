@@ -73,10 +73,11 @@ class ExperimentRecord:
 
     ``status`` is the engine's terminal verdict: ``ok`` (first try),
     ``retried`` (succeeded after ≥1 retry), ``failed`` (quarantined
-    after repeated errors/crashes), or ``timeout`` (quarantined after
-    repeated deadline kills).  ``attempts`` counts every run including
-    the final one; ``error`` carries the last failure's description for
-    quarantined experiments.
+    after repeated errors/crashes), ``timeout`` (quarantined after
+    repeated deadline kills), or ``preempted`` (the run drained before
+    this experiment finished; a ``--resume`` re-executes it).
+    ``attempts`` counts every run including the final one; ``error``
+    carries the last failure's description for quarantined experiments.
     """
 
     experiment_id: str
@@ -84,7 +85,7 @@ class ExperimentRecord:
     cache_hit: bool
     size_bytes: int | None = None
     worker: int | None = None  #: worker process id, None for in-process runs
-    status: str = "ok"  #: ok | retried | failed | timeout
+    status: str = "ok"  #: ok | retried | failed | timeout | preempted
     attempts: int = 1
     error: str | None = None  #: last failure description, quarantined runs only
 
@@ -106,6 +107,8 @@ class RunReport:
 
     stages: list[StageRecord] = field(default_factory=list)
     experiments: list[ExperimentRecord] = field(default_factory=list)
+    #: experiments hydrated from a journal on ``--resume`` instead of run.
+    resumed: int = 0
 
     def add_stage(self, record: StageRecord) -> None:
         self.stages.append(record)
@@ -116,6 +119,7 @@ class RunReport:
     def merge(self, other: "RunReport") -> None:
         self.stages.extend(other.stages)
         self.experiments.extend(other.experiments)
+        self.resumed += other.resumed
 
     @classmethod
     def from_trace(cls, records: list[dict]) -> "RunReport":
@@ -168,6 +172,11 @@ class RunReport:
         return [r for r in self.experiments if r.status in ("failed", "timeout")]
 
     @property
+    def preempted(self) -> list[ExperimentRecord]:
+        """Records of experiments a drain cut short (resumable)."""
+        return [r for r in self.experiments if r.status == "preempted"]
+
+    @property
     def cache_hits(self) -> int:
         return sum(r.cache_hit for r in self.stages) + sum(
             r.cache_hit for r in self.experiments
@@ -194,6 +203,8 @@ class RunReport:
             "artifact_bytes": sum(
                 r.size_bytes or 0 for r in (*self.stages, *self.experiments)
             ),
+            "resumed": self.resumed,
+            "preempted": len(self.preempted),
         }
 
     def to_text(self) -> str:
@@ -226,6 +237,14 @@ class RunReport:
             f"{summary['cache_hits']} hits / {summary['cache_misses']} misses, "
             f"{summary['wall_s']:.2f}s"
         )
+        if self.resumed:
+            lines.append(f"resumed: {self.resumed} experiment(s) hydrated from journal")
+        preempted = self.preempted
+        if preempted:
+            lines.append(
+                "preempted (resumable): "
+                + ", ".join(r.experiment_id for r in preempted)
+            )
         quarantined = self.quarantined
         if quarantined:
             lines.append(

@@ -157,14 +157,31 @@ def execute_experiment(experiment_id: str, scenario: Scenario) -> ExperimentResu
                 f"(attempt {faults.current_attempt()})"
             )
         key = scenario.stage_key(f"result__{experiment_id}")
+
+        def _usable(hit, cached):
+            return (
+                hit
+                and isinstance(cached, ExperimentResult)
+                and cached.version == RESULT_SCHEMA_VERSION
+            )
+
         hit, cached = scenario.cache.load(key)
-        if hit and isinstance(cached, ExperimentResult) and cached.version == RESULT_SCHEMA_VERSION:
+        if _usable(hit, cached):
             result = cached
             size = scenario.cache.size_of(key)
         else:
-            hit = False
-            result = runner(scenario)
-            size = scenario.cache.store(key, result)
+            # Single-flight across processes (double-checked locking):
+            # a concurrent invocation computing the same result key
+            # blocks here, then replays the winner's artifact.
+            with scenario.cache.lock(key):
+                hit, cached = scenario.cache.load(key)
+                if _usable(hit, cached):
+                    result = cached
+                    size = scenario.cache.size_of(key)
+                else:
+                    hit = False
+                    result = runner(scenario)
+                    size = scenario.cache.store(key, result)
         span.set(cache_hit=hit, size_bytes=size)
         metrics.counter("engine.experiments.total").inc()
         if hit:

@@ -254,8 +254,16 @@ class Scenario:
             hit, value = self.cache.load(key)
             size = self.cache.size_of(key) if hit else None
             if not hit:
-                value = build(self)
-                size = self.cache.store(key, value)
+                # Single-flight across processes: take the per-key lock,
+                # then re-check — the usual reason it was held is that a
+                # concurrent invocation was building exactly this stage.
+                with self.cache.lock(key):
+                    hit, value = self.cache.load(key)
+                    if hit:
+                        size = self.cache.size_of(key)
+                    else:
+                        value = build(self)
+                        size = self.cache.store(key, value)
             memo[name] = value
             span.set(cache_hit=hit, size_bytes=size)
             metrics.counter("engine.stages.built.total").inc()

@@ -37,6 +37,10 @@ Fault kinds:
 ``cache_corrupt``      treat a cache artifact read as corrupted
 ``cache_partial_write``truncate a just-written artifact (torn write)
 ``slow_stage``         sleep ``s`` seconds inside a stage build
+``preempt``            drain the run (graceful preemption) before the
+                       matched experiment is dispatched — evaluated in
+                       the *parent* at the dispatch chokepoint, so the
+                       drain point is the same for any worker count
 =====================  =======================================================
 
 This module is nearly a leaf: it imports only :mod:`repro.obs` (fault
@@ -87,6 +91,7 @@ FAULT_KINDS = frozenset(
         "cache_corrupt",
         "cache_partial_write",
         "slow_stage",
+        "preempt",
     }
 )
 

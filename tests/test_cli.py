@@ -233,3 +233,92 @@ class TestObservabilityFlags:
                      "--cache-dir", cache_dir, "--report"]) == 0
         assert len(calls) == 2
         assert "RunReport" in capsys.readouterr().out
+
+
+class TestDurabilityFlags:
+    def _preempt(self, cache_dir, capsys):
+        """Drain a run before any work and return its run id."""
+        import re
+
+        code = main([
+            "run", "table1", "--scale", "small",
+            "--cache-dir", cache_dir, "--deadline", "0",
+        ])
+        err = capsys.readouterr().err
+        assert code == 4
+        assert "run preempted" in err and "deadline" in err
+        match = re.search(r"--resume (\S+)", err)
+        assert match, f"no resume hint in: {err!r}"
+        return match.group(1)
+
+    def test_deadline_preempts_then_resume_completes(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        run_id = self._preempt(cache_dir, capsys)
+        assert main([
+            "run", "table1", "--scale", "small",
+            "--cache-dir", cache_dir, "--resume", run_id,
+        ]) == 0
+        assert "table1" in capsys.readouterr().out
+
+    def test_resume_unknown_run_exits_two(self, capsys, tmp_path):
+        code = main([
+            "run", "table1", "--scale", "small",
+            "--cache-dir", str(tmp_path / "cache"), "--resume", "nope",
+        ])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "nope" in err and "Traceback" not in err
+
+    def test_resume_mismatched_seed_exits_two(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        run_id = self._preempt(cache_dir, capsys)
+        code = main([
+            "run", "table1", "--scale", "small", "--seed", "7",
+            "--cache-dir", cache_dir, "--resume", run_id,
+        ])
+        assert code == 2
+        assert "seed" in capsys.readouterr().err
+
+    def test_resume_conflicts_with_no_journal(self, capsys, tmp_path):
+        code = main([
+            "run", "table1", "--scale", "small",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--resume", "whatever", "--no-journal",
+        ])
+        assert code == 2
+        assert "--no-journal" in capsys.readouterr().err
+
+    def test_no_journal_leaves_no_run_dir(self, capsys, tmp_path):
+        cache_dir = tmp_path / "cache"
+        assert main([
+            "run", "table1", "--scale", "small",
+            "--cache-dir", str(cache_dir), "--no-journal",
+        ]) == 0
+        assert not (cache_dir / "runs").exists()
+
+
+class TestRunsCommand:
+    def test_list_and_gc(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        main([
+            "run", "table1", "--scale", "small",
+            "--cache-dir", cache_dir, "--deadline", "0",
+        ])
+        main(["run", "table1", "--scale", "small", "--cache-dir", cache_dir])
+        capsys.readouterr()
+
+        assert main(["runs", "--cache-dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert "resumable" in out and "complete" in out
+
+        assert main(["runs", "gc", "--cache-dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert "1 completed run(s) pruned" in out
+
+        assert main(["runs", "--cache-dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert "resumable" in out and "complete" not in out
+
+    def test_empty_root_lists_nothing(self, capsys, tmp_path):
+        assert main(["runs", "--cache-dir", str(tmp_path / "cache")]) == 0
+        assert "no runs under" in capsys.readouterr().out

@@ -144,7 +144,7 @@ class TestCorruption:
     ):
         scenario = make_scenario(cache)
         scenario.zone
-        monkeypatch.setattr(pickle, "load", lambda handle: (_ for _ in ()).throw(error()))
+        monkeypatch.setattr(pickle, "loads", lambda data: (_ for _ in ()).throw(error()))
         with pytest.raises(error):
             cache.load(scenario.stage_key("zone"))
         # and the artifact survived: a narrow handler must not unlink it
@@ -321,3 +321,186 @@ class TestRunReport:
         key = StageKey("result__fig02a", "small", 0, "a" * 64, "b" * 64)
         name = key.filename()
         assert "/" not in name and name.endswith(".pkl")
+
+
+# -- concurrency-safe cache (PR 5) ------------------------------------------
+
+def _conc_key(stage="concurrency"):
+    return StageKey(stage, "small", 0, "p" * 64, "c" * 64)
+
+
+def _hammer_store(root, tag, iterations):
+    """Child process body: repeatedly store the same key (fork-safe)."""
+    cache = ArtifactCache(root=root)
+    value = [tag] * 2000
+    for _ in range(iterations):
+        cache.store(_conc_key(), value)
+
+
+def _locked_build(root, marker_dir):
+    """Child process body: double-checked locked build of one artifact."""
+    import os as _os
+    import pathlib
+    import time as _time
+
+    cache = ArtifactCache(root=root)
+    key = _conc_key("built-once")
+    hit, value = cache.load(key)
+    if not hit:
+        with cache.lock(key):
+            hit, value = cache.load(key)
+            if not hit:
+                # Mark that *this* process paid for the build, then dawdle
+                # inside the critical section so the race window is real.
+                pathlib.Path(marker_dir, f"built-{_os.getpid()}").touch()
+                _time.sleep(0.3)
+                value = "the artifact"
+                cache.store(key, value)
+    assert value == "the artifact"
+
+
+class TestCacheConcurrency:
+    def _fork(self):
+        import multiprocessing
+
+        return multiprocessing.get_context("fork")
+
+    def test_concurrent_stores_last_write_wins_no_torn_read(self, tmp_path):
+        from repro.obs import metrics
+
+        root = tmp_path / "artifacts"
+        cache = ArtifactCache(root=root)
+        corrupt_before = metrics.counter("cache.corrupt.total").value
+        ctx = self._fork()
+        writers = [
+            ctx.Process(target=_hammer_store, args=(str(root), tag, 150))
+            for tag in ("a", "b")
+        ]
+        for writer in writers:
+            writer.start()
+        try:
+            time.sleep(0.05)  # let the first store land
+            for _ in range(200):
+                hit, value = cache.load(_conc_key())
+                assert hit, "a stored artifact vanished mid-race"
+                # no torn read: the value is one writer's, never a mix
+                assert value in ([("a")] * 0 + ["a"] * 2000, ["b"] * 2000)
+        finally:
+            for writer in writers:
+                writer.join(timeout=30)
+        assert all(writer.exitcode == 0 for writer in writers)
+        assert metrics.counter("cache.corrupt.total").value == corrupt_before
+        hit, value = cache.load(_conc_key())  # last write won, intact
+        assert hit and value in (["a"] * 2000, ["b"] * 2000)
+
+    def test_lock_gives_single_flight_builds(self, tmp_path):
+        root = tmp_path / "artifacts"
+        markers = tmp_path / "markers"
+        markers.mkdir()
+        ctx = self._fork()
+        builders = [
+            ctx.Process(target=_locked_build, args=(str(root), str(markers)))
+            for _ in range(2)
+        ]
+        for builder in builders:
+            builder.start()
+        for builder in builders:
+            builder.join(timeout=30)
+        assert all(builder.exitcode == 0 for builder in builders)
+        # exactly one process built; the loser waited, re-checked, and hit
+        assert len(list(markers.iterdir())) == 1
+        hit, value = ArtifactCache(root=root).load(_conc_key("built-once"))
+        assert hit and value == "the artifact"
+
+    def test_lock_wait_is_observed(self, tmp_path):
+        from repro.obs import metrics
+
+        cache = ArtifactCache(root=tmp_path / "artifacts")
+        before = metrics.histogram("cache.lock_wait_seconds").count
+        with cache.lock(_conc_key()):
+            pass
+        assert metrics.histogram("cache.lock_wait_seconds").count == before + 1
+
+    def test_lock_is_noop_when_disabled(self, tmp_path):
+        cache = ArtifactCache(root=tmp_path / "artifacts", enabled=False)
+        with cache.lock(_conc_key()):
+            pass
+        assert not (tmp_path / "artifacts").exists()
+
+
+class TestFooter:
+    def test_silent_corruption_that_still_unpickles_is_caught(self, tmp_path):
+        from repro.engine.cache import _FOOTER_MAGIC
+        from repro.obs import metrics
+        import hashlib
+
+        cache = ArtifactCache(root=tmp_path / "artifacts")
+        key = _conc_key("footer")
+        cache.store(key, "good")
+        # Swap the payload for different bytes that unpickle cleanly but
+        # keep the original footer: only the digest check can catch this.
+        evil = pickle.dumps("evil", protocol=pickle.HIGHEST_PROTOCOL)
+        footer = _FOOTER_MAGIC + hashlib.sha256(
+            pickle.dumps("good", protocol=pickle.HIGHEST_PROTOCOL)
+        ).digest()
+        cache.path_for(key).write_bytes(evil + footer)
+
+        before = metrics.counter("cache.corrupt.total").value
+        hit, value = cache.load(key)
+        assert not hit and value is None
+        assert metrics.counter("cache.corrupt.total").value == before + 1
+        assert not cache.path_for(key).exists()  # dropped for rebuild
+
+    def test_artifact_without_footer_is_corrupt(self, tmp_path):
+        cache = ArtifactCache(root=tmp_path / "artifacts")
+        key = _conc_key("bare")
+        cache.store(key, {"x": 1})
+        cache.path_for(key).write_bytes(pickle.dumps({"x": 1}))
+        hit, _ = cache.load(key)
+        assert not hit
+
+    def test_round_trip_with_footer(self, tmp_path):
+        cache = ArtifactCache(root=tmp_path / "artifacts")
+        key = _conc_key("roundtrip")
+        cache.store(key, {"rows": list(range(100))})
+        hit, value = cache.load(key)
+        assert hit and value == {"rows": list(range(100))}
+
+
+class TestTmpSweep:
+    def _age(self, path, seconds):
+        import os
+
+        stamp = time.time() - seconds
+        os.utime(path, (stamp, stamp))
+
+    def test_init_sweeps_stale_tmp_only(self, tmp_path):
+        root = tmp_path / "artifacts"
+        root.mkdir()
+        stale = root / "orphan123.tmp"
+        fresh = root / "live456.tmp"
+        stale.write_bytes(b"x")
+        fresh.write_bytes(b"y")
+        self._age(stale, 2 * 3600)
+
+        ArtifactCache(root=root)  # init runs the opportunistic sweep
+        assert not stale.exists()
+        assert fresh.exists()  # might belong to a live writer
+
+    def test_clear_sweeps_stale_tmp_and_locks(self, tmp_path):
+        root = tmp_path / "artifacts"
+        cache = ArtifactCache(root=root)
+        key = _conc_key("sweep")
+        cache.store(key, "value")
+        with cache.lock(key):
+            pass
+        stale = root / "orphan.tmp"
+        stale.write_bytes(b"x")
+        self._age(stale, 2 * 3600)
+        assert list(root.glob("*.lock"))
+
+        removed = cache.clear()
+        assert removed == 1  # the artifact
+        assert not list(root.glob("*.pkl"))
+        assert not list(root.glob("*.lock"))
+        assert not stale.exists()

@@ -1,0 +1,368 @@
+"""Durable runs: write-ahead journal, resume-after-preemption, drains.
+
+The invariants under test, per ISSUE 5:
+
+* the journal is append-only JSONL, fsync'd per record, and survives a
+  torn trailing line;
+* ``RunJournal.resume`` refuses any header mismatch (scale, seed,
+  params digest, code version, experiment ids) with a clear error;
+* a resumed run hydrates journaled-ok experiments from the artifact
+  cache — verifying the journaled result digest — and re-executes only
+  the remainder, converging to digests bitwise-identical to an
+  uninterrupted run under both ``workers=1`` and ``workers=4``;
+* SIGTERM mid-run drains gracefully (exit 4 semantics at the engine
+  level: ``results.preempted`` true, journal flushed) and a second run
+  with ``--resume`` completes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro import faults
+from repro.engine import (
+    ArtifactCache,
+    JournalError,
+    JournalMismatch,
+    RunJournal,
+    gc_runs,
+    run_experiments,
+    runs_root,
+    scan_runs,
+)
+from repro.experiments import Scenario, result_digest
+
+IDS = ["table1", "table2", "fig02a", "fig02b"]
+WORKER_COUNTS = (1, 4)
+
+
+@pytest.fixture(autouse=True)
+def _shielded_plan():
+    """Each test starts with explicitly no plan (REPRO_FAULTS ignored)."""
+    faults.install(None)
+    yield
+    faults.install(None)
+
+
+def _scenario(root) -> Scenario:
+    return Scenario(scale="small", seed=0, cache=ArtifactCache(root=root))
+
+
+@pytest.fixture(scope="module")
+def cache_root(tmp_path_factory):
+    """A warm artifact cache: stages + results for IDS, built cleanly once."""
+    root = tmp_path_factory.mktemp("journal-cache")
+    faults.install(None)
+    run_experiments(IDS, _scenario(root))
+    return root
+
+
+@pytest.fixture(scope="module")
+def clean_digests(cache_root):
+    faults.install(None)
+    results = run_experiments(IDS, _scenario(cache_root))
+    return {result.id: result_digest(result) for result in results}
+
+
+class TestJournalFormat:
+    def test_create_writes_header_and_records(self, cache_root, tmp_path):
+        scenario = _scenario(cache_root)
+        journal = RunJournal.create(tmp_path / "r", scenario, IDS, run_id="r")
+        journal.record_experiment("table1", status="ok", attempts=1, digest="d1")
+        journal.complete()
+        journal.close()
+
+        lines = [json.loads(line) for line in
+                 (tmp_path / "r" / "journal.jsonl").read_text().splitlines()]
+        assert [record["type"] for record in lines] == ["header", "experiment", "complete"]
+        header = lines[0]
+        assert header["run_id"] == "r"
+        assert header["scale"] == "small"
+        assert header["seed"] == 0
+        assert header["experiments"] == IDS
+        assert header["params"] == scenario.stage_key("x").params
+        assert header["code"] == scenario.stage_key("x").code
+
+    def test_create_refuses_existing_journal(self, cache_root, tmp_path):
+        scenario = _scenario(cache_root)
+        RunJournal.create(tmp_path / "r", scenario, IDS).close()
+        with pytest.raises(JournalError, match="already holds a journal"):
+            RunJournal.create(tmp_path / "r", scenario, IDS)
+
+    def test_load_tolerates_torn_trailing_record(self, cache_root, tmp_path):
+        scenario = _scenario(cache_root)
+        journal = RunJournal.create(tmp_path / "r", scenario, IDS, run_id="r")
+        journal.record_experiment("table1", status="ok", attempts=1, digest="d1")
+        journal.close()
+        path = tmp_path / "r" / "journal.jsonl"
+        with open(path, "a") as handle:
+            handle.write('{"type": "experiment", "id": "tab')  # crash mid-append
+
+        loaded = RunJournal.load(tmp_path / "r")
+        assert loaded.run_id == "r"
+        assert set(loaded.records) == {"table1"}
+        assert not loaded.completed
+
+    def test_load_requires_header(self, tmp_path):
+        (tmp_path / "r").mkdir()
+        (tmp_path / "r" / "journal.jsonl").write_text('{"type": "complete"}\n')
+        with pytest.raises(JournalError, match="no header"):
+            RunJournal.load(tmp_path / "r")
+
+    def test_completed_ok_excludes_failures(self, cache_root, tmp_path):
+        journal = RunJournal.create(tmp_path / "r", _scenario(cache_root), IDS)
+        journal.record_experiment("table1", status="ok", attempts=1)
+        journal.record_experiment("table2", status="retried", attempts=2)
+        journal.record_experiment("fig02a", status="failed", attempts=3, error="boom")
+        journal.close()
+        assert set(journal.completed_ok()) == {"table1", "table2"}
+
+
+class TestResumeValidation:
+    def test_resume_accepts_matching_scenario(self, cache_root, tmp_path):
+        RunJournal.create(tmp_path / "r", _scenario(cache_root), IDS).close()
+        journal = RunJournal.resume(tmp_path / "r", _scenario(cache_root), IDS)
+        assert journal.header["experiments"] == IDS
+
+    @pytest.mark.parametrize(
+        "mutate, field",
+        [
+            (lambda root: Scenario(scale="small", seed=7, cache=ArtifactCache(root=root)),
+             "seed"),
+            (lambda root: Scenario(scale="medium", seed=0, cache=ArtifactCache(root=root)),
+             "scale"),
+        ],
+    )
+    def test_resume_refuses_scenario_mismatch(self, cache_root, tmp_path, mutate, field):
+        RunJournal.create(tmp_path / "r", _scenario(cache_root), IDS).close()
+        with pytest.raises(JournalMismatch, match=field):
+            RunJournal.resume(tmp_path / "r", mutate(cache_root), IDS)
+
+    def test_resume_refuses_different_experiment_list(self, cache_root, tmp_path):
+        RunJournal.create(tmp_path / "r", _scenario(cache_root), IDS).close()
+        with pytest.raises(JournalMismatch, match="experiments"):
+            RunJournal.resume(tmp_path / "r", _scenario(cache_root), IDS[:2])
+
+    def test_resume_refuses_different_code_version(
+        self, cache_root, tmp_path, monkeypatch
+    ):
+        RunJournal.create(tmp_path / "r", _scenario(cache_root), IDS).close()
+        monkeypatch.setenv("ANYCAST_REPRO_CODE_VERSION", "something-else")
+        with pytest.raises(JournalMismatch, match="code"):
+            RunJournal.resume(tmp_path / "r", _scenario(cache_root), IDS)
+
+
+class TestResumeExecution:
+    def _preempted_run(self, cache_root, run_dir, *, workers: int):
+        """A run drained by an injected preempt before fig02a."""
+        faults.install(faults.FaultPlan.from_string("preempt:match=fig02a"))
+        scenario = _scenario(cache_root)
+        journal = RunJournal.create(run_dir, scenario, IDS)
+        results = run_experiments(
+            IDS, scenario, workers=workers, journal=journal, prewarm=False,
+            grace=10.0, backoff=0.01,
+        )
+        journal.close()
+        faults.install(None)
+        return results
+
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_preempt_then_resume_converges(
+        self, cache_root, tmp_path, clean_digests, workers
+    ):
+        results = self._preempted_run(cache_root, tmp_path / "r", workers=workers)
+        assert results.preempted
+        assert not results.ok
+        assert results.preempted_ids == ["fig02a", "fig02b"]
+        assert "preempt" in results.preempt_reason
+        # the drained slots are None, the finished ones are real results
+        assert results[IDS.index("fig02a")] is None
+        assert results[IDS.index("table1")] is not None
+
+        journal = RunJournal.resume(tmp_path / "r", _scenario(cache_root), IDS)
+        resumed = run_experiments(
+            IDS, _scenario(cache_root), workers=workers, journal=journal,
+            prewarm=False,
+        )
+        journal.close()
+        assert resumed.ok
+        # only the unjournaled remainder executed; the rest hydrated
+        assert resumed.report.resumed == 2
+        assert resumed.report.summary()["resumed"] == 2
+        assert {result.id: result_digest(result) for result in resumed} == clean_digests
+        assert journal.completed
+
+    def test_resume_reruns_on_missing_artifact(self, cache_root, tmp_path):
+        scenario = _scenario(cache_root)
+        journal = RunJournal.create(tmp_path / "r", scenario, IDS)
+        run_experiments(IDS, scenario, journal=journal)
+        journal.close()
+
+        # delete one journaled artifact: hydration must fall back to re-run
+        victim = scenario.cache.path_for(scenario.stage_key("result__table1"))
+        victim.unlink()
+        journal = RunJournal.resume(tmp_path / "r", _scenario(cache_root), IDS)
+        resumed = run_experiments(IDS, _scenario(cache_root), journal=journal)
+        journal.close()
+        assert resumed.ok
+        assert resumed.report.resumed == 3  # the other three hydrated
+        assert resumed[0] is not None
+
+    def test_resume_reruns_on_digest_mismatch(self, cache_root, tmp_path, clean_digests):
+        scenario = _scenario(cache_root)
+        journal = RunJournal.create(tmp_path / "r", scenario, IDS)
+        run_experiments(IDS, scenario, journal=journal)
+        journal.close()
+
+        # tamper the journaled digest: the cached artifact no longer matches
+        path = tmp_path / "r" / "journal.jsonl"
+        lines = path.read_text().splitlines()
+        for index, line in enumerate(lines):
+            record = json.loads(line)
+            if record.get("type") == "experiment" and record["id"] == "table1":
+                record["digest"] = "0" * 64
+                lines[index] = json.dumps(record, sort_keys=True)
+        path.write_text("\n".join(lines) + "\n")
+
+        journal = RunJournal.resume(tmp_path / "r", _scenario(cache_root), IDS)
+        resumed = run_experiments(IDS, _scenario(cache_root), journal=journal)
+        journal.close()
+        assert resumed.ok
+        assert resumed.report.resumed == 3
+        assert result_digest(resumed[0]) == clean_digests["table1"]
+
+    def test_deadline_zero_preempts_everything(self, cache_root, tmp_path):
+        scenario = _scenario(cache_root)
+        journal = RunJournal.create(tmp_path / "r", scenario, IDS)
+        results = run_experiments(IDS, scenario, journal=journal, deadline=0.0)
+        journal.close()
+        assert results.preempted_ids == IDS
+        assert "deadline" in results.preempt_reason
+        assert all(result is None for result in results)
+        # the drain landed in the journal; nothing was journaled as done
+        loaded = RunJournal.load(tmp_path / "r")
+        assert loaded.preempted is not None
+        assert loaded.records == {}
+
+
+class TestSigtermDrain:
+    def test_sigterm_drains_and_resume_converges(
+        self, cache_root, tmp_path, clean_digests
+    ):
+        """kill -TERM mid-run → resumable journal; --resume converges.
+
+        The child pins fig02a in-flight with an injected 300 s hang, so
+        SIGTERM always lands mid-run; a short grace abandons the hung
+        attempt and the child exits 4-style (preempted).
+        """
+        src_dir = Path(repro.__file__).resolve().parents[1]
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [str(src_dir), env.get("PYTHONPATH", "")]
+        ).rstrip(os.pathsep)
+        env.pop("REPRO_FAULTS", None)
+        child = subprocess.Popen(
+            [sys.executable, "-u", "-c", _SIGTERM_CHILD,
+             str(cache_root), str(tmp_path / "r")],
+            env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+        )
+        try:
+            assert child.stdout.readline().strip() == "started"
+            time.sleep(3.0)  # let the pool dispatch; fig02a then hangs 300 s
+            child.send_signal(signal.SIGTERM)
+            out, err = child.communicate(timeout=120)
+        except Exception:
+            child.kill()
+            raise
+        assert child.returncode == 4, f"child exited {child.returncode}: {err}"
+
+        journal = RunJournal.load(tmp_path / "r")
+        assert journal.preempted is not None
+        assert not journal.completed
+        assert "fig02a" not in journal.completed_ok()
+
+        journal = RunJournal.resume(tmp_path / "r", _scenario(cache_root), IDS)
+        done_before = len(journal.completed_ok())
+        resumed = run_experiments(IDS, _scenario(cache_root), journal=journal)
+        journal.close()
+        assert resumed.ok
+        assert resumed.report.resumed == done_before
+        assert {result.id: result_digest(result) for result in resumed} == clean_digests
+
+
+_SIGTERM_CHILD = """
+import sys
+from repro import faults
+from repro.engine import ArtifactCache, RunJournal, run_experiments
+from repro.experiments import Scenario
+
+cache_root, run_dir = sys.argv[1], sys.argv[2]
+ids = ["table1", "table2", "fig02a", "fig02b"]
+faults.install(faults.FaultPlan.from_string("worker_hang:s=300:match=fig02a"))
+scenario = Scenario(scale="small", seed=0, cache=ArtifactCache(root=cache_root))
+journal = RunJournal.create(run_dir, scenario, ids)
+print("started", flush=True)
+results = run_experiments(
+    ids, scenario, workers=2, journal=journal, grace=0.5,
+    signals=True, prewarm=False,
+)
+journal.close()
+sys.exit(4 if results.preempted else 0)
+"""
+
+
+class TestScanAndGc:
+    def _cache(self, tmp_path):
+        return ArtifactCache(root=tmp_path)
+
+    def _make_run(self, tmp_path, run_id, *, complete: bool):
+        scenario = Scenario(scale="small", seed=0, cache=self._cache(tmp_path))
+        journal = RunJournal.create(
+            runs_root(tmp_path) / run_id, scenario, IDS, run_id=run_id
+        )
+        journal.record_experiment("table1", status="ok", attempts=1)
+        if complete:
+            journal.record_experiment("table2", status="ok", attempts=1)
+            journal.complete()
+        journal.close()
+
+    def test_scan_classifies_runs(self, tmp_path):
+        self._make_run(tmp_path, "done", complete=True)
+        self._make_run(tmp_path, "half", complete=False)
+        corrupt = runs_root(tmp_path) / "bad"
+        corrupt.mkdir(parents=True)
+        (corrupt / "journal.jsonl").write_text("not json at all\n")
+
+        infos = {info.run_id: info for info in scan_runs(tmp_path)}
+        assert infos["done"].status == "complete"
+        assert infos["done"].done == 2
+        assert infos["done"].total == len(IDS)
+        assert infos["half"].status == "resumable"
+        assert infos["half"].done == 1
+        assert infos["bad"].status == "corrupt"
+
+    def test_scan_marks_other_code_versions_stale(self, tmp_path):
+        self._make_run(tmp_path, "half", complete=False)
+        infos = scan_runs(tmp_path, code="a-different-code-version")
+        assert [info.status for info in infos] == ["stale"]
+
+    def test_gc_prunes_only_completed(self, tmp_path):
+        self._make_run(tmp_path, "done", complete=True)
+        self._make_run(tmp_path, "half", complete=False)
+        pruned = gc_runs(tmp_path)
+        assert [info.run_id for info in pruned] == ["done"]
+        assert not (runs_root(tmp_path) / "done").exists()
+        assert (runs_root(tmp_path) / "half" / "journal.jsonl").is_file()
+
+    def test_scan_empty_root(self, tmp_path):
+        assert scan_runs(tmp_path) == []
+        assert gc_runs(tmp_path) == []

@@ -162,7 +162,7 @@ class TestForkWorkerMerge:
         summary = report.summary()
         assert set(summary) == {
             "stages", "experiments", "cache_hits", "cache_misses", "wall_s",
-            "artifact_bytes",
+            "artifact_bytes", "resumed", "preempted",
         }
         assert {e.worker for e in report.experiments} == {
             r["pid"] for r in experiment_spans
