@@ -1,0 +1,162 @@
+"""Benchmark: the ``repro serve`` daemon under concurrent loopback load.
+
+The acceptance bar for ``repro.serve``: 32 concurrent keep-alive
+clients hammering ``POST /v1/resolve`` over loopback must sustain an
+asserted request-rate floor at the paper-scale (``medium``) world, and
+the answers must be byte-identical to the in-process
+``resolve_many`` path (same warm kernels + exact JSON float
+round-trip).
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+import repro
+
+from .conftest import bench_scale, run_once
+
+#: Concurrent keep-alive clients in the load phase.
+CLIENTS = 32
+
+#: Requests each client issues (per benchmark round).
+REQUESTS_PER_CLIENT = 8
+
+#: Pairs per resolve request — a realistic planning-query batch.
+PAIRS_PER_REQUEST = 256
+
+#: Sustained floor, asserted at medium scale only.  Loopback resolve of
+#: a 256-pair batch is dominated by the kernel gather (~ms), so even a
+#: shared CI box clears this with a wide margin.
+MIN_REQUESTS_PER_S = 25.0
+
+#: Per-request p99 ceiling under full concurrency, medium scale only.
+#: Generous: 32 clients share the offload pool, so queueing dominates.
+MAX_P99_LATENCY_S = 10.0
+
+
+def _pairs(scenario, count):
+    locations = list(scenario.user_base)
+    return [
+        [locations[i % len(locations)].asn, locations[i % len(locations)].region_id]
+        for i in range(count)
+    ]
+
+
+@pytest.fixture(scope="module")
+def daemon(scenario):
+    src_dir = Path(repro.__file__).resolve().parents[1]
+    env = os.environ.copy()
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (str(src_dir), env.get("PYTHONPATH", "")) if p
+    )
+    env.pop("REPRO_FAULTS", None)
+    child = subprocess.Popen(
+        [sys.executable, "-u", "-m", "repro.cli", "serve",
+         "--scale", bench_scale(), "--seed", "0", "--port", "0",
+         "--workers", "2", "--grace", "30"],
+        env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+    )
+    port = None
+    deadline = time.monotonic() + 600
+    while time.monotonic() < deadline:
+        line = child.stdout.readline()
+        if not line:
+            break
+        if line.startswith("serving on http://"):
+            port = int(line.rsplit(":", 1)[1])
+            break
+    assert port, "daemon never became ready"
+    try:
+        yield port
+    finally:
+        if child.poll() is None:
+            child.send_signal(signal.SIGTERM)
+        child.communicate(timeout=120)
+    assert child.returncode == 0
+
+
+def _post_resolve(connection, body):
+    connection.request("POST", "/v1/resolve", body=body,
+                       headers={"Content-Type": "application/json"})
+    response = connection.getresponse()
+    payload = response.read()
+    assert response.status == 200, payload
+    return payload
+
+
+def _load_phase(port, body):
+    """CLIENTS threads × REQUESTS_PER_CLIENT keep-alive requests each.
+
+    Returns ``(elapsed_s, latencies_s)`` — wall time of the whole phase
+    plus every individual request's latency.
+    """
+    errors = []
+    latencies = []
+    record = latencies.append  # list.append is atomic under the GIL
+
+    def client():
+        try:
+            connection = http.client.HTTPConnection("127.0.0.1", port, timeout=120)
+            for _ in range(REQUESTS_PER_CLIENT):
+                begin = time.perf_counter()
+                _post_resolve(connection, body)
+                record(time.perf_counter() - begin)
+            connection.close()
+        except Exception as error:  # noqa: BLE001 - surfaced below
+            errors.append(error)
+
+    threads = [threading.Thread(target=client) for _ in range(CLIENTS)]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - start
+    assert not errors, errors[:3]
+    return elapsed, latencies
+
+
+def test_bench_resolve_under_concurrency(benchmark, daemon, scenario):
+    pairs = _pairs(scenario, PAIRS_PER_REQUEST)
+    body = json.dumps({"deployment": "R110", "pairs": pairs}).encode()
+    _load_phase(daemon, body)  # warm: kernels resident, pool workers hot
+    elapsed, latencies = run_once(benchmark, _load_phase, daemon, body)
+    total = CLIENTS * REQUESTS_PER_CLIENT
+    rate = total / elapsed
+    p99 = sorted(latencies)[max(0, int(len(latencies) * 0.99) - 1)]
+    if bench_scale() == "medium":
+        assert rate >= MIN_REQUESTS_PER_S, (
+            f"served {total} resolves in {elapsed:.2f}s = {rate:.1f} req/s, "
+            f"below the {MIN_REQUESTS_PER_S} req/s floor"
+        )
+        assert p99 <= MAX_P99_LATENCY_S, (
+            f"p99 request latency {p99:.2f}s exceeds the "
+            f"{MAX_P99_LATENCY_S:.1f}s ceiling under {CLIENTS} clients"
+        )
+
+
+def test_served_resolve_is_byte_identical(daemon, scenario):
+    pairs = _pairs(scenario, PAIRS_PER_REQUEST)
+    body = json.dumps({"deployment": "R110", "pairs": pairs}).encode()
+    connection = http.client.HTTPConnection("127.0.0.1", daemon, timeout=120)
+    served = json.loads(_post_resolve(connection, body))["payload"]
+    connection.close()
+    batch = scenario.cdn.rings["R110"].resolve_many(
+        [p[0] for p in pairs], [p[1] for p in pairs]
+    )
+    assert served["site_ids"] == [int(v) for v in batch.site_ids]
+    assert served["as_hops"] == [int(v) for v in batch.as_hops]
+    expected_rtt = [None if v != v else float(v) for v in batch.base_rtt_ms]
+    assert served["base_rtt_ms"] == expected_rtt
+    assert served["min_km"] == [float(v) for v in batch.min_km]

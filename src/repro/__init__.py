@@ -10,12 +10,48 @@ appendix studies.
 
 Quickstart::
 
-    from repro.experiments import default_scenario, run_experiment
-    scenario = default_scenario(scale="small")
-    result = run_experiment("fig02a", scenario)
+    import repro
+
+    scenario = repro.default_scenario(scale="small")
+    result = repro.run_experiment("fig02a", scenario)
     print(result.to_text())
+
+The supported public surface is :mod:`repro.api`; its names are
+re-exported here lazily (so ``import repro`` stays cheap until a
+symbol is actually touched).
 """
 
 __version__ = "1.0.0"
 
-__all__ = ["__version__"]
+#: Names forwarded to :mod:`repro.api` on first attribute access.
+#: ``serve`` is deliberately absent: ``repro.serve`` is the service
+#: *package* (the submodule always wins that attribute), so the boot
+#: function is reached as ``repro.api.serve`` / ``repro.serve.serve``.
+_API_NAMES = frozenset({
+    "Scenario", "ScenarioParams", "default_scenario",
+    "ExperimentResult", "run_experiment", "run_experiments",
+    "list_experiments",
+    "FlowKernel", "ResolvedBatch", "resolve_many",
+    "ServeConfig", "SERVE_SCHEMA_VERSION", "envelope",
+})
+
+__all__ = ["__version__", "serve", *sorted(_API_NAMES)]
+
+
+def __getattr__(name: str):
+    if name in _API_NAMES:
+        from . import api
+
+        return getattr(api, name)
+    if name in ("api", "serve"):
+        # Lazy submodule access: ``import repro; repro.api.serve(...)``
+        # and ``repro.serve`` must work without an explicit submodule
+        # import (the docs quickstart relies on it).
+        import importlib
+
+        return importlib.import_module(f".{name}", __name__)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(set(globals()) | _API_NAMES | {"api", "serve"})

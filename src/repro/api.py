@@ -1,0 +1,62 @@
+"""``repro.api`` — the supported public surface of the package.
+
+Everything a downstream consumer needs lives behind this one module:
+scenario construction, the experiment registry, the batch resolution
+kernel, and the HTTP service.  Names listed in ``__all__`` here (and
+re-exported lazily from the ``repro`` top level) are covered by the
+compatibility promise in docs/API.md; anything imported from deeper
+modules is internal and may move without notice.
+
+Quickstart::
+
+    import repro
+
+    scenario = repro.default_scenario(scale="small")
+    result = repro.run_experiment("fig02a", scenario)
+    batch = repro.resolve_many(scenario.letters_2018["K"], [3], [0])
+"""
+
+from __future__ import annotations
+
+from .anycast import FlowKernel, ResolvedBatch
+from .experiments import (
+    ExperimentResult,
+    Scenario,
+    ScenarioParams,
+    default_scenario,
+    list_experiments,
+    run_experiment,
+    run_experiments,
+)
+from .serve import SERVE_SCHEMA_VERSION, ServeConfig, envelope, serve
+
+__all__ = [
+    # scenario construction
+    "Scenario",
+    "ScenarioParams",
+    "default_scenario",
+    # experiment registry
+    "ExperimentResult",
+    "run_experiment",
+    "run_experiments",
+    "list_experiments",
+    # batch resolution
+    "FlowKernel",
+    "ResolvedBatch",
+    "resolve_many",
+    # service
+    "serve",
+    "ServeConfig",
+    "SERVE_SCHEMA_VERSION",
+    "envelope",
+]
+
+
+def resolve_many(deployment, asns, regions) -> ResolvedBatch:
+    """Resolve ``(asn, region)`` pairs against ``deployment``, vectorised.
+
+    A thin facade over :meth:`Deployment.resolve_many` so callers can
+    stay on the stable surface; accepts any deployment (a root letter,
+    a CDN ring) from a :class:`Scenario`.
+    """
+    return deployment.resolve_many(asns, regions)

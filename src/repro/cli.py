@@ -9,6 +9,7 @@ Examples::
     anycast-repro run fig02a --trace trace.jsonl --metrics metrics.json
     anycast-repro inspect trace.jsonl
     anycast-repro summary
+    anycast-repro serve --scale small --port 8459 --workers 2
 
 Heavy substrates and experiment results are cached on disk (default
 ``~/.cache/anycast-repro``); rerunning any experiment is near-instant.
@@ -36,10 +37,18 @@ exits 4 with a printed ``--resume RUN_ID`` hint; a second signal
 hard-kills.  ``repro runs`` lists run directories, ``repro runs gc``
 prunes completed ones.
 
+Service mode: ``repro serve`` turns the library into a long-running
+HTTP daemon answering resolve/catchment/inflation/what-if queries under
+``/v1/`` (see docs/API.md, *Service API*).  Machine-readable outputs —
+``run --json`` and every ``/v1`` JSON response — share one versioned
+envelope (``repro.serve.schema``, checked against
+``docs/serve.schema.json``).
+
 Exit codes: 0 success · 1 I/O error (unwritable ``--out``/``--csv``/
-``--trace``/``--metrics``) · 2 usage (unknown command/experiment,
-``--resume`` mismatch) · 3 one or more experiments quarantined (partial
-results were produced) · 4 run preempted (journal written; resumable).
+``--trace``/``--metrics``, unbindable ``serve`` port) · 2 usage
+(unknown command/experiment, ``--resume`` mismatch) · 3 one or more
+experiments quarantined (partial results were produced) · 4 run
+preempted / serve grace expired (journal written; resumable).
 """
 
 from __future__ import annotations
@@ -131,6 +140,31 @@ def build_parser() -> argparse.ArgumentParser:
         help="check every qualitative claim of the paper against this world",
     )
     _add_scenario_args(validate)
+
+    daemon = sub.add_parser(
+        "serve", help="long-running HTTP service answering /v1 queries"
+    )
+    _add_scenario_args(daemon)
+    daemon.add_argument("--host", default="127.0.0.1",
+                        help="address to bind (default 127.0.0.1)")
+    daemon.add_argument("--port", type=int, default=8459, metavar="P",
+                        help="TCP port to listen on (default 8459; 0 = ephemeral)")
+    daemon.add_argument("--workers", type=int, default=2, metavar="N",
+                        help="query worker processes forked after warm-up "
+                             "(default 2; 0 = in-process thread offload)")
+    daemon.add_argument("--grace", type=float, default=30.0, metavar="SECONDS",
+                        help="drain window for in-flight requests on "
+                             "SIGTERM/SIGINT (default 30)")
+    daemon.add_argument("--max-inflight", type=int, default=32, metavar="N",
+                        help="concurrent offloaded queries before "
+                             "backpressure (default 32)")
+    daemon.add_argument("--whatif-concurrency", type=int, default=2, metavar="N",
+                        help="concurrent what-if re-propagations (default 2)")
+    daemon.add_argument(
+        "--inject", metavar="SPEC", action="append", default=None,
+        help="inject a deterministic fault, e.g. slow_request:s=2 "
+             "(repeatable; also honours the REPRO_FAULTS env var)",
+    )
 
     runs = sub.add_parser(
         "runs", help="list run directories (journals), or prune completed ones"
@@ -401,12 +435,14 @@ def _cmd_run(args: argparse.Namespace, scenario: Scenario) -> int:
                             logx=logx))
         print()
     if args.json:
-        payload = {
+        from .serve.schema import envelope
+
+        payload = envelope("cli.run", {
             "experiment": result.id,
             "title": result.title,
             "data": {k: v for k, v in result.data.items()
                      if isinstance(v, (int, float, str, list, tuple))},
-        }
+        })
         print(json.dumps(payload, indent=2, default=list))
     else:
         print(result.to_text())
@@ -506,6 +542,28 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .serve import ServeConfig, serve
+
+    metrics.reset()
+    config = ServeConfig(
+        scale=args.scale,
+        seed=args.seed,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        grace=args.grace,
+        max_inflight=args.max_inflight,
+        whatif_concurrency=args.whatif_concurrency,
+        cache_dir=args.cache_dir,
+        no_cache=args.no_cache,
+    )
+    if config.port < 0 or config.workers < 0 or config.grace < 0:
+        print("serve: --port, --workers and --grace must be >= 0", file=sys.stderr)
+        return 2
+    return serve(config)
+
+
 def main(argv: list[str] | None = None) -> int:
     try:
         return _dispatch(argv)
@@ -538,6 +596,9 @@ def _dispatch(argv: list[str] | None = None) -> int:
         except ValueError as error:
             print(f"bad --inject spec: {error}", file=sys.stderr)
             return 2
+
+    if args.command == "serve":
+        return _cmd_serve(args)
 
     scenario = _build_scenario(args)
 

@@ -30,14 +30,6 @@ from .pool import AttemptFailure, MonitoredPool, TaskOutcome
 from .report import ExperimentRecord, RunReport, StageRecord
 from .runner import ExperimentFailure, ExperimentResults, run_experiments
 
-
-def __getattr__(name):
-    if name == "TimerStack":  # deprecated: emits a DeprecationWarning in report
-        from . import report
-
-        return report.TimerStack
-    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
-
 __all__ = [
     "ArtifactCache",
     "default_cache",
@@ -51,7 +43,6 @@ __all__ = [
     "ExperimentRecord",
     "RunReport",
     "StageRecord",
-    "TimerStack",
     "ExperimentFailure",
     "ExperimentResults",
     "run_experiments",

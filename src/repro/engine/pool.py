@@ -34,8 +34,10 @@ Failure accounting goes through :mod:`repro.obs.metrics`:
 from __future__ import annotations
 
 import heapq
+import threading
 import time
 from collections import deque
+from concurrent.futures import Future
 from dataclasses import dataclass, field
 from multiprocessing.connection import wait as _connection_wait
 
@@ -137,6 +139,13 @@ class MonitoredPool:
         self._initargs = initargs
         self._task_fn = task
         self._workers = [self._spawn() for _ in range(max_workers)]
+        # Serving mode (submit/start_serving) — None until first used.
+        self._serving = False
+        self._serve_thread: threading.Thread | None = None
+        self._serve_lock = threading.Lock()
+        self._serve_queue: deque[tuple[tuple, Future]] = deque()
+        self._wake_recv = None
+        self._wake_send = None
 
     # -- lifecycle ---------------------------------------------------------
     def _spawn(self) -> _Worker:
@@ -167,6 +176,8 @@ class MonitoredPool:
         worker.task, worker.deadline = None, None
 
     def shutdown(self) -> None:
+        if self._serving or self._serve_thread is not None:
+            self.stop_serving()
         for worker in self._workers:
             try:
                 worker.conn.send(None)
@@ -188,6 +199,136 @@ class MonitoredPool:
 
     def __exit__(self, exc_type, exc, tb) -> None:
         self.shutdown()
+
+    # -- serving mode ------------------------------------------------------
+    #
+    # ``run()`` is a batch API: it owns the scheduler loop for the whole
+    # call.  A long-lived service needs the dual: requests arrive one at
+    # a time from other threads and each wants its own completion.
+    # ``start_serving()`` moves the scheduler into a background thread;
+    # ``submit()`` then hands back a ``concurrent.futures.Future`` per
+    # request.  A pool is in one mode at a time — don't interleave
+    # ``run()`` with serving.
+
+    def start_serving(self) -> None:
+        """Start the background scheduler that drives :meth:`submit`."""
+        if self._serve_thread is not None:
+            return
+        self._wake_recv, self._wake_send = self._ctx.Pipe(duplex=False)
+        self._serving = True
+        self._serve_thread = threading.Thread(
+            target=self._serve_loop, name="repro-pool-serve", daemon=True
+        )
+        self._serve_thread.start()
+
+    def submit(self, args: tuple) -> Future:
+        """Queue one task; the Future resolves to ``(ok, payload, detail)``.
+
+        A worker that dies mid-task is replaced and the Future carries a
+        ``RuntimeError`` — serving mode does not retry (the caller owns
+        request-level retry policy, unlike the batch path).
+        """
+        if not self._serving:
+            raise RuntimeError("pool is not serving; call start_serving() first")
+        future: Future = Future()
+        with self._serve_lock:
+            self._serve_queue.append((args, future))
+        try:
+            self._wake_send.send(None)
+        except OSError:  # pragma: no cover - scheduler tearing down
+            pass
+        return future
+
+    def stop_serving(self) -> None:
+        """Stop accepting work, let in-flight tasks finish, join the loop.
+
+        In-flight tasks keep their workers until they complete (the
+        caller bounds that wait — on expiry, :meth:`shutdown`'s process
+        kill unblocks the loop via pipe EOF).  Queued-but-unstarted
+        tasks are cancelled.
+        """
+        if self._serve_thread is None:
+            return
+        self._serving = False
+        try:
+            self._wake_send.send(None)
+        except OSError:  # pragma: no cover
+            pass
+        self._serve_thread.join(timeout=30.0)
+        self._serve_thread = None
+        with self._serve_lock:
+            pending = list(self._serve_queue)
+            self._serve_queue.clear()
+        for _, future in pending:
+            future.cancel()
+        for conn in (self._wake_recv, self._wake_send):
+            if conn is not None:
+                try:
+                    conn.close()
+                except OSError:  # pragma: no cover
+                    pass
+        self._wake_recv = self._wake_send = None
+
+    def _serve_loop(self) -> None:  # noqa: C901 - one scheduler, kept together
+        pending: deque[tuple[tuple, Future]] = deque()
+        running: dict[int, tuple[_Worker, Future]] = {}
+        while True:
+            with self._serve_lock:
+                while self._serve_queue:
+                    pending.append(self._serve_queue.popleft())
+            if not self._serving and not running:
+                for _, future in pending:
+                    future.cancel()
+                return
+            if self._serving:
+                for worker in self._workers:
+                    if not pending:
+                        break
+                    if worker.task is not None:
+                        continue
+                    args, future = pending.popleft()
+                    if not future.set_running_or_notify_cancel():
+                        continue
+                    try:
+                        worker.conn.send((0, args, 0))
+                    except (OSError, BrokenPipeError):
+                        self._replace(worker)
+                        try:
+                            worker.conn.send((0, args, 0))
+                        except (OSError, BrokenPipeError):  # pragma: no cover
+                            future.set_exception(RuntimeError("no worker available"))
+                            continue
+                    worker.task = 0  # busy marker; completions are per-worker here
+                    worker.started = time.monotonic()
+                    running[id(worker)] = (worker, future)
+            conns = [worker.conn for worker, _ in running.values()]
+            if self._wake_recv is not None:
+                conns.append(self._wake_recv)
+            ready = set(_connection_wait(conns, timeout=0.5)) if conns else set()
+            if self._wake_recv is not None and self._wake_recv in ready:
+                try:
+                    while self._wake_recv.poll():
+                        self._wake_recv.recv()
+                except (EOFError, OSError):  # pragma: no cover
+                    pass
+            for key, (worker, future) in list(running.items()):
+                if worker.conn not in ready:
+                    continue
+                try:
+                    _, ok, payload, detail = worker.conn.recv()
+                except (EOFError, OSError):
+                    worker.process.join(timeout=5.0)
+                    code = worker.process.exitcode
+                    metrics.counter("engine.worker_crashes.total").inc()
+                    self._replace(worker)
+                    del running[key]
+                    future.set_exception(
+                        RuntimeError(f"worker died (exit code {code})")
+                    )
+                    continue
+                worker.task, worker.deadline = None, None
+                del running[key]
+                future.set_result((ok, payload, detail))
 
     # -- scheduling --------------------------------------------------------
     def run(

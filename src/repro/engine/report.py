@@ -12,24 +12,9 @@ report from a merged ``--trace`` file.  The CLI prints the report with
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field
 
-__all__ = ["StageRecord", "ExperimentRecord", "RunReport", "TimerStack"]
-
-
-def __getattr__(name):
-    if name == "TimerStack":
-        warnings.warn(
-            "repro.engine.TimerStack is deprecated and now internal to repro.obs; "
-            "use repro.obs.trace spans for nested timing",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        from ..obs.trace import TimerStack
-
-        return TimerStack
-    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+__all__ = ["StageRecord", "ExperimentRecord", "RunReport"]
 
 
 def _fmt_size(size: int | None) -> str:

@@ -14,7 +14,6 @@ from __future__ import annotations
 import csv
 import os
 import time
-import warnings
 from collections.abc import Callable
 from dataclasses import dataclass, field
 
@@ -35,8 +34,9 @@ __all__ = [
 
 #: Bumped whenever the ExperimentResult field layout changes; cached
 #: results carrying an older version are ignored and recomputed.
-#: (v3: the ``experiment_id`` field was renamed to ``id``.)
-RESULT_SCHEMA_VERSION = 3
+#: (v3: the ``experiment_id`` field was renamed to ``id``; v4: the
+#: deprecated ``experiment_id`` alias was removed.)
+RESULT_SCHEMA_VERSION = 4
 
 _log = get_logger("engine.experiment")
 
@@ -60,16 +60,6 @@ class ExperimentResult:
     series: dict[str, list[tuple[float, float]]] = field(default_factory=dict)
     version: int = RESULT_SCHEMA_VERSION
     report: ExperimentRecord | None = None
-
-    @property
-    def experiment_id(self) -> str:
-        """Deprecated alias for :attr:`id` (pre-v3 field name)."""
-        warnings.warn(
-            "ExperimentResult.experiment_id is deprecated; use .id",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self.id
 
     def add(self, heading: str, body: str) -> None:
         self.sections.append((heading, body))

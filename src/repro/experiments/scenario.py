@@ -22,7 +22,6 @@ from __future__ import annotations
 import functools
 import time
 import tracemalloc
-import warnings
 from dataclasses import dataclass
 
 from ..anycast import (
@@ -170,36 +169,17 @@ class Scenario:
     """One synthetic world plus every dataset derived from it.
 
     Construction is keyword-only: ``Scenario(scale="small", seed=0)`` or
-    ``Scenario(params=ScenarioParams(...))``.  The positional form
-    ``Scenario("small", 0)`` still works but emits a
-    ``DeprecationWarning``.
+    ``Scenario(params=ScenarioParams(...))``.
     """
 
     def __init__(
         self,
-        *args,
+        *,
         scale: str | None = None,
         seed: int | None = None,
         params: ScenarioParams | None = None,
         cache: ArtifactCache | None = None,
     ):
-        if args:
-            warnings.warn(
-                "positional Scenario(scale, seed) is deprecated; use "
-                "Scenario(scale=..., seed=...) or Scenario(params=ScenarioParams(...))",
-                DeprecationWarning,
-                stacklevel=2,
-            )
-            if len(args) > 2:
-                raise TypeError(f"Scenario takes at most 2 positional arguments ({len(args)} given)")
-            if len(args) >= 1:
-                if scale is not None:
-                    raise TypeError("scale passed both positionally and by keyword")
-                scale = args[0]
-            if len(args) == 2:
-                if seed is not None:
-                    raise TypeError("seed passed both positionally and by keyword")
-                seed = args[1]
         if params is not None:
             if scale is not None or seed is not None:
                 raise TypeError("pass either params= or scale=/seed=, not both")

@@ -37,6 +37,9 @@ Fault kinds:
 ``cache_corrupt``      treat a cache artifact read as corrupted
 ``cache_partial_write``truncate a just-written artifact (torn write)
 ``slow_stage``         sleep ``s`` seconds inside a stage build
+``slow_request``       sleep ``s`` seconds inside a ``repro serve`` request
+                       (context is ``"METHOD /v1/path"``; pairs with the
+                       daemon's ``--grace`` for drain-under-load drills)
 ``preempt``            drain the run (graceful preemption) before the
                        matched experiment is dispatched — evaluated in
                        the *parent* at the dispatch chokepoint, so the
@@ -91,6 +94,7 @@ FAULT_KINDS = frozenset(
         "cache_corrupt",
         "cache_partial_write",
         "slow_stage",
+        "slow_request",
         "preempt",
     }
 )
@@ -100,7 +104,7 @@ FAULT_KINDS = frozenset(
 _WORKER_KINDS = frozenset({"worker_crash", "worker_exception", "worker_hang"})
 
 #: Default sleep, per kind, when a spec carries no ``s=`` parameter.
-_DEFAULT_DELAY_S = {"worker_hang": 30.0, "slow_stage": 0.05}
+_DEFAULT_DELAY_S = {"worker_hang": 30.0, "slow_stage": 0.05, "slow_request": 0.05}
 
 
 class InjectedFault(RuntimeError):

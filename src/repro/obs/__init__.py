@@ -35,6 +35,7 @@ Quickstart::
 from .log import ROOT_LOGGER, configure_logging, get_logger
 from .metrics import (
     DEFAULT_BUCKETS,
+    LATENCY_BUCKETS_MS,
     SNAPSHOT_SCHEMA_VERSION,
     Counter,
     Gauge,
@@ -50,6 +51,7 @@ __all__ = [
     "configure_logging",
     "get_logger",
     "DEFAULT_BUCKETS",
+    "LATENCY_BUCKETS_MS",
     "SNAPSHOT_SCHEMA_VERSION",
     "Counter",
     "Gauge",

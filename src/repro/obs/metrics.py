@@ -38,6 +38,7 @@ __all__ = [
     "rss_peak_bytes",
     "SNAPSHOT_SCHEMA_VERSION",
     "DEFAULT_BUCKETS",
+    "LATENCY_BUCKETS_MS",
 ]
 
 #: Bumped whenever the snapshot layout changes; checked by the CI validator.
@@ -54,6 +55,25 @@ DEFAULT_BUCKETS = (
     100_000.0,
     1_000_000.0,
     10_000_000.0,
+)
+
+#: Request-latency buckets (milliseconds) for the serving path: sub-ms
+#: cache hits through multi-second what-if re-propagations.
+LATENCY_BUCKETS_MS = (
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+    25.0,
+    50.0,
+    100.0,
+    250.0,
+    500.0,
+    1_000.0,
+    2_500.0,
+    5_000.0,
+    10_000.0,
 )
 
 

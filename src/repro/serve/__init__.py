@@ -1,0 +1,42 @@
+"""``repro.serve`` — the anycast-planning library as a long-running daemon.
+
+``repro serve --scale small --port 8459`` loads one scenario, warms
+every deployment's :class:`~repro.anycast.batch.FlowKernel`, and
+answers resolve/catchment/inflation/what-if queries over versioned
+``/v1`` HTTP endpoints (see docs/API.md, *Service API*).  Every JSON
+response rides the :mod:`repro.serve.schema` envelope; concurrency
+comes from a :class:`~repro.engine.pool.MonitoredPool` of forked
+workers sharing the warm tables copy-on-write; SIGTERM drains with the
+batch engine's grace/exit-4 contract.
+"""
+
+from .handlers import ENDPOINTS
+from .lifecycle import (
+    EXIT_IO,
+    EXIT_OK,
+    EXIT_PREEMPTED,
+    EXIT_USAGE,
+    Lifecycle,
+    ServeConfig,
+)
+from .schema import SERVE_SCHEMA, SERVE_SCHEMA_VERSION, envelope, validate_envelope
+from .server import App, serve
+from .service import AnycastService, ServiceError
+
+__all__ = [
+    "ENDPOINTS",
+    "EXIT_OK",
+    "EXIT_IO",
+    "EXIT_USAGE",
+    "EXIT_PREEMPTED",
+    "Lifecycle",
+    "ServeConfig",
+    "SERVE_SCHEMA",
+    "SERVE_SCHEMA_VERSION",
+    "envelope",
+    "validate_envelope",
+    "App",
+    "serve",
+    "AnycastService",
+    "ServiceError",
+]

@@ -1,0 +1,179 @@
+"""``/v1`` endpoint handlers: routing, validation, instrumentation.
+
+Every JSON response is wrapped in the :mod:`repro.serve.schema`
+envelope; ``/v1/metrics`` alone speaks the Prometheus text exposition
+(that format has no room for an envelope — it is the one documented
+exemption).  Each request increments ``serve.requests.total`` and
+``serve.<endpoint>.requests.total``, observes its wall time in
+``serve.<endpoint>.latency_ms``, and counts its status class in
+``serve.responses.<code>.total`` — all in the same
+:mod:`repro.obs.metrics` registry the rest of the engine reports to,
+which is exactly what ``/v1/metrics`` then exposes.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+
+from ..obs import metrics
+from ..obs.metrics import LATENCY_BUCKETS_MS
+from .schema import envelope
+from .service import ServiceError
+
+__all__ = ["Request", "Response", "handle", "ENDPOINTS"]
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+#: The public surface: (method, endpoint name).  Path routing below must
+#: stay in lockstep with the docs/API.md endpoint table.
+ENDPOINTS = (
+    ("GET", "healthz"),
+    ("GET", "scenario"),
+    ("POST", "resolve"),
+    ("GET", "catchment"),
+    ("GET", "inflation"),
+    ("POST", "whatif"),
+    ("GET", "metrics"),
+)
+
+
+@dataclass(slots=True)
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    path: str
+    headers: dict = field(default_factory=dict)
+    body: bytes = b""
+
+    def json(self) -> dict:
+        if not self.body:
+            raise ServiceError(400, "request body must be a JSON object")
+        try:
+            data = json.loads(self.body)
+        except json.JSONDecodeError as error:
+            raise ServiceError(400, f"request body is not JSON: {error}") from None
+        if not isinstance(data, dict):
+            raise ServiceError(400, "request body must be a JSON object")
+        return data
+
+
+@dataclass(slots=True)
+class Response:
+    """One response, ready for the wire."""
+
+    status: int
+    body: bytes
+    content_type: str = "application/json"
+
+    @property
+    def reason(self) -> str:
+        return _REASONS.get(self.status, "Unknown")
+
+
+def _json_response(status: int, endpoint: str, payload: dict) -> Response:
+    body = json.dumps(envelope(endpoint, payload)).encode("utf-8")
+    return Response(status=status, body=body)
+
+
+def error_response(status: int, endpoint: str, message: str) -> Response:
+    return _json_response(status, endpoint, {"error": {"status": status, "message": message}})
+
+
+def _route(method: str, path: str) -> tuple[str, str | None]:
+    """Resolve ``(endpoint, path_argument)``; raises ServiceError otherwise."""
+    parts = [part for part in path.split("/") if part]
+    if not parts or parts[0] != "v1":
+        raise ServiceError(404, f"no such path {path!r}; the API lives under /v1/")
+    if len(parts) == 2 and parts[1] in ("healthz", "scenario", "resolve", "whatif", "metrics"):
+        endpoint, argument = parts[1], None
+    elif len(parts) == 3 and parts[1] in ("catchment", "inflation"):
+        endpoint, argument = parts[1], parts[2]
+    else:
+        raise ServiceError(404, f"no such path {path!r}")
+    expected = {"resolve": "POST", "whatif": "POST"}.get(endpoint, "GET")
+    if method != expected:
+        raise ServiceError(405, f"/v1/{endpoint} expects {expected}, got {method}")
+    return endpoint, argument
+
+
+async def handle(app, request: Request, *, reject_draining: bool = False) -> Response:
+    """Route one request through the app; never raises.
+
+    ``reject_draining`` is set by the server for requests that *arrived
+    after* the drain began (keep-alive stragglers); requests already in
+    flight when the drain started are answered normally — that is the
+    grace window's whole point.
+    """
+    started = time.monotonic()
+    endpoint = "unrouted"
+    try:
+        endpoint, argument = _route(request.method, request.path)
+        if reject_draining and endpoint != "healthz":
+            response = error_response(
+                503, endpoint, f"draining ({app.lifecycle.reason}); not accepting work"
+            )
+        else:
+            response = await _dispatch(app, endpoint, argument, request)
+    except ServiceError as error:
+        response = error_response(error.status, endpoint, str(error))
+    except Exception as error:  # noqa: BLE001 - the daemon must not die per-request
+        response = error_response(500, endpoint, f"{type(error).__name__}: {error}")
+    metrics.counter("serve.requests.total").inc()
+    metrics.counter(f"serve.{endpoint}.requests.total").inc()
+    metrics.counter(f"serve.responses.{response.status}.total").inc()
+    metrics.histogram(
+        f"serve.{endpoint}.latency_ms", buckets=LATENCY_BUCKETS_MS
+    ).observe((time.monotonic() - started) * 1000.0)
+    return response
+
+
+async def _dispatch(app, endpoint: str, argument: str | None, request: Request) -> Response:
+    if endpoint == "healthz":
+        lifecycle = app.lifecycle
+        return _json_response(200, endpoint, {
+            "status": "draining" if lifecycle.draining else "ok",
+            "uptime_s": lifecycle.uptime_s,
+            "inflight": lifecycle.inflight,
+            "scale": app.service.scenario.params.scale,
+            "seed": app.service.scenario.params.seed,
+            "workers": app.config.workers,
+        })
+    if endpoint == "metrics":
+        return Response(
+            status=200,
+            body=metrics.to_text().encode("utf-8"),
+            content_type="text/plain; version=0.0.4",
+        )
+    if endpoint == "scenario":
+        return _json_response(200, endpoint, await app.execute("scenario", {}))
+    if endpoint == "resolve":
+        data = request.json()
+        payload = await app.execute(
+            "resolve",
+            {"deployment": data.get("deployment"), "pairs": data.get("pairs")},
+        )
+        return _json_response(200, endpoint, payload)
+    if endpoint in ("catchment", "inflation"):
+        payload = await app.execute(endpoint, {"deployment": argument})
+        return _json_response(200, endpoint, payload)
+    if endpoint == "whatif":
+        data = request.json()
+        async with app.whatif_semaphore:
+            payload = await app.execute("whatif", {
+                "deployment": data.get("deployment"),
+                "remove_sites": data.get("remove_sites"),
+                "add_regions": data.get("add_regions"),
+            })
+        return _json_response(200, endpoint, payload)
+    raise ServiceError(404, f"unrouted endpoint {endpoint!r}")  # pragma: no cover

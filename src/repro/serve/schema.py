@@ -1,0 +1,86 @@
+"""The versioned response envelope every public JSON payload rides in.
+
+One envelope shape serves two transports: the ``/v1`` HTTP endpoints of
+:mod:`repro.serve` and the CLI's machine-readable outputs (``run
+--json``).  Freezing it here — with a checked-in schema at
+``docs/serve.schema.json`` that CI validates live responses against —
+is what lets clients pin a ``schema_version`` instead of sniffing
+payload shapes.
+
+The envelope is deliberately tiny::
+
+    {
+      "schema_version": 1,          # bumped on any envelope/payload break
+      "code_version": "abc123...",  # the producing tree (repro.engine.keys)
+      "endpoint": "resolve",        # logical endpoint / CLI command
+      "payload": {...}              # endpoint-specific object
+    }
+
+``payload`` shapes are documented per endpoint in docs/API.md; the
+schema pins the envelope itself (all four keys required, nothing else
+allowed), which is the compatibility contract.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from ..engine import code_version
+from ..obs.schema import validate
+
+__all__ = [
+    "SERVE_SCHEMA_VERSION",
+    "SERVE_SCHEMA",
+    "envelope",
+    "validate_envelope",
+    "load_checked_in_schema",
+]
+
+#: Bumped whenever the envelope layout or any documented payload shape
+#: changes incompatibly.  v1: initial public surface (PR 6).
+SERVE_SCHEMA_VERSION = 1
+
+#: The envelope contract.  ``docs/serve.schema.json`` is the checked-in
+#: copy of exactly this object; ``tests/test_serve.py`` asserts the two
+#: never drift apart.
+SERVE_SCHEMA: dict = {
+    "type": "object",
+    "required": ["schema_version", "code_version", "endpoint", "payload"],
+    "additionalProperties": False,
+    "properties": {
+        "schema_version": {"type": "integer"},
+        "code_version": {"type": "string"},
+        "endpoint": {"type": "string"},
+        "payload": {"type": "object"},
+    },
+}
+
+
+def envelope(endpoint: str, payload: dict) -> dict:
+    """Wrap one endpoint payload in the versioned envelope."""
+    return {
+        "schema_version": SERVE_SCHEMA_VERSION,
+        "code_version": code_version(),
+        "endpoint": endpoint,
+        "payload": payload,
+    }
+
+
+def validate_envelope(instance) -> list[str]:
+    """Check an envelope against :data:`SERVE_SCHEMA`; returns violations."""
+    return validate(instance, SERVE_SCHEMA)
+
+
+def load_checked_in_schema(root: str | Path | None = None) -> dict:
+    """Load ``docs/serve.schema.json`` from a repo checkout.
+
+    ``root`` defaults to the repository root above ``src/`` — this is a
+    development/CI helper; installed deployments use the in-memory
+    :data:`SERVE_SCHEMA`, which is the same object.
+    """
+    if root is None:
+        root = Path(__file__).resolve().parents[3]
+    path = Path(root) / "docs" / "serve.schema.json"
+    with open(path, encoding="utf-8") as handle:
+        return json.load(handle)

@@ -1,0 +1,245 @@
+"""The asyncio HTTP/1.1 daemon behind ``repro serve``.
+
+Hand-rolled on :func:`asyncio.start_server` — the service speaks just
+enough HTTP for JSON clients and Prometheus scrapers (request line,
+headers, ``Content-Length`` bodies, keep-alive), with zero dependencies
+beyond the stdlib.
+
+Concurrency model: parsing and light endpoints run on the event loop;
+query endpoints offload through :meth:`App.execute` — either to a
+forked :class:`~repro.engine.pool.MonitoredPool` worker (``--workers
+N``, the default) or to a thread (``--workers 0``) — bounded by a
+``--max-inflight`` semaphore so a burst backs up in the kernel's accept
+queue instead of in Python memory.  Workers fork *after* the service
+warm-up, so every worker shares the resident kernels copy-on-write.
+
+Shutdown (see :mod:`repro.serve.lifecycle`): SIGTERM closes the
+listener, in-flight requests get ``--grace`` seconds, keep-alive
+stragglers get 503, and the exit code is 0 (clean drain) or 4
+(grace expired) — the batch CLI's preemption semantics.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import sys
+
+from .. import faults
+from ..engine import ArtifactCache, MonitoredPool
+from ..obs import get_logger, metrics
+from .handlers import Request, Response, error_response, handle
+from .lifecycle import EXIT_IO, EXIT_PREEMPTED, EXIT_USAGE, Lifecycle, ServeConfig
+from .service import AnycastService, ServiceError, install_service, service_task
+
+__all__ = ["App", "serve", "MAX_BODY_BYTES"]
+
+_log = get_logger("serve.server")
+
+#: Largest accepted request body (a 100k-pair resolve batch is ~2 MB).
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+
+class App:
+    """One daemon: service + offload pool + lifecycle, shared by handlers."""
+
+    def __init__(self, service: AnycastService, config: ServeConfig,
+                 pool: MonitoredPool | None = None):
+        self.service = service
+        self.config = config
+        self.pool = pool
+        self.lifecycle = Lifecycle(grace=config.grace)
+        self._offload_semaphore = asyncio.Semaphore(max(1, config.max_inflight))
+        self.whatif_semaphore = asyncio.Semaphore(max(1, config.whatif_concurrency))
+
+    async def execute(self, op: str, kwargs: dict) -> dict:
+        """Run one service operation off the event loop; returns its payload.
+
+        Raises :class:`ServiceError` for client-attributable failures
+        (the worker ships them back reified, so a bad request never
+        burns a retry or a worker).
+        """
+        async with self._offload_semaphore:
+            if self.pool is not None:
+                ok, payload, detail = await asyncio.wrap_future(
+                    self.pool.submit((op, kwargs))
+                )
+                if not ok:
+                    raise RuntimeError(detail or "service task failed")
+                verdict, delta = payload
+                if delta is not None:
+                    metrics.merge(delta)
+            else:
+                loop = asyncio.get_running_loop()
+                verdict = await loop.run_in_executor(
+                    None, self.service.execute_safe, op, kwargs
+                )
+        if verdict[0] == "error":
+            raise ServiceError(verdict[1], verdict[2])
+        return verdict[1]
+
+    # -- connection handling ----------------------------------------------
+    async def handle_client(self, reader: asyncio.StreamReader,
+                            writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                try:
+                    request = await _read_request(reader)
+                except ServiceError as error:
+                    _write_response(
+                        writer, error_response(error.status, "unrouted", str(error)),
+                        close=True,
+                    )
+                    break
+                if request is None:  # client closed cleanly
+                    break
+                # Snapshot the drain state at arrival: a request read off
+                # the wire before the drain began is answered within the
+                # grace window; one arriving after it gets 503.
+                arrived_draining = self.lifecycle.draining
+                slow = faults.maybe_fire(
+                    "slow_request", f"{request.method} {request.path}"
+                )
+                # The in-flight window covers the response flush too, so
+                # a drain cannot tear the loop down under a written-but-
+                # unflushed answer.
+                self.lifecycle.request_started()
+                try:
+                    if slow is not None:
+                        await asyncio.sleep(slow.delay())
+                    response = await handle(
+                        self, request, reject_draining=arrived_draining
+                    )
+                    close = (
+                        self.lifecycle.draining
+                        or request.headers.get("connection", "").lower() == "close"
+                    )
+                    _write_response(writer, response, close=close)
+                    await writer.drain()
+                finally:
+                    self.lifecycle.request_finished()
+                if close:
+                    break
+        except (ConnectionResetError, BrokenPipeError, asyncio.IncompleteReadError):
+            pass  # client went away mid-exchange; nothing to answer
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+
+async def _read_request(reader: asyncio.StreamReader) -> Request | None:
+    """Parse one request; ``None`` on clean EOF before a request line."""
+    line = await reader.readline()
+    if not line:
+        return None
+    try:
+        method, target, _version = line.decode("latin-1").split()
+    except ValueError:
+        raise ServiceError(400, "malformed request line") from None
+    headers: dict[str, str] = {}
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        key, sep, value = line.decode("latin-1").partition(":")
+        if sep:
+            headers[key.strip().lower()] = value.strip()
+    try:
+        length = int(headers.get("content-length", "0") or "0")
+    except ValueError:
+        raise ServiceError(400, "bad Content-Length") from None
+    if length > MAX_BODY_BYTES:
+        raise ServiceError(413, f"body of {length} bytes exceeds {MAX_BODY_BYTES}")
+    body = await reader.readexactly(length) if length else b""
+    path = target.split("?", 1)[0]
+    return Request(method=method.upper(), path=path, headers=headers, body=body)
+
+
+def _write_response(writer: asyncio.StreamWriter, response: Response,
+                    *, close: bool) -> None:
+    head = (
+        f"HTTP/1.1 {response.status} {response.reason}\r\n"
+        f"Content-Type: {response.content_type}\r\n"
+        f"Content-Length: {len(response.body)}\r\n"
+        f"Connection: {'close' if close else 'keep-alive'}\r\n"
+        "\r\n"
+    )
+    writer.write(head.encode("latin-1") + response.body)
+
+
+async def _amain(app: App, *, ready=None) -> int:
+    lifecycle = app.lifecycle
+    lifecycle.install_signal_handlers(asyncio.get_running_loop())
+    server = await asyncio.start_server(
+        app.handle_client, host=app.config.host, port=app.config.port
+    )
+    host, port = server.sockets[0].getsockname()[:2]
+    print(f"serving on http://{host}:{port}", flush=True)
+    if ready is not None:
+        ready(host, port)
+    async with server:
+        await lifecycle.wait_for_drain()
+        # Stop accepting: close the listening sockets; established
+        # connections (and their in-flight requests) live on below.
+        server.close()
+        await server.wait_closed()
+    drained = await lifecycle.wait_idle()
+    if drained:
+        _log.warning("drained cleanly (%s)", lifecycle.reason)
+        return 0
+    _log.error(
+        "grace of %.1fs expired with %d request(s) in flight (%s)",
+        lifecycle.grace, lifecycle.inflight, lifecycle.reason,
+    )
+    return EXIT_PREEMPTED
+
+
+def serve(config: ServeConfig, *, scenario=None) -> int:
+    """Boot the daemon and block until it drains; returns the exit code.
+
+    ``scenario`` injects a pre-built scenario (tests); by default the
+    scenario is built (or loaded from the artifact cache) here, then
+    warmed, then — only then — the worker pool forks, so workers share
+    every resident table copy-on-write.
+    """
+    import multiprocessing
+
+    from ..experiments import Scenario
+
+    if scenario is None:
+        try:
+            cache = ArtifactCache(root=config.cache_dir, enabled=not config.no_cache)
+            scenario = Scenario(scale=config.scale, seed=config.seed, cache=cache)
+        except ValueError as error:
+            print(f"bad serve configuration: {error}", file=sys.stderr)
+            return EXIT_USAGE
+    _log.info("loading scenario (scale=%s seed=%d)...", config.scale, config.seed)
+    service = AnycastService(scenario)
+    install_service(service)
+
+    pool = None
+    workers = config.workers
+    if workers > 0 and "fork" not in multiprocessing.get_all_start_methods():
+        _log.warning("no fork start method on this platform; using thread offload")
+        workers = 0
+    if workers > 0:
+        pool = MonitoredPool(
+            workers,
+            task=service_task,
+            mp_context=multiprocessing.get_context("fork"),
+        )
+        pool.start_serving()
+    try:
+        return asyncio.run(_amain(App(service, config, pool)))
+    except OSError as error:
+        print(
+            f"cannot listen on {config.host}:{config.port}: {error}",
+            file=sys.stderr,
+        )
+        return EXIT_IO
+    finally:
+        install_service(None)
+        if pool is not None:
+            pool.shutdown()

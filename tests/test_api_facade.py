@@ -1,0 +1,90 @@
+"""Tests for the ``repro.api`` facade and its top-level re-exports.
+
+The facade is the compatibility promise: every name in
+``repro.api.__all__`` must resolve, be reachable from the bare
+``repro`` top level, and match the list documented in docs/API.md —
+the doc is machine-checked here so it cannot drift.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+import repro
+import repro.api
+import repro.serve
+
+
+class TestFacade:
+    def test_every_name_resolves(self):
+        for name in repro.api.__all__:
+            assert getattr(repro.api, name) is not None
+
+    def test_top_level_reexports_are_the_same_objects(self):
+        for name in repro.api.__all__:
+            if name == "serve":
+                # `repro.serve` is the service package; the boot
+                # function lives at repro.api.serve / repro.serve.serve.
+                assert repro.serve.serve is repro.api.serve
+                continue
+            assert getattr(repro, name) is getattr(repro.api, name), name
+
+    def test_top_level_all_and_dir(self):
+        assert set(repro.api.__all__) <= set(repro.__all__)
+        assert set(repro.api.__all__) <= set(dir(repro))
+        assert "__version__" in repro.__all__
+
+    def test_unknown_attribute_still_raises(self):
+        with pytest.raises(AttributeError, match="reticulate_splines"):
+            repro.reticulate_splines
+
+    def test_submodules_reachable_without_explicit_import(self):
+        # The docs quickstart does `import repro; repro.api.serve(...)`;
+        # in a fresh interpreter that relies on __getattr__ importing
+        # the submodule lazily, so check it outside this process (which
+        # already imported repro.api / repro.serve at module top).
+        import os
+        import subprocess
+        import sys
+
+        src_dir = Path(repro.__file__).resolve().parents[1]
+        env = os.environ.copy()
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (str(src_dir), env.get("PYTHONPATH", "")) if p
+        )
+        code = (
+            "import repro; "
+            "assert repro.api.__name__ == 'repro.api'; "
+            "assert repro.serve.__name__ == 'repro.serve'; "
+            "assert callable(repro.api.serve)"
+        )
+        subprocess.run([sys.executable, "-c", code], check=True, env=env)
+
+    def test_docs_facade_list_matches_all(self):
+        # docs/API.md enumerates the stable facade names in backticks;
+        # that paragraph is the contract, so it must equal __all__.
+        text = (Path(repro.__file__).resolve().parents[2] / "docs" / "API.md").read_text()
+        paragraph = text.split("The stable facade names:")[1].split("```")[0]
+        documented = set(re.findall(r"`([A-Za-z_][A-Za-z0-9_]*)`", paragraph))
+        assert documented == set(repro.api.__all__)
+
+    def test_resolve_many_facade_delegates(self, scenario):
+        letter = scenario.letters_2018["K"]
+        location = next(iter(scenario.user_base))
+        via_facade = repro.resolve_many(letter, [location.asn], [location.region_id])
+        direct = letter.resolve_many([location.asn], [location.region_id])
+        assert np.array_equal(via_facade.site_ids, direct.site_ids)
+        assert np.array_equal(via_facade.base_rtt_ms, direct.base_rtt_ms, equal_nan=True)
+
+    def test_quickstart_path_works_end_to_end(self, scenario):
+        # The docs quickstart, verbatim-ish, against the warm fixture.
+        result = repro.run_experiment("table1", scenario)
+        assert result.id == "table1"
+        assert isinstance(repro.ServeConfig().grace, float)
+        assert repro.SERVE_SCHEMA_VERSION >= 1
+        wrapped = repro.envelope("cli.run", {"x": 1})
+        assert wrapped["payload"] == {"x": 1}

@@ -50,8 +50,14 @@ class TestExtendedCommands:
     def test_run_json_output(self, capsys):
         import json
 
+        from repro.serve.schema import SERVE_SCHEMA_VERSION, validate_envelope
+
         assert main(["run", "appc", "--scale", "small", "--json"]) == 0
-        payload = json.loads(capsys.readouterr().out)
+        envelope = json.loads(capsys.readouterr().out)
+        assert validate_envelope(envelope) == []
+        assert envelope["schema_version"] == SERVE_SCHEMA_VERSION
+        assert envelope["endpoint"] == "cli.run"
+        payload = envelope["payload"]
         assert payload["experiment"] == "appc"
         assert "lower_bound" in payload["data"]
 

@@ -240,11 +240,10 @@ class TestRunnerApi:
 
 
 class TestScenarioApi:
-    def test_positional_construction_warns_but_works(self):
-        with pytest.warns(DeprecationWarning):
-            scenario = Scenario("small", 3)
-        assert scenario.params == ScenarioParams(scale="small", seed=3)
-        assert scenario.seed == 3
+    def test_positional_construction_rejected(self):
+        # Graduated deprecation: the pre-v4 positional form is gone.
+        with pytest.raises(TypeError):
+            Scenario("small", 3)
 
     def test_keyword_construction_does_not_warn(self, recwarn):
         Scenario(scale="small", seed=3)
@@ -261,9 +260,8 @@ class TestScenarioApi:
             Scenario(scale="small", params=ScenarioParams())
 
     def test_too_many_positional_args(self):
-        with pytest.warns(DeprecationWarning):
-            with pytest.raises(TypeError):
-                Scenario("small", 0, "extra")
+        with pytest.raises(TypeError):
+            Scenario("small", 0, "extra")
 
     def test_prepare_materialises_requested_stages(self, cache):
         scenario = make_scenario(cache)
@@ -286,10 +284,11 @@ class TestResultSchema:
         assert result.report is None
         assert result.version == RESULT_SCHEMA_VERSION
 
-    def test_experiment_id_is_deprecated_alias(self):
+    def test_experiment_id_alias_removed(self):
+        # Graduated deprecation: the pre-v4 alias is gone.
         result = ExperimentResult("x", "title")
-        with pytest.warns(DeprecationWarning, match="use .id"):
-            assert result.experiment_id == "x"
+        with pytest.raises(AttributeError):
+            result.experiment_id
 
 
 class TestRunReport:

@@ -284,14 +284,13 @@ class TestSchemaValidator:
 
 
 class TestDeprecations:
-    def test_engine_timerstack_warns(self):
+    def test_engine_timerstack_removed(self):
+        # Graduated deprecation: TimerStack is internal to repro.obs now.
         import repro.engine
 
-        with pytest.warns(DeprecationWarning, match="internal to repro.obs"):
-            stack = repro.engine.TimerStack
-        with stack().frame() as timing:
-            pass
-        assert timing["total_s"] >= timing["self_s"] >= 0
+        with pytest.raises(AttributeError):
+            repro.engine.TimerStack
+        assert "TimerStack" not in repro.engine.__all__
 
 
 class TestLogging:

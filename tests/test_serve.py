@@ -1,0 +1,419 @@
+"""Tests for ``repro.serve`` — service ops, envelope schema, HTTP daemon.
+
+Three layers, cheapest first: the envelope schema against its
+checked-in copy, the :class:`AnycastService` operations in-process
+against the session scenario (including bitwise identity with the
+library path), and the real daemon in a subprocess — every endpoint
+over loopback HTTP, SIGTERM drain semantics, and deterministic
+drain-under-load via the ``slow_request`` fault.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.anycast import CdnRing, IndependentDeployment, withdraw_sites
+from repro.anycast.resilience import failure_impact
+from repro.serve import (
+    SERVE_SCHEMA,
+    SERVE_SCHEMA_VERSION,
+    AnycastService,
+    ServiceError,
+    envelope,
+    validate_envelope,
+)
+from repro.serve.schema import load_checked_in_schema
+from repro.serve.service import MAX_RESOLVE_ROWS, MAX_WHATIF_SITES
+
+
+@pytest.fixture(scope="module")
+def service(scenario):
+    return AnycastService(scenario)
+
+
+def _user_pairs(scenario, count):
+    locations = list(scenario.user_base)[:count]
+    return [[loc.asn, loc.region_id] for loc in locations]
+
+
+class TestEnvelopeSchema:
+    def test_checked_in_schema_matches_embedded(self):
+        # docs/serve.schema.json is the wire contract clients vendored;
+        # the embedded dict must be byte-for-byte the same document.
+        assert load_checked_in_schema() == SERVE_SCHEMA
+
+    def test_envelope_shape(self):
+        wrapped = envelope("resolve", {"rows": 1})
+        assert validate_envelope(wrapped) == []
+        assert wrapped["schema_version"] == SERVE_SCHEMA_VERSION
+        assert wrapped["endpoint"] == "resolve"
+        assert wrapped["payload"] == {"rows": 1}
+        assert len(wrapped["code_version"]) == 64
+
+    def test_envelope_round_trips_through_json(self):
+        wrapped = envelope("inflation", {"median": 1.5, "masked": None})
+        assert json.loads(json.dumps(wrapped)) == wrapped
+
+    @pytest.mark.parametrize("mutate", [
+        lambda e: e.pop("schema_version"),
+        lambda e: e.pop("payload"),
+        lambda e: e.update(payload=[1, 2]),
+        lambda e: e.update(extra="nope"),
+    ])
+    def test_envelope_violations_are_caught(self, mutate):
+        wrapped = envelope("scenario", {})
+        mutate(wrapped)
+        assert validate_envelope(wrapped)
+
+
+class TestServiceOps:
+    def test_scenario_payload_lists_every_deployment(self, service, scenario):
+        payload = service.scenario_payload()
+        expected = (
+            {f"2018-{k}" for k in scenario.letters_2018}
+            | {f"2020-{k}" for k in scenario.letters_2020}
+            | set(scenario.cdn.rings)
+        )
+        assert set(payload["deployments"]) == expected
+        assert payload["scale"] == "small"
+        assert payload["total_users"] == scenario.user_base.total_users
+        for name, info in payload["deployments"].items():
+            assert info["kind"] == ("cdn-ring" if name.startswith("R") else "letter")
+            assert info["whatif"] == (not name.startswith("R"))
+
+    @pytest.mark.parametrize("name", ["2018-K", "R110"])
+    def test_resolve_is_bitwise_identical_to_library(self, service, scenario, name):
+        pairs = _user_pairs(scenario, 64)
+        # Round-trip through actual JSON text, as a client would see it.
+        payload = json.loads(json.dumps(service.resolve_payload(name, pairs)))
+        batch = service.deployments[name].resolve_many(
+            [p[0] for p in pairs], [p[1] for p in pairs]
+        )
+        assert payload["rows"] == len(batch)
+        assert payload["served"] == int(batch.ok.sum())
+        assert payload["ok"] == [bool(v) for v in batch.ok]
+        assert payload["site_ids"] == [int(v) for v in batch.site_ids]
+        assert payload["as_hops"] == [int(v) for v in batch.as_hops]
+        for got, want in zip(payload["base_rtt_ms"], batch.base_rtt_ms):
+            if want != want:  # masked row: NaN serialises as null
+                assert got is None
+            else:
+                assert got == float(want)  # exact: JSON floats round-trip
+        assert payload["min_km"] == [float(v) for v in batch.min_km]
+
+    @pytest.mark.parametrize("pairs, message", [
+        ([], "non-empty"),
+        ("nope", "non-empty"),
+        ([[1]], "integer pair"),
+        ([[1, 2, 3]], "integer pair"),
+        ([[1.5, 0]], "integer pair"),
+        ([[True, 0]], "integer pair"),
+        ([[1, 10**9]], "outside"),
+    ])
+    def test_resolve_rejects_malformed_pairs(self, service, pairs, message):
+        with pytest.raises(ServiceError, match=message) as excinfo:
+            service.resolve_payload("2018-K", pairs)
+        assert excinfo.value.status == 400
+
+    def test_resolve_row_cap(self, service):
+        pairs = [[1, 0]] * (MAX_RESOLVE_ROWS + 1)
+        with pytest.raises(ServiceError, match="cap") as excinfo:
+            service.resolve_payload("2018-K", pairs)
+        assert excinfo.value.status == 400
+
+    def test_unknown_deployment_is_404(self, service):
+        with pytest.raises(ServiceError, match="unknown deployment") as excinfo:
+            service.catchment_payload("2018-ZZ")
+        assert excinfo.value.status == 404
+
+    def test_catchment_shares_sum_to_one(self, service):
+        payload = service.catchment_payload("2018-K")
+        shares = [s["share"] for s in payload["sites"]]
+        assert abs(sum(shares) - 1.0) < 1e-9
+        assert payload["max_site_share"] == pytest.approx(max(shares))
+        assert shares == sorted(shares, reverse=True)
+        assert 0 < payload["served_users"] <= payload["total_users"]
+
+    def test_inflation_summaries_are_ordered(self, service):
+        payload = service.inflation_payload("R110")
+        for key in ("geographic_inflation_ms", "latency_inflation_ms"):
+            summary = payload[key]
+            assert 0.0 <= summary["zero_fraction"] <= 1.0
+            assert summary["median"] <= summary["p90"] <= summary["p99"]
+            assert 0.0 <= summary["over_100ms_fraction"] <= 1.0
+
+    def test_whatif_remove_matches_library_path(self, service, scenario):
+        letter = scenario.letters_2018["K"]
+        degraded = withdraw_sites(letter, [0, 1])
+        impact = failure_impact(letter, degraded, scenario.user_base)
+        payload = service.whatif_payload("2018-K", [0, 1], None)
+        assert payload["sites_before"] == len(letter.sites)
+        assert payload["sites_after"] == len(degraded.sites)
+        assert payload["users_rerouted"] == impact.users_rerouted
+        assert payload["rerouted_fraction"] == impact.rerouted_fraction
+        assert payload["median_rtt_after_ms"] == impact.median_rtt_after_ms
+        assert payload["max_site_share_after"] == impact.max_site_share_after
+
+    def test_whatif_add_regions_grows_the_deployment(self, service):
+        before = len(service.deployments["2018-K"].sites)
+        payload = service.whatif_payload("2018-K", None, [0, 1])
+        assert payload["sites_after"] == before + 2
+        assert payload["sites_before"] == before
+        # Adding capacity must not *increase* concentration.
+        assert payload["max_site_share_after"] <= payload["max_site_share_before"] + 1e-9
+
+    def test_whatif_is_deterministic(self, service):
+        first = service.whatif_payload("2018-K", [2], [3])
+        second = service.whatif_payload("2018-K", [2], [3])
+        assert first == second
+
+    def test_whatif_rejects_rings(self, service):
+        assert isinstance(service.deployments["R110"], CdnRing)
+        with pytest.raises(ServiceError, match="CDN ring") as excinfo:
+            service.whatif_payload("R110", [0], None)
+        assert excinfo.value.status == 400
+
+    def test_whatif_rejects_empty_and_oversized_changes(self, service):
+        with pytest.raises(ServiceError, match="changes nothing"):
+            service.whatif_payload("2018-K", None, None)
+        with pytest.raises(ServiceError, match="cap"):
+            service.whatif_payload("2018-K", list(range(MAX_WHATIF_SITES + 1)), None)
+
+    def test_whatif_leaves_resident_deployment_untouched(self, service, scenario):
+        resident = service.deployments["2018-K"]
+        assert isinstance(resident, IndependentDeployment)
+        sites_before = len(resident.sites)
+        service.whatif_payload("2018-K", [0], None)
+        assert len(resident.sites) == sites_before
+        assert resident is scenario.letters_2018["K"]
+
+    def test_execute_safe_reifies_client_errors(self, service):
+        verdict = service.execute_safe("resolve", {"deployment": "nope", "pairs": [[1, 0]]})
+        assert verdict[0] == "error"
+        assert verdict[1] == 404
+        ok = service.execute_safe("scenario", {})
+        assert ok[0] == "ok" and ok[1]["scale"] == "small"
+
+    def test_unknown_op_is_400(self, service):
+        with pytest.raises(ServiceError, match="unknown operation"):
+            service.execute("reticulate", {})
+
+
+# -- the real daemon over loopback HTTP -------------------------------------
+
+def _serve_argv(*extra):
+    return [sys.executable, "-u", "-m", "repro.cli", "serve",
+            "--scale", "small", "--seed", "0", "--port", "0", *extra]
+
+
+def _serve_env(**overrides):
+    src_dir = Path(repro.__file__).resolve().parents[1]
+    env = os.environ.copy()
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (str(src_dir), env.get("PYTHONPATH", "")) if p
+    )
+    env.pop("REPRO_FAULTS", None)
+    env.update(overrides)
+    return env
+
+
+def _await_port(child, timeout=240.0):
+    """Read the child's stdout until the readiness line; returns the port."""
+    deadline = time.monotonic() + timeout
+    lines = []
+    while time.monotonic() < deadline:
+        line = child.stdout.readline()
+        if not line:
+            break
+        lines.append(line)
+        if line.startswith("serving on http://"):
+            return int(line.rsplit(":", 1)[1])
+    raise AssertionError(f"daemon never became ready:\n{''.join(lines)}")
+
+
+def _get(base, path, timeout=120):
+    with urllib.request.urlopen(base + path, timeout=timeout) as response:
+        return response.status, response.read()
+
+
+def _post(base, path, payload, timeout=120):
+    request = urllib.request.Request(
+        base + path, data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=timeout) as response:
+        return response.status, response.read()
+
+
+@pytest.fixture(scope="module")
+def daemon(scenario):
+    # The `scenario` fixture guarantees the artifact cache is warm, so
+    # the subprocess (same default cache root) boots from disk.
+    child = subprocess.Popen(
+        _serve_argv("--workers", "2", "--grace", "20"), env=_serve_env(),
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+    )
+    try:
+        port = _await_port(child)
+        yield f"http://127.0.0.1:{port}", child
+    finally:
+        if child.poll() is None:
+            child.send_signal(signal.SIGTERM)
+        out, _ = child.communicate(timeout=120)
+    assert child.returncode == 0, f"daemon exited {child.returncode}:\n{out}"
+
+
+class TestHttpDaemon:
+    def test_healthz(self, daemon):
+        base, _ = daemon
+        status, body = _get(base, "/v1/healthz")
+        wrapped = json.loads(body)
+        assert status == 200
+        assert validate_envelope(wrapped) == []
+        assert wrapped["payload"]["status"] == "ok"
+        assert wrapped["payload"]["scale"] == "small"
+        assert wrapped["payload"]["workers"] == 2
+
+    def test_every_json_endpoint_is_schema_valid(self, daemon):
+        base, _ = daemon
+        responses = [
+            _get(base, "/v1/healthz"),
+            _get(base, "/v1/scenario"),
+            _post(base, "/v1/resolve", {"deployment": "R110", "pairs": [[3, 0]]}),
+            _get(base, "/v1/catchment/2018-K"),
+            _get(base, "/v1/inflation/2018-K"),
+            _post(base, "/v1/whatif", {"deployment": "2018-K", "remove_sites": [0]}),
+        ]
+        for status, body in responses:
+            assert status == 200
+            wrapped = json.loads(body)
+            assert validate_envelope(wrapped) == []
+            assert wrapped["schema_version"] == SERVE_SCHEMA_VERSION
+
+    def test_resolve_over_http_is_bitwise_identical(self, daemon, scenario):
+        base, _ = daemon
+        pairs = _user_pairs(scenario, 32)
+        _, body = _post(base, "/v1/resolve", {"deployment": "2018-K", "pairs": pairs})
+        payload = json.loads(body)["payload"]
+        batch = scenario.letters_2018["K"].resolve_many(
+            [p[0] for p in pairs], [p[1] for p in pairs]
+        )
+        assert payload["site_ids"] == [int(v) for v in batch.site_ids]
+        expected_rtt = [None if v != v else float(v) for v in batch.base_rtt_ms]
+        assert payload["base_rtt_ms"] == expected_rtt
+
+    @pytest.mark.parametrize("method, path, status", [
+        ("GET", "/nope", 404),
+        ("GET", "/v1/nope", 404),
+        ("GET", "/v1/catchment", 404),          # missing deployment segment
+        ("POST", "/v1/healthz", 405),
+        ("GET", "/v1/resolve", 405),
+    ])
+    def test_routing_errors(self, daemon, method, path, status):
+        base, _ = daemon
+        request = urllib.request.Request(base + path, method=method,
+                                         data=b"{}" if method == "POST" else None)
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=60)
+        assert excinfo.value.code == status
+        wrapped = json.loads(excinfo.value.read())
+        assert validate_envelope(wrapped) == []
+        assert "error" in wrapped["payload"]
+
+    def test_client_error_payloads(self, daemon):
+        base, _ = daemon
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _post(base, "/v1/resolve", {"deployment": "2018-K", "pairs": []})
+        assert excinfo.value.code == 400
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _post(base, "/v1/whatif", {"deployment": "R110", "remove_sites": [0]})
+        assert excinfo.value.code == 400
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(base, "/v1/catchment/2018-ZZ")
+        assert excinfo.value.code == 404
+
+    def test_metrics_exposition(self, daemon):
+        base, _ = daemon
+        _get(base, "/v1/healthz")  # ensure at least one counted request
+        status, body = _get(base, "/v1/metrics")
+        text = body.decode()
+        assert status == 200
+        assert "repro_serve_requests_total" in text
+        assert "repro_serve_healthz_requests_total" in text
+        assert "repro_serve_healthz_latency_ms_bucket" in text
+        assert "repro_serve_responses_200_total" in text
+        assert "repro_serve_deployments_resident" in text
+
+
+class TestDrainSemantics:
+    def test_sigterm_under_load_drains_cleanly(self, scenario):
+        """SIGTERM mid-request: the in-flight answer lands, then exit 0.
+
+        The ``slow_request`` fault pins a resolve in flight for 2 s —
+        deterministically, not by racing — so the signal provably
+        arrives while work is outstanding.
+        """
+        child = subprocess.Popen(
+            _serve_argv("--workers", "0", "--grace", "30"),
+            env=_serve_env(REPRO_FAULTS="slow_request:s=2:match=POST /v1/resolve"),
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        )
+        port = _await_port(child)
+        base = f"http://127.0.0.1:{port}"
+        result = {}
+
+        def slow_resolve():
+            try:
+                result["response"] = _post(
+                    base, "/v1/resolve", {"deployment": "R110", "pairs": [[3, 0]]}
+                )
+            except Exception as error:  # noqa: BLE001 - recorded for the assert
+                result["error"] = error
+
+        client = threading.Thread(target=slow_resolve)
+        client.start()
+        time.sleep(0.5)  # well inside the 2 s injected delay
+        child.send_signal(signal.SIGTERM)
+        client.join(timeout=60)
+        out, _ = child.communicate(timeout=120)
+        assert child.returncode == 0, f"expected clean drain, got:\n{out}"
+        assert "error" not in result, f"in-flight request failed: {result.get('error')}"
+        status, body = result["response"]
+        assert status == 200
+        assert validate_envelope(json.loads(body)) == []
+
+    def test_expired_grace_exits_preempted(self, scenario):
+        """A request outliving ``--grace`` forces the batch exit code 4."""
+        child = subprocess.Popen(
+            _serve_argv("--workers", "0", "--grace", "0.5"),
+            env=_serve_env(REPRO_FAULTS="slow_request:s=30:match=POST /v1/resolve"),
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        )
+        port = _await_port(child)
+        base = f"http://127.0.0.1:{port}"
+
+        def doomed_resolve():
+            try:
+                _post(base, "/v1/resolve", {"deployment": "R110", "pairs": [[3, 0]]})
+            except Exception:  # noqa: BLE001 - the daemon is expected to cut us off
+                pass
+
+        client = threading.Thread(target=doomed_resolve)
+        client.start()
+        time.sleep(0.5)
+        child.send_signal(signal.SIGTERM)
+        out, _ = child.communicate(timeout=120)
+        client.join(timeout=60)
+        assert child.returncode == 4, f"expected exit 4 (grace expired), got:\n{out}"
