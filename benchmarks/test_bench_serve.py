@@ -18,11 +18,19 @@ import subprocess
 import sys
 import threading
 import time
+import uuid
 from pathlib import Path
 
 import pytest
 
 import repro
+from repro.obs.trace import Tracer, set_trace_id
+from repro.serve.telemetry import (
+    RequestTelemetry,
+    add_phase,
+    begin_request,
+    end_request,
+)
 
 from .conftest import bench_scale, run_once
 
@@ -144,6 +152,67 @@ def test_bench_resolve_under_concurrency(benchmark, daemon, scenario):
             f"p99 request latency {p99:.2f}s exceeds the "
             f"{MAX_P99_LATENCY_S:.1f}s ceiling under {CLIENTS} clients"
         )
+
+
+def test_telemetry_disabled_path_overhead_is_marginal(daemon, scenario):
+    """Tracing off: the per-request telemetry costs <5% of a request.
+
+    Measures a served resolve's mean latency over loopback, then times
+    the complete per-request instrumentation path in isolation — id
+    generation, context binding, the five disabled spans, four phase
+    attributions, and the debug-ring record — and asserts the latter is
+    marginal against the former (the always-on price of ``--trace``
+    being available).
+    """
+    pairs = _pairs(scenario, PAIRS_PER_REQUEST)
+    body = json.dumps({"deployment": "R110", "pairs": pairs}).encode()
+    connection = http.client.HTTPConnection("127.0.0.1", daemon, timeout=120)
+    for _ in range(5):
+        _post_resolve(connection, body)  # warm kernels and the connection
+    requests = 30
+    begin = time.perf_counter()
+    for _ in range(requests):
+        _post_resolve(connection, body)
+    mean_request_s = (time.perf_counter() - begin) / requests
+    connection.close()
+
+    tracer = Tracer()
+    assert not tracer.enabled
+    telemetry = RequestTelemetry(None)
+    rounds = 500
+    begin = time.perf_counter()
+    for _ in range(rounds):
+        trace_id = uuid.uuid4().hex
+        record = {
+            "schema": 1, "ts": time.time(), "trace_id": trace_id,
+            "method": "POST", "path": "/v1/resolve", "endpoint": "resolve",
+            "status": 200, "dur_ms": 0.0, "bytes_in": len(body),
+            "bytes_out": 0, "phases": {},
+        }
+        token = begin_request(record)
+        set_trace_id(trace_id)
+        with tracer.span("serve.request", trace_id=trace_id):
+            with tracer.span("serve.parse") as parse_span:
+                pass
+            add_phase("parse", parse_span.dur_s)
+            with tracer.span("serve.queue") as queue_span:
+                pass
+            add_phase("queue", queue_span.dur_s)
+            with tracer.span("serve.compute", op="resolve") as compute_span:
+                pass
+            add_phase("compute", compute_span.dur_s)
+            with tracer.span("serve.serialize") as serialize_span:
+                pass
+            add_phase("serialize", serialize_span.dur_s)
+        end_request(token)
+        set_trace_id(None)
+        telemetry.record(record)
+    overhead_s = (time.perf_counter() - begin) / rounds
+
+    assert overhead_s < 0.05 * mean_request_s, (
+        f"telemetry costs {overhead_s * 1e6:.1f}us/request against a "
+        f"{mean_request_s * 1e3:.2f}ms mean request — over the 5% budget"
+    )
 
 
 def test_served_resolve_is_byte_identical(daemon, scenario):

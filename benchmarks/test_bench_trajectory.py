@@ -1,0 +1,44 @@
+"""Guards for the committed perf-trajectory baseline (``repro bench``).
+
+Pure file checks — no timing: the checked-in
+``benchmarks/BENCH_baseline.json`` must stay schema-valid, cover the
+whole suite, and compare clean against itself, so the CI
+``bench-trajectory`` job always has an honest document to diff against.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.obs.bench import SUITE, compare, find_baseline
+from repro.obs.schema import validate_bench_file
+
+HERE = Path(__file__).parent
+BASELINE = HERE / "BENCH_baseline.json"
+DOCS = HERE.parent / "docs"
+
+
+def _baseline() -> dict:
+    with open(BASELINE, encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def test_baseline_is_schema_valid():
+    with open(DOCS / "bench.schema.json", encoding="utf-8") as handle:
+        schema = json.load(handle)
+    assert validate_bench_file(BASELINE, schema) == []
+
+
+def test_baseline_covers_the_whole_suite():
+    names = {bench["name"] for bench in _baseline()["benchmarks"]}
+    assert names == set(SUITE)
+
+
+def test_baseline_is_discoverable():
+    assert find_baseline(None) == BASELINE
+
+
+def test_baseline_compares_clean_against_itself():
+    document = _baseline()
+    assert compare(document, document) == []

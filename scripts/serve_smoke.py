@@ -6,10 +6,13 @@ Usage::
     python scripts/serve_smoke.py
 
 Boots the daemon on an ephemeral port at the small scale, hits every
-``/v1`` endpoint, validates each JSON response against the checked-in
-``docs/serve.schema.json``, asserts the Prometheus exposition carries
-the per-endpoint counters, then SIGTERMs and requires a clean drain
-(exit 0).  Exits non-zero on the first violation.
+``/v1`` endpoint (including the ``/v1/debug/*`` surface), validates
+each JSON response against the checked-in ``docs/serve.schema.json``,
+checks the ``X-Request-Id`` contract (always present, inbound ids
+honoured), asserts the Prometheus exposition carries the per-endpoint
+counters plus the phase histograms and resource gauges, then SIGTERMs
+and requires a clean drain (exit 0).  Exits non-zero on the first
+violation.
 """
 
 from __future__ import annotations
@@ -88,6 +91,9 @@ def main() -> int:
             ("whatif", lambda: _post(
                 base, "/v1/whatif", {"deployment": "2018-K", "remove_sites": [0]}
             )),
+            ("debug/tracez", lambda: _get(base, "/v1/debug/tracez")),
+            ("debug/statusz", lambda: _get(base, "/v1/debug/statusz")),
+            ("debug/vars", lambda: _get(base, "/v1/debug/vars")),
         ]
         for endpoint, probe in json_probes:
             status, body = probe()
@@ -112,6 +118,22 @@ def main() -> int:
             else:
                 print("  /v1/resolve (empty batch): 400, schema-valid")
 
+        # Request-id contract: every response carries X-Request-Id, and
+        # a well-formed inbound id is echoed back verbatim.
+        request = urllib.request.Request(
+            base + "/v1/healthz", headers={"X-Request-Id": "smoke-42"}
+        )
+        with urllib.request.urlopen(request, timeout=120) as response:
+            echoed = response.headers.get("X-Request-Id")
+        if echoed != "smoke-42":
+            failures += _fail(f"inbound X-Request-Id not honoured (got {echoed!r})")
+        with urllib.request.urlopen(base + "/v1/healthz", timeout=120) as response:
+            generated = response.headers.get("X-Request-Id")
+        if not generated:
+            failures += _fail("response carries no X-Request-Id")
+        if not failures:
+            print("  X-Request-Id: present and honoured")
+
         status, body = _get(base, "/v1/metrics")
         text = body.decode()
         for needle in (
@@ -120,6 +142,10 @@ def main() -> int:
             "repro_serve_resolve_latency_ms_bucket",
             "repro_serve_responses_200_total",
             "repro_serve_deployments_resident",
+            "repro_serve_phase_parse_ms_bucket",
+            "repro_serve_phase_compute_ms_bucket",
+            "repro_serve_inflight",
+            "repro_process_rss_bytes",
         ):
             if needle not in text:
                 failures += _fail(f"/v1/metrics: missing {needle}")

@@ -3,16 +3,21 @@
 
 Usage::
 
-    python scripts/validate_obs.py TRACE.jsonl METRICS.json
+    python scripts/validate_obs.py TRACE.jsonl METRICS.json \
+        [--access-log ACCESS.jsonl] [--bench BENCH.json]
 
 Validates the trace line by line against ``docs/trace.schema.json`` and
 the metrics dump against ``docs/metrics.schema.json`` using the
-stdlib-only validator in :mod:`repro.obs.schema`.  Exits non-zero and
-prints every violation when either file does not conform.
+stdlib-only validator in :mod:`repro.obs.schema`; ``--access-log``
+additionally checks a serve access log against
+``docs/accesslog.schema.json`` and ``--bench`` a perf-trajectory
+document against ``docs/bench.schema.json``.  Exits non-zero and prints
+every violation when any file does not conform.
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import sys
 from pathlib import Path
@@ -20,28 +25,60 @@ from pathlib import Path
 REPO = Path(__file__).resolve().parent.parent
 
 try:
-    from repro.obs.schema import validate_metrics_file, validate_trace_file
+    from repro.obs.schema import (
+        validate_access_log_file,
+        validate_bench_file,
+        validate_metrics_file,
+        validate_trace_file,
+    )
 except ImportError:  # uninstalled checkout: fall back to the src layout
     sys.path.insert(0, str(REPO / "src"))
-    from repro.obs.schema import validate_metrics_file, validate_trace_file
+    from repro.obs.schema import (
+        validate_access_log_file,
+        validate_bench_file,
+        validate_metrics_file,
+        validate_trace_file,
+    )
+
+
+def _load_schema(name: str) -> dict:
+    with open(REPO / "docs" / name, encoding="utf-8") as handle:
+        return json.load(handle)
 
 
 def main(argv: list[str]) -> int:
-    if len(argv) != 2:
-        print(__doc__.strip(), file=sys.stderr)
-        return 2
-    trace_path, metrics_path = argv
+    parser = argparse.ArgumentParser(
+        description="Validate obs output files against the checked-in schemas."
+    )
+    parser.add_argument("trace", help="merged trace JSONL file")
+    parser.add_argument("metrics", help="--metrics JSON dump")
+    parser.add_argument("--access-log", default=None,
+                        help="serve --access-log JSONL file")
+    parser.add_argument("--bench", default=None,
+                        help="repro bench BENCH_*.json document")
+    args = parser.parse_args(argv)
 
-    with open(REPO / "docs" / "trace.schema.json", encoding="utf-8") as handle:
-        trace_schema = json.load(handle)
-    with open(REPO / "docs" / "metrics.schema.json", encoding="utf-8") as handle:
-        metrics_schema = json.load(handle)
+    checks = [
+        ("trace", args.trace,
+         validate_trace_file(args.trace, _load_schema("trace.schema.json"))),
+        ("metrics", args.metrics,
+         validate_metrics_file(args.metrics, _load_schema("metrics.schema.json"))),
+    ]
+    if args.access_log is not None:
+        checks.append((
+            "access-log", args.access_log,
+            validate_access_log_file(
+                args.access_log, _load_schema("accesslog.schema.json")
+            ),
+        ))
+    if args.bench is not None:
+        checks.append((
+            "bench", args.bench,
+            validate_bench_file(args.bench, _load_schema("bench.schema.json")),
+        ))
 
     failures = 0
-    for label, path, errors in (
-        ("trace", trace_path, validate_trace_file(trace_path, trace_schema)),
-        ("metrics", metrics_path, validate_metrics_file(metrics_path, metrics_schema)),
-    ):
+    for label, path, errors in checks:
         if errors:
             failures += 1
             print(f"{label} file {path} is INVALID:", file=sys.stderr)

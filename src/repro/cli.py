@@ -10,6 +10,8 @@ Examples::
     anycast-repro inspect trace.jsonl
     anycast-repro summary
     anycast-repro serve --scale small --port 8459 --workers 2
+    anycast-repro serve --trace daemon.jsonl --access-log access.jsonl
+    anycast-repro bench --quick
 
 Heavy substrates and experiment results are cached on disk (default
 ``~/.cache/anycast-repro``); rerunning any experiment is near-instant.
@@ -18,8 +20,16 @@ Use ``--cache-dir`` / ``--no-cache`` (or ``ANYCAST_REPRO_CACHE_DIR`` /
 
 Observability: ``--trace FILE.jsonl`` records every span the run opened
 (merged across worker processes), ``--metrics FILE.json`` dumps the
-metrics registry, ``repro inspect TRACE`` analyses a recorded trace, and
-``-v`` turns on DEBUG logging for the ``repro`` logger tree.
+metrics registry, ``repro inspect FILE`` analyses a recorded trace or a
+serve access log (it sniffs which), ``-v`` turns on DEBUG logging for
+the ``repro`` logger tree, and ``--log-json`` switches that logging to
+one JSON object per line (with the request's trace id attached inside
+the daemon).  ``repro serve`` adds ``--trace`` (request-rooted span
+trees, merged across the worker pool at shutdown), ``--access-log``
+(one JSON record per request), and ``GET /v1/debug/{tracez,statusz,
+vars}``.  ``repro bench`` runs the perf-trajectory suite and writes a
+schema-versioned ``BENCH_<code>.json``, diffing against a committed
+baseline (exit 3 on regression beyond ``--threshold``).
 
 Failure semantics: experiments that crash, raise, or blow ``--timeout``
 are retried ``--retries`` times with exponential backoff, then
@@ -45,10 +55,11 @@ envelope (``repro.serve.schema``, checked against
 ``docs/serve.schema.json``).
 
 Exit codes: 0 success · 1 I/O error (unwritable ``--out``/``--csv``/
-``--trace``/``--metrics``, unbindable ``serve`` port) · 2 usage
-(unknown command/experiment, ``--resume`` mismatch) · 3 one or more
-experiments quarantined (partial results were produced) · 4 run
-preempted / serve grace expired (journal written; resumable).
+``--trace``/``--metrics``/``--access-log``, unbindable ``serve`` port)
+· 2 usage (unknown command/experiment, ``--resume`` mismatch) · 3 one
+or more experiments quarantined / ``bench`` regression beyond the
+threshold (partial results were produced) · 4 run preempted / serve
+grace expired (journal written; resumable).
 """
 
 from __future__ import annotations
@@ -74,7 +85,7 @@ from .engine import (
 )
 from .experiments import Scenario, list_experiments, run_experiment, write_series_csv
 from .obs import configure_logging, metrics, rss_peak_bytes, trace
-from .obs.inspect import render_trace
+from .obs.inspect import looks_like_access_log, render_access_log, render_trace
 from .obs.trace import load_trace
 
 __all__ = ["main", "build_parser"]
@@ -119,11 +130,13 @@ def build_parser() -> argparse.ArgumentParser:
                             help="print the engine's per-stage RunReport afterwards")
 
     inspect = sub.add_parser(
-        "inspect", help="analyse a trace recorded with --trace"
+        "inspect",
+        help="analyse a --trace span file or a serve --access-log file",
     )
-    inspect.add_argument("trace", help="merged trace JSONL file")
+    inspect.add_argument("trace",
+                         help="merged trace JSONL or access-log JSONL file")
     inspect.add_argument("--top", type=_positive_int, default=10, metavar="N",
-                         help="how many slowest spans to list (default 10)")
+                         help="how many slowest spans/requests to list (default 10)")
     _add_verbose_arg(inspect)
 
     summary = sub.add_parser("summary", help="key headline numbers only")
@@ -165,6 +178,37 @@ def build_parser() -> argparse.ArgumentParser:
         help="inject a deterministic fault, e.g. slow_request:s=2 "
              "(repeatable; also honours the REPRO_FAULTS env var)",
     )
+    daemon.add_argument(
+        "--trace", metavar="FILE.jsonl", default=None,
+        help="trace the daemon: request-rooted span trees, merged "
+             "across pool workers into FILE at shutdown",
+    )
+    daemon.add_argument(
+        "--access-log", metavar="FILE.jsonl", default=None,
+        help="append one JSON record per request (feed to repro inspect)",
+    )
+
+    bench = sub.add_parser(
+        "bench",
+        help="run the perf-trajectory suite; write BENCH_<code>.json and "
+             "diff against a baseline",
+    )
+    _add_scenario_args(bench)
+    bench.add_argument("--quick", action="store_true",
+                       help="fewer rounds per benchmark (CI mode)")
+    bench.add_argument("--out", metavar="FILE.json", default=None,
+                       help="output document path "
+                            "(default BENCH_<code_version>.json in cwd)")
+    bench.add_argument("--baseline", metavar="FILE.json", default=None,
+                       help="baseline document to diff against (default: "
+                            "the checked-in benchmarks/BENCH_baseline.json)")
+    bench.add_argument("--threshold", type=float, default=0.30, metavar="FRACTION",
+                       help="regression tolerance vs the calibration-adjusted "
+                            "baseline (default 0.30 = 30%%)")
+    bench.add_argument("--select", metavar="SUBSTR", default=None,
+                       help="only run benchmarks whose name contains SUBSTR")
+    bench.add_argument("--no-compare", action="store_true",
+                       help="skip the baseline diff (record only)")
 
     runs = sub.add_parser(
         "runs", help="list run directories (journals), or prune completed ones"
@@ -197,6 +241,11 @@ def _add_verbose_arg(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "-v", "--verbose", action="count", default=0,
         help="DEBUG logging for the repro logger tree",
+    )
+    parser.add_argument(
+        "--log-json", action="store_true",
+        help="structured logging: one JSON object per line on stderr "
+             "(ts, level, logger, msg, trace_id when serving a request)",
     )
 
 
@@ -538,7 +587,10 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
     if not records:
         print(f"no span records in {args.trace}", file=sys.stderr)
         return 1
-    print(render_trace(records, top=args.top))
+    if looks_like_access_log(records):
+        print(render_access_log(records, top=args.top))
+    else:
+        print(render_trace(records, top=args.top))
     return 0
 
 
@@ -557,11 +609,54 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         whatif_concurrency=args.whatif_concurrency,
         cache_dir=args.cache_dir,
         no_cache=args.no_cache,
+        trace=args.trace,
+        access_log=args.access_log,
     )
     if config.port < 0 or config.workers < 0 or config.grace < 0:
         print("serve: --port, --workers and --grace must be >= 0", file=sys.stderr)
         return 2
     return serve(config)
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .obs import bench as obs_bench
+
+    metrics.reset()
+    try:
+        document = obs_bench.run_suite(
+            args.scale, args.seed, quick=args.quick, select=args.select,
+            cache_dir=args.cache_dir, no_cache=args.no_cache,
+        )
+    except ValueError as error:
+        print(f"bench: {error}", file=sys.stderr)
+        return 2
+    out = args.out or obs_bench.default_output_name(document)
+    try:
+        obs_bench.save_document(document, out)
+    except OSError as error:
+        print(f"cannot write bench document to {out}: {error}", file=sys.stderr)
+        return 1
+    print(obs_bench.render_document(document))
+    print(f"wrote {out}", file=sys.stderr)
+    if args.no_compare:
+        return 0
+    baseline_path = obs_bench.find_baseline(args.baseline)
+    if baseline_path is None:
+        print("no baseline to diff against; recorded only", file=sys.stderr)
+        return 0
+    try:
+        with open(baseline_path, encoding="utf-8") as handle:
+            baseline = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"cannot read baseline {baseline_path}: {error}", file=sys.stderr)
+        return 1
+    try:
+        regressions = obs_bench.compare(document, baseline, threshold=args.threshold)
+    except ValueError as error:
+        print(f"bench: {error}", file=sys.stderr)
+        return 2
+    print(obs_bench.render_regressions(regressions, args.threshold))
+    return 3 if regressions else 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -577,7 +672,10 @@ def main(argv: list[str] | None = None) -> int:
 
 def _dispatch(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    configure_logging(getattr(args, "verbose", 0))
+    configure_logging(
+        getattr(args, "verbose", 0),
+        json_lines=getattr(args, "log_json", False),
+    )
 
     if args.command == "list":
         for experiment_id in list_experiments():
@@ -599,6 +697,9 @@ def _dispatch(argv: list[str] | None = None) -> int:
 
     if args.command == "serve":
         return _cmd_serve(args)
+
+    if args.command == "bench":
+        return _cmd_bench(args)
 
     scenario = _build_scenario(args)
 

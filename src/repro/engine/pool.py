@@ -221,6 +221,19 @@ class MonitoredPool:
         )
         self._serve_thread.start()
 
+    @property
+    def queue_depth(self) -> int:
+        """Submitted tasks the scheduler has not yet picked up.
+
+        A backlog gauge for the serve daemon's resource sampler: grows
+        when every worker is busy and requests keep arriving.  Tasks the
+        scheduler already moved to its internal pending list (waiting
+        for an idle worker) are not counted — the number is a cheap
+        lower bound, not exact accounting.
+        """
+        with self._serve_lock:
+            return len(self._serve_queue)
+
     def submit(self, args: tuple) -> Future:
         """Queue one task; the Future resolves to ``(ok, payload, detail)``.
 

@@ -15,7 +15,11 @@ The observability layer the rest of the package instruments against:
 * :mod:`repro.obs.log` — the stdlib-``logging`` ``repro.*`` tree behind
   the CLI's ``-v`` flag.
 * :mod:`repro.obs.inspect` — trace analysis (slowest spans, per-name
-  exclusive-time aggregates, cache effectiveness) for ``repro inspect``.
+  exclusive-time aggregates, cache effectiveness) for ``repro inspect``,
+  plus access-log aggregation for the serve daemon's request records.
+* :mod:`repro.obs.bench` — the ``repro bench`` perf-trajectory suite
+  (imported lazily, never re-exported here: its benchmark bodies reach
+  back into the wider package, so eager import would break leafness).
 
 This package is a leaf: it imports nothing from the rest of ``repro``,
 so any layer — geo, bgp, anycast, engine, cli — may instrument freely
@@ -32,7 +36,7 @@ Quickstart::
     print(metrics.to_text())
 """
 
-from .log import ROOT_LOGGER, configure_logging, get_logger
+from .log import ROOT_LOGGER, JsonLineFormatter, configure_logging, get_logger
 from .metrics import (
     DEFAULT_BUCKETS,
     LATENCY_BUCKETS_MS,
@@ -43,11 +47,22 @@ from .metrics import (
     MetricsRegistry,
     metrics,
     rss_peak_bytes,
+    sample_process_stats,
 )
-from .trace import Span, TimerStack, Tracer, load_trace, merge_shards, trace
+from .trace import (
+    Span,
+    TimerStack,
+    Tracer,
+    current_trace_id,
+    load_trace,
+    merge_shards,
+    set_trace_id,
+    trace,
+)
 
 __all__ = [
     "ROOT_LOGGER",
+    "JsonLineFormatter",
     "configure_logging",
     "get_logger",
     "DEFAULT_BUCKETS",
@@ -59,10 +74,13 @@ __all__ = [
     "MetricsRegistry",
     "metrics",
     "rss_peak_bytes",
+    "sample_process_stats",
     "Span",
     "TimerStack",
     "Tracer",
+    "current_trace_id",
     "load_trace",
     "merge_shards",
+    "set_trace_id",
     "trace",
 ]

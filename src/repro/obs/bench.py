@@ -1,0 +1,505 @@
+"""Perf-trajectory benchmarking: ``repro bench`` and ``BENCH_*.json``.
+
+The pytest suite under ``benchmarks/`` asserts *floors* (regressions
+fail CI); this module records *trajectories*: a small, named suite of
+the repository's hot paths — kernel batch resolution, single-query
+latency, the warm-cache engine path, a live loopback HTTP resolve
+through the serve daemon, and the disabled-span overhead — timed
+in-process and written as one schema-versioned ``BENCH_<code>.json``
+document (machine info, per-benchmark latency/throughput stats, cache
+hit rates).  Committing one document per code version is what turns
+"is it getting faster?" from folklore into a diffable series.
+
+Cross-machine comparability: wall times move with the host, so every
+document carries a ``calibration_s`` — the time of a fixed CPU+memory
+probe measured in the same run.  :func:`compare` scales the
+baseline's timings by the calibration ratio before applying the
+regression threshold, so a slower CI box does not read as a regression
+(and a faster one does not hide a real one).
+
+Like the rest of :mod:`repro.obs`, this module keeps the package a
+leaf: every import from the wider ``repro`` tree happens lazily inside
+the benchmark bodies.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+from .metrics import metrics
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "BENCH_SCHEMA",
+    "SUITE",
+    "DEFAULT_THRESHOLD",
+    "machine_info",
+    "calibrate",
+    "run_suite",
+    "save_document",
+    "default_output_name",
+    "find_baseline",
+    "compare",
+    "render_document",
+    "render_regressions",
+]
+
+#: Bumped whenever the BENCH document layout changes incompatibly.
+BENCH_SCHEMA_VERSION = 1
+
+#: Fail threshold for :func:`compare`: a benchmark is a regression when
+#: its min time exceeds the calibration-adjusted baseline by this
+#: fraction (0.30 = 30%, the CI gate).
+DEFAULT_THRESHOLD = 0.30
+
+#: The document contract.  ``docs/bench.schema.json`` is the checked-in
+#: copy of exactly this object; tests assert the two never drift.
+BENCH_SCHEMA: dict = {
+    "type": "object",
+    "required": [
+        "schema", "code_version", "created_ts", "scale", "seed", "quick",
+        "machine", "calibration_s", "benchmarks", "cache",
+    ],
+    "additionalProperties": False,
+    "properties": {
+        "schema": {"type": "integer"},
+        "code_version": {"type": "string"},
+        "created_ts": {"type": "number"},
+        "scale": {"type": "string"},
+        "seed": {"type": "integer"},
+        "quick": {"type": "boolean"},
+        "machine": {
+            "type": "object",
+            "required": ["python", "implementation", "platform", "machine", "cpu_count"],
+            "additionalProperties": False,
+            "properties": {
+                "python": {"type": "string"},
+                "implementation": {"type": "string"},
+                "platform": {"type": "string"},
+                "machine": {"type": "string"},
+                "cpu_count": {"type": ["integer", "null"]},
+            },
+        },
+        "calibration_s": {"type": "number"},
+        "benchmarks": {
+            "type": "array",
+            "items": {
+                "type": "object",
+                "required": ["name", "rounds", "units_per_round", "stats", "throughput", "extra"],
+                "additionalProperties": False,
+                "properties": {
+                    "name": {"type": "string"},
+                    "rounds": {"type": "integer"},
+                    "units_per_round": {"type": "number"},
+                    "stats": {
+                        "type": "object",
+                        "required": ["min_s", "mean_s", "max_s"],
+                        "additionalProperties": False,
+                        "properties": {
+                            "min_s": {"type": "number"},
+                            "mean_s": {"type": "number"},
+                            "max_s": {"type": "number"},
+                        },
+                    },
+                    "throughput": {"type": ["number", "null"]},
+                    "extra": {"type": "object"},
+                },
+            },
+        },
+        "cache": {
+            "type": "object",
+            "required": ["stage_builds", "stage_hits", "hit_rate"],
+            "additionalProperties": False,
+            "properties": {
+                "stage_builds": {"type": "integer"},
+                "stage_hits": {"type": "integer"},
+                "hit_rate": {"type": "number"},
+            },
+        },
+    },
+}
+
+
+def machine_info() -> dict:
+    """Where this document was produced (schema-pinned keys only)."""
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def calibrate(repeats: int = 3) -> float:
+    """Seconds for a fixed CPU+memory probe (best of ``repeats`` each).
+
+    Two components, summed: sha256 over 4 MB in 64 KiB chunks (scalar
+    compute, cache-resident) and a full ``count`` scan over a 32 MB
+    buffer (memory bandwidth).  The suite's hot paths — numpy gathers,
+    Python object traffic, socket I/O — are bandwidth-sensitive in a
+    way a cache-resident hash loop cannot see, so the probe exercises
+    both; :func:`compare` uses the ratio of two calibrations to
+    translate timings between machines (or between windows of a busy
+    virtualized host).
+    """
+    chunk = b"\xa5" * 65536
+    buffer = b"\xa5" * (32 << 20)
+    best_cpu = best_mem = float("inf")
+    for _ in range(repeats):
+        digest = hashlib.sha256()
+        start = time.perf_counter()
+        for _ in range(64):
+            digest.update(chunk)
+        best_cpu = min(best_cpu, time.perf_counter() - start)
+        start = time.perf_counter()
+        buffer.count(0)
+        best_mem = min(best_mem, time.perf_counter() - start)
+    return best_cpu + best_mem
+
+
+def _time_rounds(fn, rounds: int) -> list[float]:
+    times = []
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return times
+
+
+class _Context:
+    """Shared state the benchmark bodies draw on (built once per run)."""
+
+    def __init__(self, scenario, quick: bool):
+        self.scenario = scenario
+        self.quick = quick
+        self.rounds = 5 if quick else 7
+        self._service = None
+
+    @property
+    def deployment(self):
+        letters = self.scenario.letters_2018
+        return letters[sorted(letters)[0]]
+
+    @property
+    def population(self):
+        locations = list(self.scenario.user_base)
+        return (
+            [loc.asn for loc in locations],
+            [loc.region_id for loc in locations],
+        )
+
+    @property
+    def service(self):
+        """A warm :class:`AnycastService` (built once, reused across benches)."""
+        if self._service is None:
+            from ..serve.service import AnycastService
+
+            self._service = AnycastService(self.scenario)
+        return self._service
+
+
+def _bench_resolve_many(ctx: _Context) -> dict:
+    """Full-population batch resolution through one warm kernel.
+
+    Each round repeats the batch resolve 64× so the round body stays
+    well above scheduler jitter even at the small scale, where a single
+    full-population resolve is sub-millisecond.
+    """
+    asns, regions = ctx.population
+    deployment = ctx.deployment
+    reps = 64
+    deployment.resolve_many(asns[:1], regions[:1])  # warm tables out of the timing
+
+    def run():
+        for _ in range(reps):
+            deployment.resolve_many(asns, regions)
+
+    times = _time_rounds(run, ctx.rounds)
+    return {
+        "times": times,
+        "units": len(asns) * reps,
+        "extra": {"rows": len(asns), "reps": reps},
+    }
+
+
+def _bench_resolve_single(ctx: _Context) -> dict:
+    """Per-query latency: a loop of 1-row resolves (the serve hot path)."""
+    asns, regions = ctx.population
+    deployment = ctx.deployment
+    n = 150 if ctx.quick else 200
+    deployment.resolve_many(asns[:1], regions[:1])
+
+    def run():
+        for i in range(n):
+            j = i % len(asns)
+            deployment.resolve_many([asns[j]], [regions[j]])
+
+    times = _time_rounds(run, ctx.rounds)
+    return {"times": times, "units": n, "extra": {"resolves": n}}
+
+
+def _bench_engine_cached(ctx: _Context) -> dict:
+    """Warm-cache experiment runs through the engine (200 per round).
+
+    A single warm-cache run is ~0.1ms, far below timer/scheduler noise;
+    repeating it keeps the round body long enough for a stable minimum.
+    """
+    from ..experiments import run_experiment
+
+    reps = 200
+    run_experiment("fig02a", ctx.scenario)  # guarantee the cache is warm
+
+    def run():
+        for _ in range(reps):
+            run_experiment("fig02a", ctx.scenario)
+
+    times = _time_rounds(run, ctx.rounds)
+    return {"times": times, "units": reps, "extra": {"experiment": "fig02a", "reps": reps}}
+
+
+def _bench_span_disabled(ctx: _Context) -> dict:
+    """Disabled-tracer span cost (the always-on instrumentation price)."""
+    from .trace import Tracer
+
+    tracer = Tracer()
+    n = 20_000 if ctx.quick else 50_000
+
+    def spin():
+        for _ in range(n):
+            with tracer.span("bench.micro"):
+                pass
+
+    times = _time_rounds(spin, ctx.rounds)
+    return {"times": times, "units": n, "extra": {"spans": n}}
+
+
+def _bench_serve_http(ctx: _Context) -> dict:
+    """Loopback keep-alive ``POST /v1/resolve`` through the real daemon stack.
+
+    Boots the asyncio server in-process (thread offload, no forked
+    pool) on an ephemeral port, then times sequential 64-pair resolves
+    over one keep-alive connection — the end-to-end serving path:
+    parse, route, offload, kernel, serialize, write.
+    """
+    import http.client
+
+    from ..serve.lifecycle import ServeConfig
+    from ..serve.server import App
+    from ._loopback import LoopbackDaemon
+
+    asns, regions = ctx.population
+    pairs = [[asns[i % len(asns)], regions[i % len(regions)]] for i in range(64)]
+    deployment_name = sorted(ctx.service.deployments)[0]
+    body = json.dumps({"deployment": deployment_name, "pairs": pairs}).encode()
+    n = 40 if ctx.quick else 80
+
+    app = App(ctx.service, ServeConfig(workers=0))
+    with LoopbackDaemon(app) as port:
+        connection = http.client.HTTPConnection("127.0.0.1", port, timeout=120)
+
+        def run():
+            for _ in range(n):
+                connection.request(
+                    "POST", "/v1/resolve", body=body,
+                    headers={"Content-Type": "application/json"},
+                )
+                response = connection.getresponse()
+                payload = response.read()
+                if response.status != 200:  # pragma: no cover - bench wiring bug
+                    raise RuntimeError(f"HTTP {response.status}: {payload[:200]!r}")
+
+        run()  # warm: connection established, endpoint counters registered
+        times = _time_rounds(run, ctx.rounds)
+        connection.close()
+    return {
+        "times": times,
+        "units": n,
+        "extra": {"pairs_per_request": len(pairs), "deployment": deployment_name},
+    }
+
+
+#: The trajectory suite: name → benchmark body.  Order is report order.
+SUITE: dict = {
+    "kernel.resolve_many": _bench_resolve_many,
+    "kernel.resolve_single": _bench_resolve_single,
+    "engine.cached_run": _bench_engine_cached,
+    "obs.span_disabled": _bench_span_disabled,
+    "serve.http_resolve": _bench_serve_http,
+}
+
+
+def _cache_section() -> dict:
+    snapshot = metrics.snapshot()["counters"]
+    builds = int(snapshot.get("engine.stages.built.total", 0))
+    hits = int(snapshot.get("engine.stages.cache_hits.total", 0))
+    return {
+        "stage_builds": builds,
+        "stage_hits": hits,
+        "hit_rate": hits / builds if builds else 0.0,
+    }
+
+
+def run_suite(
+    scale: str = "small",
+    seed: int = 0,
+    *,
+    quick: bool = True,
+    select: str | None = None,
+    cache_dir: str | None = None,
+    no_cache: bool = False,
+    scenario=None,
+) -> dict:
+    """Run the trajectory suite; returns the BENCH document (unsaved).
+
+    ``select`` is a substring filter over benchmark names.  ``scenario``
+    injects a pre-built scenario (tests); by default one is built
+    through the artifact cache like any CLI run.
+    """
+    from ..engine import ArtifactCache, code_version
+
+    if scenario is None:
+        from ..experiments import Scenario
+
+        cache = ArtifactCache(root=cache_dir, enabled=not no_cache)
+        scenario = Scenario(scale=scale, seed=seed, cache=cache)
+    ctx = _Context(scenario, quick)
+    chosen = {
+        name: fn for name, fn in SUITE.items()
+        if select is None or select in name
+    }
+    if not chosen:
+        raise ValueError(
+            f"--select {select!r} matches no benchmark; known: {', '.join(SUITE)}"
+        )
+    records = []
+    for name, fn in chosen.items():
+        outcome = fn(ctx)
+        times = outcome["times"]
+        units = float(outcome["units"])
+        min_s = min(times)
+        records.append({
+            "name": name,
+            "rounds": len(times),
+            "units_per_round": units,
+            "stats": {
+                "min_s": min_s,
+                "mean_s": sum(times) / len(times),
+                "max_s": max(times),
+            },
+            "throughput": units / min_s if min_s > 0 else None,
+            "extra": outcome.get("extra", {}),
+        })
+    return {
+        "schema": BENCH_SCHEMA_VERSION,
+        "code_version": code_version(),
+        "created_ts": time.time(),
+        "scale": scenario.params.scale,
+        "seed": scenario.params.seed,
+        "quick": quick,
+        "machine": machine_info(),
+        "calibration_s": calibrate(),
+        "benchmarks": records,
+        "cache": _cache_section(),
+    }
+
+
+def default_output_name(document: dict) -> str:
+    """``BENCH_<code12>.json`` — one file per producing tree."""
+    return f"BENCH_{document['code_version'][:12]}.json"
+
+
+def save_document(document: dict, path: str | os.PathLike) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def find_baseline(explicit: str | None = None) -> Path | None:
+    """Resolve the baseline document: ``--baseline`` wins, else the
+    checked-in ``benchmarks/BENCH_baseline.json`` of a repo checkout."""
+    if explicit is not None:
+        return Path(explicit)
+    checked_in = Path(__file__).resolve().parents[3] / "benchmarks" / "BENCH_baseline.json"
+    return checked_in if checked_in.is_file() else None
+
+
+def compare(current: dict, baseline: dict, threshold: float = DEFAULT_THRESHOLD) -> list[dict]:
+    """Regressions of ``current`` against ``baseline``.
+
+    A benchmark regresses when its min time exceeds the baseline's —
+    scaled by the two documents' calibration ratio — by more than
+    ``threshold``.  Benchmarks present in only one document are skipped
+    (suites may grow); comparing across scales is refused.
+    """
+    if current.get("scale") != baseline.get("scale"):
+        raise ValueError(
+            f"cannot compare scale={current.get('scale')!r} against a "
+            f"scale={baseline.get('scale')!r} baseline"
+        )
+    base_cal = float(baseline.get("calibration_s") or 0.0)
+    cur_cal = float(current.get("calibration_s") or 0.0)
+    scale_factor = (cur_cal / base_cal) if base_cal > 0 and cur_cal > 0 else 1.0
+    baseline_by_name = {b["name"]: b for b in baseline.get("benchmarks", [])}
+    regressions = []
+    for bench in current.get("benchmarks", []):
+        base = baseline_by_name.get(bench["name"])
+        if base is None:
+            continue
+        adjusted = float(base["stats"]["min_s"]) * scale_factor
+        current_s = float(bench["stats"]["min_s"])
+        if adjusted > 0 and current_s > adjusted * (1.0 + threshold):
+            regressions.append({
+                "name": bench["name"],
+                "current_s": current_s,
+                "baseline_s": float(base["stats"]["min_s"]),
+                "adjusted_baseline_s": adjusted,
+                "ratio": current_s / adjusted,
+            })
+    return regressions
+
+
+def render_document(document: dict) -> str:
+    """The BENCH document as a printable table."""
+    machine = document["machine"]
+    lines = [
+        f"== bench: scale={document['scale']} seed={document['seed']} "
+        f"{'quick' if document['quick'] else 'full'} / "
+        f"code {document['code_version'][:12]} / "
+        f"calibration {document['calibration_s'] * 1000:.2f}ms ==",
+        f"   {machine['implementation']} {machine['python']} on "
+        f"{machine['machine']} ({machine['cpu_count']} cpus)",
+        f"{'min_s':>10} {'mean_s':>10} {'throughput':>14}  name",
+    ]
+    for bench in document["benchmarks"]:
+        throughput = bench["throughput"]
+        rendered = f"{throughput:,.0f}/s" if throughput is not None else "-"
+        lines.append(
+            f"{bench['stats']['min_s']:>10.4f} {bench['stats']['mean_s']:>10.4f} "
+            f"{rendered:>14}  {bench['name']}"
+        )
+    cache = document["cache"]
+    lines.append(
+        f"cache: {cache['stage_hits']}/{cache['stage_builds']} stage hits "
+        f"({cache['hit_rate']:.1%})"
+    )
+    return "\n".join(lines)
+
+
+def render_regressions(regressions: list[dict], threshold: float) -> str:
+    if not regressions:
+        return f"no regressions beyond {threshold:.0%} vs baseline"
+    lines = [f"{len(regressions)} regression(s) beyond {threshold:.0%} vs baseline:"]
+    for entry in regressions:
+        lines.append(
+            f"  {entry['name']}: {entry['current_s']:.4f}s vs adjusted baseline "
+            f"{entry['adjusted_baseline_s']:.4f}s "
+            f"({entry['ratio']:.2f}x, raw baseline {entry['baseline_s']:.4f}s)"
+        )
+    return "\n".join(lines)

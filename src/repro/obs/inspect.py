@@ -3,6 +3,11 @@
 Pure functions over the span records :func:`~repro.obs.trace.load_trace`
 returns; :func:`render_trace` formats the whole analysis as the text the
 ``repro inspect TRACE.jsonl`` subcommand prints.
+
+``repro inspect`` also accepts the serve daemon's access-log JSONL
+(``repro serve --access-log``): :func:`looks_like_access_log` sniffs the
+record shape and :func:`render_access_log` reports slowest requests,
+per-endpoint time aggregates, and phase breakdowns instead.
 """
 
 from __future__ import annotations
@@ -15,6 +20,9 @@ __all__ = [
     "aggregate_by_name",
     "cache_effectiveness",
     "render_trace",
+    "looks_like_access_log",
+    "aggregate_endpoints",
+    "render_access_log",
 ]
 
 
@@ -101,6 +109,118 @@ def _fmt_bytes(size: float) -> str:
     if size >= 1_000:
         return f"{size / 1_000:.1f} kB"
     return f"{int(size)} B"
+
+
+def looks_like_access_log(records: list[dict]) -> bool:
+    """True when the records are serve access-log lines, not span records.
+
+    Span records carry ``dur_s``/``self_s``/``id``; access-log records
+    carry ``status``/``dur_ms``/``trace_id``.  Sniffing the first record
+    is enough — the two formats share no required keys.
+    """
+    if not records:
+        return False
+    first = records[0]
+    return "status" in first and "dur_ms" in first and "dur_s" not in first
+
+
+def _percentile(sorted_values: list[float], q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    return sorted_values[max(0, min(len(sorted_values) - 1, int(len(sorted_values) * q) - 1))]
+
+
+def aggregate_endpoints(records: list[dict]) -> list[dict]:
+    """Per-endpoint request aggregates, sorted by total time.
+
+    Each row: ``{"endpoint", "count", "errors", "total_s", "mean_ms",
+    "p99_ms", "share", "phases"}`` — ``share`` is the endpoint's
+    fraction of total request time (the serving analogue of a span
+    name's exclusive-time share), and ``phases`` maps each recorded
+    phase (parse/queue/compute/serialize) to its mean milliseconds.
+    """
+    rows: dict[str, dict] = {}
+    for record in records:
+        endpoint = record.get("endpoint", "?")
+        row = rows.setdefault(
+            endpoint,
+            {"endpoint": endpoint, "count": 0, "errors": 0, "total_s": 0.0,
+             "durs_ms": [], "phase_totals": defaultdict(float)},
+        )
+        dur_ms = float(record.get("dur_ms", 0.0))
+        row["count"] += 1
+        row["total_s"] += dur_ms / 1000.0
+        row["durs_ms"].append(dur_ms)
+        if int(record.get("status", 0)) >= 400:
+            row["errors"] += 1
+        for phase, value in (record.get("phases") or {}).items():
+            row["phase_totals"][phase] += float(value)
+    grand_total = sum(row["total_s"] for row in rows.values()) or 1.0
+    out = []
+    for row in rows.values():
+        durs = sorted(row["durs_ms"])
+        out.append({
+            "endpoint": row["endpoint"],
+            "count": row["count"],
+            "errors": row["errors"],
+            "total_s": row["total_s"],
+            "mean_ms": sum(durs) / len(durs) if durs else 0.0,
+            "p99_ms": _percentile(durs, 0.99),
+            "share": row["total_s"] / grand_total,
+            "phases": {
+                phase: total / row["count"]
+                for phase, total in sorted(row["phase_totals"].items())
+            },
+        })
+    out.sort(key=lambda row: row["total_s"], reverse=True)
+    return out
+
+
+def render_access_log(records: list[dict], top: int = 10) -> str:
+    """The access-log inspection report as printable text."""
+    if not records:
+        return "(empty access log)"
+    t0 = min(float(r.get("ts", 0.0)) for r in records)
+    t1 = max(float(r.get("ts", 0.0)) for r in records)
+    errors = sum(1 for r in records if int(r.get("status", 0)) >= 400)
+    lines = [
+        f"== access log: {len(records)} requests / "
+        f"{t1 - t0:.1f}s window / {errors} error(s) =="
+    ]
+
+    lines.append(f"-- top {min(top, len(records))} slowest requests --")
+    lines.append(f"{'dur_ms':>10} {'status':>6}  {'trace_id':<20} request")
+    slowest = sorted(records, key=lambda r: float(r.get("dur_ms", 0.0)), reverse=True)
+    for record in slowest[:top]:
+        lines.append(
+            f"{float(record.get('dur_ms', 0.0)):>10.2f} "
+            f"{record.get('status', '?'):>6}  "
+            f"{str(record.get('trace_id', '?'))[:20]:<20} "
+            f"{record.get('method', '?')} {record.get('path', '?')}"
+        )
+
+    lines.append("-- time by endpoint --")
+    lines.append(
+        f"{'count':>6} {'errors':>6} {'total_s':>9} {'mean_ms':>9} "
+        f"{'p99_ms':>9} {'share':>7}  endpoint"
+    )
+    rows = aggregate_endpoints(records)
+    for row in rows:
+        lines.append(
+            f"{row['count']:>6} {row['errors']:>6} {row['total_s']:>9.3f} "
+            f"{row['mean_ms']:>9.2f} {row['p99_ms']:>9.2f} {row['share']:>6.1%}  "
+            f"{row['endpoint']}"
+        )
+
+    phased = [row for row in rows if row["phases"]]
+    if phased:
+        lines.append("-- mean phase breakdown (ms) --")
+        for row in phased:
+            breakdown = "  ".join(
+                f"{phase}={value:.2f}" for phase, value in row["phases"].items()
+            )
+            lines.append(f"{row['endpoint']}: {breakdown}")
+    return "\n".join(lines)
 
 
 def render_trace(records: list[dict], top: int = 10) -> str:

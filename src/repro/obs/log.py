@@ -5,14 +5,23 @@ Every module logs through ``get_logger("<subsystem>")`` →
 :class:`~logging.NullHandler` so library users see nothing unless they
 configure logging themselves; the CLI's ``-v``/``--verbose`` flag calls
 :func:`configure_logging` to attach a stderr handler at DEBUG.
+
+``--log-json`` switches the handler to one JSON object per line —
+``{"ts", "level", "logger", "msg"}`` plus ``trace_id`` whenever the
+emitting context is serving a request (see
+:func:`repro.obs.trace.current_trace_id`) — so daemon logs can be
+joined against access-log records and trace spans by id.
 """
 
 from __future__ import annotations
 
+import json
 import logging
 import sys
 
-__all__ = ["ROOT_LOGGER", "get_logger", "configure_logging"]
+from .trace import current_trace_id
+
+__all__ = ["ROOT_LOGGER", "get_logger", "configure_logging", "JsonLineFormatter"]
 
 ROOT_LOGGER = "repro"
 
@@ -27,22 +36,47 @@ def get_logger(name: str = "") -> logging.Logger:
     return logging.getLogger(f"{ROOT_LOGGER}.{name}" if name else ROOT_LOGGER)
 
 
-def configure_logging(verbose: int = 0, stream=None) -> logging.Logger:
+class JsonLineFormatter(logging.Formatter):
+    """One JSON object per record: ts, level, logger, msg [, trace_id, exc]."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        entry = {
+            "ts": record.created,
+            "level": record.levelname,
+            "logger": record.name,
+            "msg": record.getMessage(),
+        }
+        trace_id = current_trace_id()
+        if trace_id is not None:
+            entry["trace_id"] = trace_id
+        if record.exc_info:
+            entry["exc"] = self.formatException(record.exc_info)
+        return json.dumps(entry, separators=(",", ":"), default=str)
+
+
+def configure_logging(
+    verbose: int = 0, stream=None, *, json_lines: bool = False
+) -> logging.Logger:
     """Attach one stderr handler to the ``repro`` root logger.
 
     ``verbose >= 1`` (the CLI's ``-v``) logs at DEBUG; ``0`` keeps the
-    tree at WARNING.  Idempotent: a previous handler attached by this
-    function is replaced, never stacked, so repeated CLI invocations in
-    one process do not multiply output.
+    tree at WARNING.  ``json_lines`` (the CLI's ``--log-json``) swaps
+    the human formatter for :class:`JsonLineFormatter`.  Idempotent: a
+    previous handler attached by this function is replaced, never
+    stacked, so repeated CLI invocations in one process do not multiply
+    output.
     """
     logger = logging.getLogger(ROOT_LOGGER)
     for handler in list(logger.handlers):
         if getattr(handler, _HANDLER_FLAG, False):
             logger.removeHandler(handler)
     handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
-    handler.setFormatter(
-        logging.Formatter("%(asctime)s %(name)s %(levelname)s: %(message)s", datefmt="%H:%M:%S")
-    )
+    if json_lines:
+        handler.setFormatter(JsonLineFormatter())
+    else:
+        handler.setFormatter(
+            logging.Formatter("%(asctime)s %(name)s %(levelname)s: %(message)s", datefmt="%H:%M:%S")
+        )
     setattr(handler, _HANDLER_FLAG, True)
     logger.addHandler(handler)
     logger.setLevel(logging.DEBUG if verbose >= 1 else logging.WARNING)

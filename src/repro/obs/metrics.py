@@ -36,6 +36,7 @@ __all__ = [
     "MetricsRegistry",
     "metrics",
     "rss_peak_bytes",
+    "sample_process_stats",
     "SNAPSHOT_SCHEMA_VERSION",
     "DEFAULT_BUCKETS",
     "LATENCY_BUCKETS_MS",
@@ -305,6 +306,48 @@ class MetricsRegistry:
             lines.append(f"{expo(name)}_sum {h.total}")
             lines.append(f"{expo(name)}_count {h.count}")
         return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _procfs_rss_bytes() -> int | None:
+    """Current resident set size from ``/proc/self/statm`` (Linux only)."""
+    try:
+        with open("/proc/self/statm", encoding="ascii") as handle:
+            resident_pages = int(handle.read().split()[1])
+        return resident_pages * os.sysconf("SC_PAGE_SIZE")
+    except (OSError, ValueError, IndexError):
+        return None
+
+
+def _open_fd_count() -> int | None:
+    """How many file descriptors this process holds open."""
+    for fd_dir in ("/proc/self/fd", "/dev/fd"):
+        try:
+            # Minus one: listing the directory itself holds a descriptor.
+            return max(0, len(os.listdir(fd_dir)) - 1)
+        except OSError:
+            continue
+    return None
+
+
+def sample_process_stats() -> dict:
+    """One instantaneous resource sample of this process.
+
+    Returns ``{"rss_bytes", "rss_is_peak", "open_fds"}`` — procfs where
+    available (Linux: current RSS, live fd count), degrading gracefully
+    elsewhere: on non-Linux POSIX the RSS falls back to the
+    :func:`rss_peak_bytes` high-water mark (flagged via ``rss_is_peak``)
+    and fd counting uses ``/dev/fd``; anything unobtainable is ``None``.
+    """
+    rss = _procfs_rss_bytes()
+    rss_is_peak = False
+    if rss is None:
+        rss = rss_peak_bytes()
+        rss_is_peak = rss is not None
+    return {
+        "rss_bytes": rss,
+        "rss_is_peak": rss_is_peak,
+        "open_fds": _open_fd_count(),
+    }
 
 
 def rss_peak_bytes() -> int | None:

@@ -3,8 +3,9 @@
 Supports exactly what the checked-in schemas use — ``type`` (including
 union lists), ``required``, ``properties``, ``additionalProperties``
 (boolean or schema), ``items`` — so CI can enforce
-``docs/trace.schema.json`` and ``docs/metrics.schema.json`` without a
-``jsonschema`` dependency.  ``scripts/validate_obs.py`` is the CLI
+``docs/trace.schema.json``, ``docs/metrics.schema.json``,
+``docs/accesslog.schema.json``, and ``docs/bench.schema.json`` without
+a ``jsonschema`` dependency.  ``scripts/validate_obs.py`` is the CLI
 wrapper.
 """
 
@@ -13,7 +14,14 @@ from __future__ import annotations
 import json
 import os
 
-__all__ = ["validate", "validate_trace_file", "validate_metrics_file"]
+__all__ = [
+    "validate",
+    "validate_trace_file",
+    "validate_metrics_file",
+    "validate_jsonl_file",
+    "validate_access_log_file",
+    "validate_bench_file",
+]
 
 _TYPES = {
     "object": dict,
@@ -61,8 +69,10 @@ def validate(instance, schema: dict, path: str = "$") -> list[str]:
     return errors
 
 
-def validate_trace_file(path: str | os.PathLike, schema: dict) -> list[str]:
-    """Validate a trace JSONL file line by line (every line one span record)."""
+def validate_jsonl_file(
+    path: str | os.PathLike, schema: dict, *, kind: str = "JSONL"
+) -> list[str]:
+    """Validate a JSONL file line by line (every line one record)."""
     errors: list[str] = []
     with open(path, encoding="utf-8") as handle:
         n_records = 0
@@ -79,8 +89,28 @@ def validate_trace_file(path: str | os.PathLike, schema: dict) -> list[str]:
             n_records += 1
             errors.extend(f"line {lineno}: {e}" for e in validate(record, schema))
     if n_records == 0:
-        errors.append("trace file holds no records")
+        errors.append(f"{kind} file holds no records")
     return errors
+
+
+def validate_trace_file(path: str | os.PathLike, schema: dict) -> list[str]:
+    """Validate a trace JSONL file line by line (every line one span record)."""
+    return validate_jsonl_file(path, schema, kind="trace")
+
+
+def validate_access_log_file(path: str | os.PathLike, schema: dict) -> list[str]:
+    """Validate a serve access-log JSONL file (every line one request record)."""
+    return validate_jsonl_file(path, schema, kind="access-log")
+
+
+def validate_bench_file(path: str | os.PathLike, schema: dict) -> list[str]:
+    """Validate a ``BENCH_*.json`` perf-trajectory document."""
+    try:
+        with open(path, encoding="utf-8") as handle:
+            instance = json.load(handle)
+    except json.JSONDecodeError as error:
+        return [f"not JSON: {error}"]
+    return validate(instance, schema)
 
 
 def validate_metrics_file(path: str | os.PathLike, schema: dict) -> list[str]:

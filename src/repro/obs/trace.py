@@ -51,6 +51,8 @@ __all__ = [
     "trace",
     "merge_shards",
     "load_trace",
+    "set_trace_id",
+    "current_trace_id",
     "TimerStack",
 ]
 
@@ -58,6 +60,22 @@ __all__ = [
 _CURRENT: ContextVar["Span | _RemoteParent | None"] = ContextVar(
     "repro_obs_current_span", default=None
 )
+
+#: The id of the request (or other unit of work) the current context is
+#: serving — what ties spans, structured log lines, and access-log
+#: records together.  Set by the serve daemon per request; read by the
+#: ``--log-json`` formatter and anyone emitting correlated telemetry.
+_TRACE_ID: ContextVar[str | None] = ContextVar("repro_obs_trace_id", default=None)
+
+
+def set_trace_id(trace_id: str | None):
+    """Bind a trace/request id to the current context; returns a reset token."""
+    return _TRACE_ID.set(trace_id)
+
+
+def current_trace_id() -> str | None:
+    """The trace/request id bound to the current context, if any."""
+    return _TRACE_ID.get()
 
 _SHARD_PREFIX = "spans-"
 
@@ -210,6 +228,17 @@ class Tracer:
             self._shard_dir = None
         else:
             self.start(shard_dir)
+        _CURRENT.set(_RemoteParent(parent_id))
+
+    def reroot(self, parent_id: str | None) -> None:
+        """Re-root this context under a remote parent without touching shards.
+
+        The cheap per-task sibling of :meth:`adopt`: a long-lived serving
+        worker adopts its shard directory once (or inherits it across
+        ``fork``) and then re-roots for every request it executes, so each
+        task's spans carry that request's parent-side span as their
+        parent.  Costs one contextvar set.
+        """
         _CURRENT.set(_RemoteParent(parent_id))
 
     @contextmanager

@@ -14,13 +14,15 @@ which is exactly what ``/v1/metrics`` then exposes.
 from __future__ import annotations
 
 import json
+import os
 import time
 from dataclasses import dataclass, field
 
-from ..obs import metrics
+from ..obs import metrics, sample_process_stats, trace
 from ..obs.metrics import LATENCY_BUCKETS_MS
 from .schema import envelope
 from .service import ServiceError
+from .telemetry import add_phase
 
 __all__ = ["Request", "Response", "handle", "ENDPOINTS"]
 
@@ -44,7 +46,15 @@ ENDPOINTS = (
     ("GET", "inflation"),
     ("POST", "whatif"),
     ("GET", "metrics"),
+    ("GET", "debug.tracez"),
+    ("GET", "debug.statusz"),
+    ("GET", "debug.vars"),
 )
+
+#: Endpoints still answered while draining: health checks must keep
+#: working so orchestrators see the drain, and the debug surface is most
+#: useful exactly when a daemon is wedged mid-shutdown.
+_DRAIN_EXEMPT = ("healthz", "debug.tracez", "debug.statusz", "debug.vars")
 
 
 @dataclass(slots=True)
@@ -75,6 +85,8 @@ class Response:
     status: int
     body: bytes
     content_type: str = "application/json"
+    endpoint: str = "unrouted"  #: routed endpoint name (access-log field)
+    headers: dict = field(default_factory=dict)  #: extra response headers
 
     @property
     def reason(self) -> str:
@@ -82,8 +94,10 @@ class Response:
 
 
 def _json_response(status: int, endpoint: str, payload: dict) -> Response:
-    body = json.dumps(envelope(endpoint, payload)).encode("utf-8")
-    return Response(status=status, body=body)
+    with trace.span("serve.serialize") as span:
+        body = json.dumps(envelope(endpoint, payload)).encode("utf-8")
+    add_phase("serialize", span.dur_s)
+    return Response(status=status, body=body, endpoint=endpoint)
 
 
 def error_response(status: int, endpoint: str, message: str) -> Response:
@@ -99,6 +113,8 @@ def _route(method: str, path: str) -> tuple[str, str | None]:
         endpoint, argument = parts[1], None
     elif len(parts) == 3 and parts[1] in ("catchment", "inflation"):
         endpoint, argument = parts[1], parts[2]
+    elif len(parts) == 3 and parts[1] == "debug" and parts[2] in ("tracez", "statusz", "vars"):
+        endpoint, argument = f"debug.{parts[2]}", None
     else:
         raise ServiceError(404, f"no such path {path!r}")
     expected = {"resolve": "POST", "whatif": "POST"}.get(endpoint, "GET")
@@ -119,7 +135,7 @@ async def handle(app, request: Request, *, reject_draining: bool = False) -> Res
     endpoint = "unrouted"
     try:
         endpoint, argument = _route(request.method, request.path)
-        if reject_draining and endpoint != "healthz":
+        if reject_draining and endpoint not in _DRAIN_EXEMPT:
             response = error_response(
                 503, endpoint, f"draining ({app.lifecycle.reason}); not accepting work"
             )
@@ -150,11 +166,45 @@ async def _dispatch(app, endpoint: str, argument: str | None, request: Request) 
             "workers": app.config.workers,
         })
     if endpoint == "metrics":
+        with trace.span("serve.serialize") as span:
+            body = metrics.to_text().encode("utf-8")
+        add_phase("serialize", span.dur_s)
         return Response(
             status=200,
-            body=metrics.to_text().encode("utf-8"),
+            body=body,
             content_type="text/plain; version=0.0.4",
+            endpoint=endpoint,
         )
+    if endpoint == "debug.tracez":
+        telemetry = app.telemetry
+        return _json_response(200, endpoint, {
+            "records_total": telemetry.records_total,
+            "recent": telemetry.recent(),
+            "slowest": telemetry.slowest(),
+        })
+    if endpoint == "debug.statusz":
+        lifecycle = app.lifecycle
+        config = app.config
+        return _json_response(200, endpoint, {
+            "pid": os.getpid(),
+            "uptime_s": lifecycle.uptime_s,
+            "draining": lifecycle.draining,
+            "drain_reason": lifecycle.reason,
+            "inflight": lifecycle.inflight,
+            "workers": config.workers,
+            "max_inflight": config.max_inflight,
+            "grace": config.grace,
+            "scale": app.service.scenario.params.scale,
+            "seed": app.service.scenario.params.seed,
+            "trace_enabled": trace.enabled,
+            "access_log": config.access_log,
+            "queue_depth": app.pool.queue_depth if app.pool is not None else 0,
+        })
+    if endpoint == "debug.vars":
+        return _json_response(200, endpoint, {
+            "process": sample_process_stats(),
+            "metrics": metrics.snapshot(),
+        })
     if endpoint == "scenario":
         return _json_response(200, endpoint, await app.execute("scenario", {}))
     if endpoint == "resolve":

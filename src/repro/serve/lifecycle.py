@@ -50,6 +50,8 @@ class ServeConfig:
     whatif_concurrency: int = 2  #: the what-if worker semaphore
     cache_dir: str | None = None
     no_cache: bool = False
+    trace: str | None = None  #: merged span JSONL written at shutdown
+    access_log: str | None = None  #: per-request JSONL, written live
 
 
 class Lifecycle:

@@ -13,6 +13,20 @@ N``, the default) or to a thread (``--workers 0``) — bounded by a
 queue instead of in Python memory.  Workers fork *after* the service
 warm-up, so every worker shares the resident kernels copy-on-write.
 
+Request telemetry: every request gets a ``trace_id`` (honouring an
+inbound ``X-Request-Id``), echoed back as ``X-Request-Id`` and bound to
+the context so structured log lines carry it.  Around the request the
+daemon opens a ``serve.request`` span with ``serve.parse`` /
+``serve.queue`` / ``serve.compute`` / ``serve.serialize`` children;
+with ``--trace`` the whole daemon runs inside
+:meth:`~repro.obs.trace.Tracer.capture`, so forked workers shard spans
+re-rooted under the request's compute frame and the merged trace
+telescopes across processes.  ``--access-log`` writes one JSON record
+per request (see :mod:`repro.serve.telemetry`); a background sampler
+keeps ``process.rss_bytes`` / ``process.open_fds`` / ``serve.inflight``
+/ ``serve.pool.queue_depth`` gauges fresh for ``/v1/metrics`` and
+``/v1/debug/vars``.
+
 Shutdown (see :mod:`repro.serve.lifecycle`): SIGTERM closes the
 listener, in-flight requests get ``--grace`` seconds, keep-alive
 stragglers get 503, and the exit code is 0 (clean drain) or 4
@@ -22,21 +36,48 @@ stragglers get 503, and the exit code is 0 (clean drain) or 4
 from __future__ import annotations
 
 import asyncio
+import contextvars
 import sys
+import time
+import uuid
 
 from .. import faults
 from ..engine import ArtifactCache, MonitoredPool
-from ..obs import get_logger, metrics
+from ..obs import current_trace_id, get_logger, metrics, sample_process_stats, set_trace_id, trace
 from .handlers import Request, Response, error_response, handle
 from .lifecycle import EXIT_IO, EXIT_PREEMPTED, EXIT_USAGE, Lifecycle, ServeConfig
 from .service import AnycastService, ServiceError, install_service, service_task
+from .telemetry import (
+    ACCESS_LOG_SCHEMA_VERSION,
+    RequestTelemetry,
+    add_phase,
+    begin_request,
+    end_request,
+)
 
-__all__ = ["App", "serve", "MAX_BODY_BYTES"]
+__all__ = ["App", "serve", "MAX_BODY_BYTES", "MAX_REQUEST_ID_CHARS"]
 
 _log = get_logger("serve.server")
 
 #: Largest accepted request body (a 100k-pair resolve batch is ~2 MB).
 MAX_BODY_BYTES = 8 * 1024 * 1024
+
+#: Longest honoured inbound ``X-Request-Id`` (anything longer, or with
+#: non-token characters, is ignored and the generated id is kept).
+MAX_REQUEST_ID_CHARS = 128
+
+#: Seconds between resource-gauge samples.
+SAMPLE_PERIOD_S = 1.0
+
+
+def _inbound_request_id(headers: dict) -> str | None:
+    """A safe client-supplied request id, or None to keep the generated one."""
+    value = headers.get("x-request-id", "").strip()
+    if not value or len(value) > MAX_REQUEST_ID_CHARS:
+        return None
+    if not all(ch.isalnum() or ch in "-_." for ch in value):
+        return None
+    return value
 
 
 class App:
@@ -48,6 +89,7 @@ class App:
         self.config = config
         self.pool = pool
         self.lifecycle = Lifecycle(grace=config.grace)
+        self.telemetry = RequestTelemetry(config.access_log)
         self._offload_semaphore = asyncio.Semaphore(max(1, config.max_inflight))
         self.whatif_semaphore = asyncio.Semaphore(max(1, config.whatif_concurrency))
 
@@ -57,22 +99,51 @@ class App:
         Raises :class:`ServiceError` for client-attributable failures
         (the worker ships them back reified, so a bad request never
         burns a retry or a worker).
+
+        Two phases are accounted here: ``serve.queue`` (waiting for a
+        ``--max-inflight`` slot) and ``serve.compute`` (the pool or
+        thread round-trip).  With tracing on, a pool worker re-roots its
+        spans under this context's compute frame, and the worker's wall
+        time is attributed to that frame's child time — the same
+        telescoping contract the batch runner keeps.
         """
-        async with self._offload_semaphore:
-            if self.pool is not None:
-                ok, payload, detail = await asyncio.wrap_future(
-                    self.pool.submit((op, kwargs))
-                )
-                if not ok:
-                    raise RuntimeError(detail or "service task failed")
-                verdict, delta = payload
-                if delta is not None:
-                    metrics.merge(delta)
-            else:
-                loop = asyncio.get_running_loop()
-                verdict = await loop.run_in_executor(
-                    None, self.service.execute_safe, op, kwargs
-                )
+        with trace.span("serve.queue") as queue_span:
+            await self._offload_semaphore.acquire()
+        add_phase("queue", queue_span.dur_s)
+        try:
+            with trace.span("serve.compute", op=op) as compute_span:
+                if self.pool is not None:
+                    trace_ctx = None
+                    if trace.enabled and trace.shard_dir is not None:
+                        trace_ctx = (
+                            str(trace.shard_dir),
+                            compute_span.span_id,
+                            current_trace_id(),
+                        )
+                    ok, payload, detail = await asyncio.wrap_future(
+                        self.pool.submit((op, kwargs, trace_ctx))
+                    )
+                    if not ok:
+                        raise RuntimeError(detail or "service task failed")
+                    verdict, delta, worker_dur_s = payload
+                    if delta is not None:
+                        metrics.merge(delta)
+                    # The worker's top span is this frame's child in
+                    # another process; attribute its wall time here so
+                    # exclusive times keep telescoping across the hop.
+                    compute_span.child_s += worker_dur_s
+                else:
+                    # run_in_executor does not propagate contextvars, so
+                    # carry the context over explicitly — kernel spans in
+                    # the thread then nest under this compute frame.
+                    loop = asyncio.get_running_loop()
+                    context = contextvars.copy_context()
+                    verdict = await loop.run_in_executor(
+                        None, lambda: context.run(self.service.execute_safe, op, kwargs)
+                    )
+        finally:
+            self._offload_semaphore.release()
+        add_phase("compute", compute_span.dur_s)
         if verdict[0] == "error":
             raise ServiceError(verdict[1], verdict[2])
         return verdict[1]
@@ -82,42 +153,13 @@ class App:
                             writer: asyncio.StreamWriter) -> None:
         try:
             while True:
-                try:
-                    request = await _read_request(reader)
-                except ServiceError as error:
-                    _write_response(
-                        writer, error_response(error.status, "unrouted", str(error)),
-                        close=True,
-                    )
-                    break
-                if request is None:  # client closed cleanly
-                    break
-                # Snapshot the drain state at arrival: a request read off
-                # the wire before the drain began is answered within the
-                # grace window; one arriving after it gets 503.
-                arrived_draining = self.lifecycle.draining
-                slow = faults.maybe_fire(
-                    "slow_request", f"{request.method} {request.path}"
-                )
-                # The in-flight window covers the response flush too, so
-                # a drain cannot tear the loop down under a written-but-
-                # unflushed answer.
-                self.lifecycle.request_started()
-                try:
-                    if slow is not None:
-                        await asyncio.sleep(slow.delay())
-                    response = await handle(
-                        self, request, reject_draining=arrived_draining
-                    )
-                    close = (
-                        self.lifecycle.draining
-                        or request.headers.get("connection", "").lower() == "close"
-                    )
-                    _write_response(writer, response, close=close)
-                    await writer.drain()
-                finally:
-                    self.lifecycle.request_finished()
-                if close:
+                # Read the request line *before* opening the request
+                # span: keep-alive idle time between requests is not
+                # request time.
+                request_line = await reader.readline()
+                if not request_line:
+                    break  # client closed cleanly between requests
+                if await self._serve_one(reader, writer, request_line):
                     break
         except (ConnectionResetError, BrokenPipeError, asyncio.IncompleteReadError):
             pass  # client went away mid-exchange; nothing to answer
@@ -128,14 +170,103 @@ class App:
             except (ConnectionResetError, BrokenPipeError, OSError):
                 pass
 
+    async def _serve_one(self, reader: asyncio.StreamReader,
+                         writer: asyncio.StreamWriter,
+                         request_line: bytes) -> bool:
+        """Serve one request end to end; True = close the connection."""
+        trace_id = uuid.uuid4().hex
+        record = {
+            "schema": ACCESS_LOG_SCHEMA_VERSION,
+            "ts": time.time(),
+            "trace_id": trace_id,
+            "method": "?",
+            "path": "?",
+            "endpoint": "unrouted",
+            "status": 0,
+            "dur_ms": 0.0,
+            "bytes_in": 0,
+            "bytes_out": 0,
+            "phases": {},
+        }
+        record_token = begin_request(record)
+        set_trace_id(trace_id)
+        started = time.perf_counter()
+        close = False
+        try:
+            with trace.span("serve.request", trace_id=trace_id) as request_span:
+                request: Request | None = None
+                parse_error: ServiceError | None = None
+                with trace.span("serve.parse") as parse_span:
+                    try:
+                        request = await _read_request(reader, request_line)
+                    except ServiceError as error:
+                        parse_error = error
+                add_phase("parse", parse_span.dur_s)
+                if request is not None:
+                    record["method"] = request.method
+                    record["path"] = request.path
+                    record["bytes_in"] = len(request.body)
+                    inbound = _inbound_request_id(request.headers)
+                    if inbound is not None:
+                        trace_id = inbound
+                        record["trace_id"] = trace_id
+                        set_trace_id(trace_id)
+                    request_span.set(
+                        trace_id=trace_id, method=request.method, path=request.path
+                    )
+                if parse_error is not None:
+                    response = error_response(
+                        parse_error.status, "unrouted", str(parse_error)
+                    )
+                    close = True
+                    response.headers["X-Request-Id"] = trace_id
+                    _write_response(writer, response, close=True)
+                    await writer.drain()
+                else:
+                    # Snapshot the drain state at arrival: a request read
+                    # off the wire before the drain began is answered
+                    # within the grace window; one arriving after it gets
+                    # 503.
+                    arrived_draining = self.lifecycle.draining
+                    slow = faults.maybe_fire(
+                        "slow_request", f"{request.method} {request.path}"
+                    )
+                    # The in-flight window covers the response flush too,
+                    # so a drain cannot tear the loop down under a
+                    # written-but-unflushed answer.
+                    self.lifecycle.request_started()
+                    try:
+                        if slow is not None:
+                            await asyncio.sleep(slow.delay())
+                        response = await handle(
+                            self, request, reject_draining=arrived_draining
+                        )
+                        close = (
+                            self.lifecycle.draining
+                            or request.headers.get("connection", "").lower() == "close"
+                        )
+                        response.headers["X-Request-Id"] = trace_id
+                        _write_response(writer, response, close=close)
+                        await writer.drain()
+                    finally:
+                        self.lifecycle.request_finished()
+                record["endpoint"] = response.endpoint
+                record["status"] = response.status
+                record["bytes_out"] = len(response.body)
+                request_span.set(endpoint=response.endpoint, status=response.status)
+        finally:
+            record["dur_ms"] = (time.perf_counter() - started) * 1000.0
+            end_request(record_token)
+            set_trace_id(None)  # keep-alive idle time carries no request id
+            self.telemetry.record(record)
+        return close
 
-async def _read_request(reader: asyncio.StreamReader) -> Request | None:
-    """Parse one request; ``None`` on clean EOF before a request line."""
-    line = await reader.readline()
-    if not line:
-        return None
+
+async def _read_request(reader: asyncio.StreamReader,
+                        request_line: bytes) -> Request:
+    """Parse one request whose request line was already read."""
     try:
-        method, target, _version = line.decode("latin-1").split()
+        method, target, _version = request_line.decode("latin-1").split()
     except ValueError:
         raise ServiceError(400, "malformed request line") from None
     headers: dict[str, str] = {}
@@ -159,14 +290,33 @@ async def _read_request(reader: asyncio.StreamReader) -> Request | None:
 
 def _write_response(writer: asyncio.StreamWriter, response: Response,
                     *, close: bool) -> None:
+    extra = "".join(
+        f"{name}: {value}\r\n" for name, value in response.headers.items()
+    )
     head = (
         f"HTTP/1.1 {response.status} {response.reason}\r\n"
         f"Content-Type: {response.content_type}\r\n"
         f"Content-Length: {len(response.body)}\r\n"
+        f"{extra}"
         f"Connection: {'close' if close else 'keep-alive'}\r\n"
         "\r\n"
     )
     writer.write(head.encode("latin-1") + response.body)
+
+
+async def _sample_resources(app: App, period: float = SAMPLE_PERIOD_S) -> None:
+    """Keep the process/daemon resource gauges fresh (background task)."""
+    while True:
+        stats = sample_process_stats()
+        if stats["rss_bytes"] is not None:
+            metrics.gauge("process.rss_bytes").set(stats["rss_bytes"])
+        if stats["open_fds"] is not None:
+            metrics.gauge("process.open_fds").set(stats["open_fds"])
+        metrics.gauge("serve.inflight").set(app.lifecycle.inflight)
+        metrics.gauge("serve.pool.queue_depth").set(
+            app.pool.queue_depth if app.pool is not None else 0
+        )
+        await asyncio.sleep(period)
 
 
 async def _amain(app: App, *, ready=None) -> int:
@@ -179,13 +329,17 @@ async def _amain(app: App, *, ready=None) -> int:
     print(f"serving on http://{host}:{port}", flush=True)
     if ready is not None:
         ready(host, port)
-    async with server:
-        await lifecycle.wait_for_drain()
-        # Stop accepting: close the listening sockets; established
-        # connections (and their in-flight requests) live on below.
-        server.close()
-        await server.wait_closed()
-    drained = await lifecycle.wait_idle()
+    sampler = asyncio.create_task(_sample_resources(app))
+    try:
+        async with server:
+            await lifecycle.wait_for_drain()
+            # Stop accepting: close the listening sockets; established
+            # connections (and their in-flight requests) live on below.
+            server.close()
+            await server.wait_closed()
+        drained = await lifecycle.wait_idle()
+    finally:
+        sampler.cancel()
     if drained:
         _log.warning("drained cleanly (%s)", lifecycle.reason)
         return 0
@@ -203,6 +357,12 @@ def serve(config: ServeConfig, *, scenario=None) -> int:
     scenario is built (or loaded from the artifact cache) here, then
     warmed, then — only then — the worker pool forks, so workers share
     every resident table copy-on-write.
+
+    With ``config.trace`` set, the whole daemon lifetime runs inside
+    :meth:`~repro.obs.trace.Tracer.capture`: the pool forks *after* the
+    tracer starts (workers inherit the enabled tracer and shard dir),
+    shuts down *before* the capture ends, and the merged trace lands at
+    the configured path on exit.
     """
     import multiprocessing
 
@@ -219,27 +379,57 @@ def serve(config: ServeConfig, *, scenario=None) -> int:
     service = AnycastService(scenario)
     install_service(service)
 
-    pool = None
-    workers = config.workers
-    if workers > 0 and "fork" not in multiprocessing.get_all_start_methods():
-        _log.warning("no fork start method on this platform; using thread offload")
-        workers = 0
-    if workers > 0:
-        pool = MonitoredPool(
-            workers,
-            task=service_task,
-            mp_context=multiprocessing.get_context("fork"),
-        )
-        pool.start_serving()
+    def _boot() -> int:
+        pool = None
+        workers = config.workers
+        if workers > 0 and "fork" not in multiprocessing.get_all_start_methods():
+            _log.warning("no fork start method on this platform; using thread offload")
+            workers = 0
+        if workers > 0:
+            pool = MonitoredPool(
+                workers,
+                task=service_task,
+                mp_context=multiprocessing.get_context("fork"),
+            )
+            pool.start_serving()
+        try:
+            app = App(service, config, pool)
+            try:
+                app.telemetry.open()
+            except OSError as error:
+                print(
+                    f"cannot write access log {config.access_log}: {error}",
+                    file=sys.stderr,
+                )
+                return EXIT_IO
+            try:
+                return asyncio.run(_amain(app))
+            except OSError as error:
+                print(
+                    f"cannot listen on {config.host}:{config.port}: {error}",
+                    file=sys.stderr,
+                )
+                return EXIT_IO
+            finally:
+                app.telemetry.close()
+        finally:
+            # Inside any trace capture: worker shards must be final
+            # before the capture merges them.
+            if pool is not None:
+                pool.shutdown()
+
     try:
-        return asyncio.run(_amain(App(service, config, pool)))
-    except OSError as error:
-        print(
-            f"cannot listen on {config.host}:{config.port}: {error}",
-            file=sys.stderr,
-        )
-        return EXIT_IO
+        if config.trace:
+            try:
+                capture = trace.capture(
+                    config.trace, name="serve.daemon",
+                    scale=config.scale, seed=config.seed,
+                )
+                with capture:
+                    return _boot()
+            except OSError as error:
+                print(f"cannot write trace {config.trace}: {error}", file=sys.stderr)
+                return EXIT_IO
+        return _boot()
     finally:
         install_service(None)
-        if pool is not None:
-            pool.shutdown()

@@ -28,7 +28,7 @@ from ..anycast.site import Site
 from ..bgp import Attachment
 from ..core.cdf import WeightedCdf
 from ..geo import make_rng
-from ..obs import MetricsRegistry, get_logger, metrics
+from ..obs import MetricsRegistry, get_logger, metrics, set_trace_id, trace
 from ..topology import Relationship
 
 __all__ = [
@@ -393,17 +393,39 @@ def install_service(service: AnycastService | None) -> None:
     _SERVICE = service
 
 
-def service_task(op: str, kwargs: dict, attempt: int = 0) -> tuple:
+def service_task(op: str, kwargs: dict, trace_ctx: tuple | None = None,
+                 attempt: int = 0) -> tuple:
     """``MonitoredPool`` task: run one op against the inherited service.
 
-    Returns ``(ok, (verdict, metrics_delta))`` — the delta is this
-    task's metrics snapshot diff, merged into the parent registry so
-    ``/v1/metrics`` reports kernel/trace counters no matter where the
-    query ran (the same contract the experiment engine uses).
+    Returns ``(ok, (verdict, metrics_delta, task_dur_s))`` — the delta
+    is this task's metrics snapshot diff, merged into the parent
+    registry so ``/v1/metrics`` reports kernel/trace counters no matter
+    where the query ran (the same contract the experiment engine uses);
+    ``task_dur_s`` is the worker-side wall time of the ``serve.task``
+    span, which the parent attributes to its compute frame so exclusive
+    times telescope across the process hop.
+
+    ``trace_ctx`` is ``(shard_dir, parent_span_id, trace_id)`` when the
+    daemon is tracing: the worker shards into ``shard_dir`` (a no-op
+    when the forked tracer already does — then it just re-roots, one
+    contextvar set per request) and its spans carry the request's
+    parent-side compute span as their parent.
     """
     if _SERVICE is None:  # pragma: no cover - wiring bug
         return False, None
+    if trace_ctx is not None:
+        shard_dir, parent_id, trace_id = trace_ctx
+        if trace.shard_dir is None or str(trace.shard_dir) != str(shard_dir):
+            trace.adopt(shard_dir, parent_id)
+        else:
+            trace.reroot(parent_id)
+        set_trace_id(trace_id)
     before = metrics.snapshot()
-    verdict = _SERVICE.execute_safe(op, kwargs)
+    try:
+        with trace.span("serve.task", op=op) as span:
+            verdict = _SERVICE.execute_safe(op, kwargs)
+    finally:
+        if trace_ctx is not None:
+            set_trace_id(None)
     delta = MetricsRegistry.diff(metrics.snapshot(), before)
-    return True, (verdict, delta)
+    return True, (verdict, delta, span.dur_s)

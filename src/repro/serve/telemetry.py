@@ -1,0 +1,160 @@
+"""Per-request telemetry: access records, phase accounting, debug rings.
+
+Every request the daemon serves produces one *access record* — a flat
+JSON object (``ACCESS_LOG_SCHEMA``) tying together the request id, the
+routed endpoint, the status, the total wall time, and a per-phase
+breakdown (parse / queue / compute / serialize milliseconds).  The
+record is:
+
+* appended to the ``--access-log`` JSONL file (line-buffered, one
+  object per line — the format ``repro inspect`` sniffs and aggregates);
+* kept in two in-memory rings — most recent and slowest — that back
+  ``GET /v1/debug/tracez``;
+* the source of the ``serve.phase.<name>_ms`` histograms in
+  ``/v1/metrics`` (recorded at phase time, not at flush time).
+
+The in-flight record rides a :mod:`contextvars` variable so deep callees
+(``App.execute``, the JSON serializer) can attribute phase time without
+threading a handle through every signature — the same pattern the span
+stack uses.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from contextvars import ContextVar
+
+from ..obs import metrics
+from ..obs.metrics import LATENCY_BUCKETS_MS
+
+__all__ = [
+    "ACCESS_LOG_SCHEMA",
+    "ACCESS_LOG_SCHEMA_VERSION",
+    "RequestTelemetry",
+    "begin_request",
+    "end_request",
+    "current_record",
+    "add_phase",
+]
+
+#: Bumped whenever the access-record layout changes incompatibly.
+ACCESS_LOG_SCHEMA_VERSION = 1
+
+#: The access-record contract.  ``docs/accesslog.schema.json`` is the
+#: checked-in copy of exactly this object; tests assert no drift.
+ACCESS_LOG_SCHEMA: dict = {
+    "type": "object",
+    "required": [
+        "schema", "ts", "trace_id", "method", "path", "endpoint",
+        "status", "dur_ms", "bytes_in", "bytes_out", "phases",
+    ],
+    "additionalProperties": False,
+    "properties": {
+        "schema": {"type": "integer"},
+        "ts": {"type": "number"},
+        "trace_id": {"type": "string"},
+        "method": {"type": "string"},
+        "path": {"type": "string"},
+        "endpoint": {"type": "string"},
+        "status": {"type": "integer"},
+        "dur_ms": {"type": "number"},
+        "bytes_in": {"type": "integer"},
+        "bytes_out": {"type": "integer"},
+        "phases": {
+            "type": "object",
+            "additionalProperties": {"type": "number"},
+        },
+    },
+}
+
+#: The access record of the request the current context is serving.
+_RECORD: ContextVar[dict | None] = ContextVar("repro_serve_record", default=None)
+
+
+def begin_request(record: dict):
+    """Bind ``record`` as the current request; returns a reset token."""
+    return _RECORD.set(record)
+
+
+def end_request(token) -> None:
+    _RECORD.reset(token)
+
+
+def current_record() -> dict | None:
+    """The in-flight access record, if the current context is a request."""
+    return _RECORD.get()
+
+
+def add_phase(name: str, dur_s: float) -> None:
+    """Attribute ``dur_s`` to phase ``name`` of the current request.
+
+    Also observes the process-wide ``serve.phase.<name>_ms`` histogram,
+    so the latency breakdown shows up in ``/v1/metrics`` even when no
+    access log is configured.  Safe to call outside a request (the
+    histogram still records; there is just no record to annotate).
+    """
+    ms = dur_s * 1000.0
+    record = _RECORD.get()
+    if record is not None:
+        phases = record["phases"]
+        phases[name] = phases.get(name, 0.0) + ms
+    metrics.histogram(
+        f"serve.phase.{name}_ms", buckets=LATENCY_BUCKETS_MS
+    ).observe(ms)
+
+
+class RequestTelemetry:
+    """The daemon's request-record sink: rings for debug, JSONL for disk.
+
+    One instance per :class:`~repro.serve.server.App`.  All methods run
+    on the event loop (single-threaded), so plain containers suffice.
+    """
+
+    def __init__(self, access_log_path: str | None = None, *,
+                 recent: int = 64, slowest: int = 16):
+        self._recent: deque[dict] = deque(maxlen=recent)
+        self._slowest: list[dict] = []
+        self._slowest_cap = slowest
+        self._path = access_log_path
+        self._handle = None
+        self.records_total = 0
+
+    def open(self) -> None:
+        """Open the access-log file (fail fast on an unwritable path)."""
+        if self._path is not None and self._handle is None:
+            self._handle = open(self._path, "w", encoding="utf-8", buffering=1)
+
+    def close(self) -> None:
+        if self._handle is not None:
+            try:
+                self._handle.close()
+            except OSError:
+                pass
+            self._handle = None
+
+    def record(self, entry: dict) -> None:
+        """Account one finished request: rings, counters, JSONL line."""
+        self.records_total += 1
+        self._recent.append(entry)
+        self._slowest.append(entry)
+        if len(self._slowest) > self._slowest_cap:
+            self._slowest.sort(key=lambda r: r["dur_ms"], reverse=True)
+            del self._slowest[self._slowest_cap:]
+        if self._handle is not None:
+            try:
+                self._handle.write(
+                    json.dumps(entry, separators=(",", ":"), default=str) + "\n"
+                )
+            except (OSError, TypeError, ValueError):  # pragma: no cover - sink trouble
+                pass
+
+    def recent(self) -> list[dict]:
+        """Most recent requests, newest last."""
+        return list(self._recent)
+
+    def slowest(self) -> list[dict]:
+        """Slowest requests seen so far, slowest first."""
+        return sorted(self._slowest, key=lambda r: r["dur_ms"], reverse=True)[
+            : self._slowest_cap
+        ]

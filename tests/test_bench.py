@@ -1,0 +1,179 @@
+"""repro.obs.bench: the perf-trajectory suite, document contract, compare.
+
+Three layers: the BENCH document schema against its checked-in copy,
+:func:`run_suite`/:func:`compare` in-process against the session
+scenario (including the calibration scaling that keeps cross-machine
+diffs honest), and the ``repro bench`` CLI's exit-code contract
+(0 clean / 2 usage / 3 regression beyond threshold).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.engine import code_version
+from repro.obs.bench import (
+    BENCH_SCHEMA,
+    BENCH_SCHEMA_VERSION,
+    SUITE,
+    compare,
+    default_output_name,
+    find_baseline,
+    machine_info,
+    run_suite,
+)
+from repro.obs.schema import validate, validate_bench_file
+
+DOCS = Path(__file__).parent.parent / "docs"
+BASELINE = Path(__file__).parent.parent / "benchmarks" / "BENCH_baseline.json"
+
+
+class TestBenchSchema:
+    def test_checked_in_schema_matches_embedded(self):
+        # docs/bench.schema.json is the contract trajectory tooling
+        # vendors; the embedded dict must be exactly the same document.
+        with open(DOCS / "bench.schema.json", encoding="utf-8") as handle:
+            assert json.load(handle) == BENCH_SCHEMA
+
+    def test_machine_info_is_schema_shaped(self):
+        errors = validate(machine_info(), BENCH_SCHEMA["properties"]["machine"])
+        assert errors == []
+
+
+class TestRunSuite:
+    @pytest.fixture(scope="class")
+    def document(self, scenario):
+        # The span benchmark alone keeps this a sub-second unit test;
+        # the full suite runs in the bench-trajectory CI job.
+        return run_suite(quick=True, select="obs.span", scenario=scenario)
+
+    def test_document_is_schema_valid(self, document):
+        assert validate(document, BENCH_SCHEMA) == []
+
+    def test_document_identifies_its_producer(self, document):
+        assert document["schema"] == BENCH_SCHEMA_VERSION
+        assert document["code_version"] == code_version()
+        assert document["scale"] == "small" and document["seed"] == 0
+        assert document["quick"] is True
+        assert document["calibration_s"] > 0
+
+    def test_selected_benchmark_has_sane_stats(self, document):
+        (bench,) = document["benchmarks"]
+        assert bench["name"] == "obs.span_disabled"
+        assert bench["rounds"] == 5
+        stats = bench["stats"]
+        assert 0 < stats["min_s"] <= stats["mean_s"] <= stats["max_s"]
+        assert bench["throughput"] > 0
+
+    def test_unknown_select_is_refused(self, scenario):
+        with pytest.raises(ValueError, match="matches no benchmark"):
+            run_suite(quick=True, select="no.such.bench", scenario=scenario)
+
+    def test_default_output_name_embeds_the_code_version(self, document):
+        name = default_output_name(document)
+        assert name == f"BENCH_{code_version()[:12]}.json"
+
+
+def _doc(min_s: float, *, name="kernel.resolve_many", scale="small",
+         calibration_s=0.01) -> dict:
+    return {
+        "scale": scale,
+        "calibration_s": calibration_s,
+        "benchmarks": [{
+            "name": name,
+            "stats": {"min_s": min_s, "mean_s": min_s, "max_s": min_s},
+        }],
+    }
+
+
+class TestCompare:
+    def test_within_threshold_is_clean(self):
+        assert compare(_doc(1.25), _doc(1.0), threshold=0.30) == []
+
+    def test_beyond_threshold_is_a_regression(self):
+        (regression,) = compare(_doc(1.4), _doc(1.0), threshold=0.30)
+        assert regression["name"] == "kernel.resolve_many"
+        assert regression["current_s"] == 1.4
+        assert regression["baseline_s"] == 1.0
+        assert regression["ratio"] == pytest.approx(1.4)
+
+    def test_calibration_ratio_rescales_the_baseline(self):
+        # This host's calibration loop runs 2x slower than the baseline
+        # host's, so a 1.8x wall time is only 0.9x adjusted — not a
+        # regression.  On an equally-fast host it would be flagged.
+        slow_host = _doc(1.8, calibration_s=0.02)
+        baseline = _doc(1.0, calibration_s=0.01)
+        assert compare(slow_host, baseline, threshold=0.30) == []
+        equal_host = _doc(1.8, calibration_s=0.01)
+        assert len(compare(equal_host, baseline, threshold=0.30)) == 1
+
+    def test_benchmarks_missing_from_either_side_are_skipped(self):
+        current = _doc(9.0, name="brand.new_bench")
+        assert compare(current, _doc(1.0), threshold=0.30) == []
+
+    def test_cross_scale_comparison_is_refused(self):
+        with pytest.raises(ValueError, match="cannot compare"):
+            compare(_doc(1.0, scale="medium"), _doc(1.0, scale="small"))
+
+    def test_find_baseline_prefers_explicit_path(self, tmp_path):
+        explicit = tmp_path / "b.json"
+        assert find_baseline(str(explicit)) == explicit
+
+    def test_find_baseline_discovers_the_checked_in_document(self):
+        assert find_baseline(None) == BASELINE
+
+
+class TestCheckedInBaseline:
+    def test_baseline_is_schema_valid(self):
+        with open(DOCS / "bench.schema.json", encoding="utf-8") as handle:
+            schema = json.load(handle)
+        assert validate_bench_file(BASELINE, schema) == []
+
+    def test_baseline_covers_the_whole_suite(self):
+        with open(BASELINE, encoding="utf-8") as handle:
+            document = json.load(handle)
+        assert {b["name"] for b in document["benchmarks"]} == set(SUITE)
+        assert document["scale"] == "small"
+
+
+class TestBenchCli:
+    """`repro bench` end to end — scenario from the warm session cache."""
+
+    def _argv(self, out, *extra):
+        return ["bench", "--quick", "--select", "obs.span",
+                "--scale", "small", "--seed", "0", "--out", str(out), *extra]
+
+    def test_no_compare_writes_a_valid_document(self, scenario, tmp_path, capsys):
+        out = tmp_path / "bench.json"
+        assert main(self._argv(out, "--no-compare")) == 0
+        with open(DOCS / "bench.schema.json", encoding="utf-8") as handle:
+            schema = json.load(handle)
+        assert validate_bench_file(out, schema) == []
+        assert "obs.span_disabled" in capsys.readouterr().out
+
+    def test_regression_against_baseline_exits_3(self, scenario, tmp_path, capsys):
+        out = tmp_path / "bench.json"
+        assert main(self._argv(out, "--no-compare")) == 0
+        with open(out, encoding="utf-8") as handle:
+            document = json.load(handle)
+        # A baseline claiming the same host ran 100x faster: any real
+        # run regresses against it, so the CLI must exit 3.
+        for bench in document["benchmarks"]:
+            for key in bench["stats"]:
+                bench["stats"][key] /= 100.0
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps(document))
+        code = main(self._argv(tmp_path / "bench2.json",
+                               "--baseline", str(baseline)))
+        assert code == 3
+        assert "regression(s)" in capsys.readouterr().out
+
+    def test_unknown_select_is_a_usage_error(self, scenario, tmp_path):
+        code = main(["bench", "--quick", "--select", "no.such.bench",
+                     "--scale", "small", "--seed", "0",
+                     "--out", str(tmp_path / "b.json"), "--no-compare"])
+        assert code == 2

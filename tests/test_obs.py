@@ -1,5 +1,6 @@
 """repro.obs: span tracing, metrics registry, logging, trace analysis."""
 
+import io
 import json
 import logging
 import time
@@ -9,9 +10,31 @@ import pytest
 
 from repro.engine import ArtifactCache, RunReport, run_experiments
 from repro.experiments import Scenario, list_experiments
-from repro.obs import MetricsRegistry, Tracer, configure_logging, trace
-from repro.obs.inspect import aggregate_by_name, cache_effectiveness, render_trace, top_spans
-from repro.obs.schema import validate, validate_metrics_file, validate_trace_file
+from repro.obs import (
+    JsonLineFormatter,
+    MetricsRegistry,
+    Tracer,
+    configure_logging,
+    current_trace_id,
+    sample_process_stats,
+    set_trace_id,
+    trace,
+)
+from repro.obs.inspect import (
+    aggregate_by_name,
+    aggregate_endpoints,
+    cache_effectiveness,
+    looks_like_access_log,
+    render_access_log,
+    render_trace,
+    top_spans,
+)
+from repro.obs.schema import (
+    validate,
+    validate_jsonl_file,
+    validate_metrics_file,
+    validate_trace_file,
+)
 from repro.obs.trace import load_trace
 
 DOCS = Path(__file__).parent.parent / "docs"
@@ -310,6 +333,90 @@ class TestLogging:
         assert get_logger().name == "repro"
 
 
+class TestJsonLogging:
+    def test_json_lines_carry_the_bound_trace_id(self):
+        from repro.obs import get_logger
+
+        stream = io.StringIO()
+        try:
+            configure_logging(verbose=1, stream=stream, json_lines=True)
+            token = set_trace_id("req-123")
+            try:
+                get_logger("test").info("hello %s", "world")
+            finally:
+                set_trace_id(None)
+            get_logger("test").warning("outside any request")
+        finally:
+            configure_logging(verbose=0)
+        first, second = [json.loads(line) for line in stream.getvalue().splitlines()]
+        assert first["msg"] == "hello world"
+        assert first["level"] == "INFO"
+        assert first["logger"] == "repro.test"
+        assert first["trace_id"] == "req-123"
+        assert first["ts"] > 0
+        assert second["level"] == "WARNING"
+        assert "trace_id" not in second
+        assert token is not None
+
+    def test_exceptions_render_into_the_exc_field(self):
+        formatter = JsonLineFormatter()
+        try:
+            raise ValueError("boom")
+        except ValueError:
+            import sys
+
+            record = logging.LogRecord(
+                "repro.test", logging.ERROR, __file__, 1,
+                "it broke", None, sys.exc_info(),
+            )
+        entry = json.loads(formatter.format(record))
+        assert entry["msg"] == "it broke"
+        assert "ValueError: boom" in entry["exc"]
+
+    def test_trace_id_context_is_isolated_by_default(self):
+        assert current_trace_id() is None
+        token = set_trace_id("abc")
+        assert current_trace_id() == "abc"
+        set_trace_id(None)
+        assert current_trace_id() is None
+        assert token is not None
+
+
+class TestProcessStats:
+    def test_sample_shape_and_plausibility(self):
+        stats = sample_process_stats()
+        assert set(stats) == {"rss_bytes", "rss_is_peak", "open_fds"}
+        assert isinstance(stats["rss_is_peak"], bool)
+        # A running CPython interpreter is at least a few MB resident
+        # and has stdin/stdout/stderr open, wherever procfs exists.
+        if stats["rss_bytes"] is not None:
+            assert stats["rss_bytes"] > 1_000_000
+        if stats["open_fds"] is not None:
+            assert stats["open_fds"] >= 3
+
+    def test_sampling_costs_no_fds(self):
+        before = sample_process_stats()["open_fds"]
+        after = sample_process_stats()["open_fds"]
+        if before is not None and after is not None:
+            assert after == before
+
+
+class TestReroot:
+    def test_reroot_reparents_subsequent_spans(self, tmp_path):
+        out = tmp_path / "t.jsonl"
+        tracer = Tracer()
+        with tracer.capture(out, name="root"):
+            with tracer.span("local"):
+                pass
+            tracer.reroot("9-99")
+            with tracer.span("rerooted"):
+                pass
+        records = load_trace(out)
+        by_name = {r["name"]: r for r in records}
+        assert by_name["local"]["parent"] == by_name["root"]["id"]
+        assert by_name["rerooted"]["parent"] == "9-99"
+
+
 def _record(name, id, parent, ts, dur, self_s, attrs=None, pid=1):
     return {
         "name": name, "id": id, "parent": parent, "pid": pid,
@@ -349,6 +456,67 @@ class TestInspect:
         assert "exclusive time by span name" in text
         assert "cache effectiveness" in text
         assert "(empty trace)" == render_trace([])
+
+
+def _access_record(trace_id, endpoint, status, dur_ms, phases=None, ts=0.0):
+    return {
+        "schema": 1, "ts": ts, "trace_id": trace_id, "method": "GET",
+        "path": f"/v1/{endpoint}", "endpoint": endpoint, "status": status,
+        "dur_ms": dur_ms, "bytes_in": 0, "bytes_out": 10,
+        "phases": phases or {},
+    }
+
+
+class TestAccessLogInspect:
+    def _records(self):
+        return [
+            _access_record("a", "resolve", 200, 30.0,
+                           {"parse": 1.0, "compute": 25.0}, ts=0.0),
+            _access_record("b", "resolve", 200, 10.0,
+                           {"parse": 1.0, "compute": 7.0}, ts=1.0),
+            _access_record("c", "healthz", 200, 5.0, ts=2.0),
+            _access_record("d", "unrouted", 404, 5.0, ts=3.0),
+        ]
+
+    def test_sniffing_tells_the_two_record_shapes_apart(self):
+        assert looks_like_access_log(self._records())
+        spans = [_record("root", "1-1", None, 0.0, 1.0, 1.0)]
+        assert not looks_like_access_log(spans)
+        assert not looks_like_access_log([])
+
+    def test_aggregate_endpoints_rows(self):
+        rows = {row["endpoint"]: row for row in aggregate_endpoints(self._records())}
+        resolve = rows["resolve"]
+        assert resolve["count"] == 2 and resolve["errors"] == 0
+        assert resolve["mean_ms"] == pytest.approx(20.0)
+        assert resolve["phases"]["compute"] == pytest.approx(16.0)
+        assert rows["unrouted"]["errors"] == 1
+        assert sum(row["share"] for row in rows.values()) == pytest.approx(1.0)
+
+    def test_render_mentions_every_section(self):
+        text = render_access_log(self._records(), top=2)
+        assert "4 requests" in text
+        assert "1 error(s)" in text
+        assert "slowest requests" in text
+        assert "resolve" in text and "healthz" in text
+        assert render_access_log([]) == "(empty access log)"
+
+
+class TestJsonlValidation:
+    def test_bad_lines_are_reported_with_line_numbers(self, tmp_path):
+        schema = {"type": "object", "required": ["n"],
+                  "properties": {"n": {"type": "integer"}}}
+        path = tmp_path / "records.jsonl"
+        path.write_text('{"n": 1}\nnot json\n{"n": "x"}\n')
+        errors = validate_jsonl_file(path, schema)
+        assert len(errors) == 2
+        assert errors[0].startswith("line 2: not JSON")
+        assert errors[1].startswith("line 3:")
+
+    def test_clean_file_validates(self, tmp_path):
+        path = tmp_path / "records.jsonl"
+        path.write_text('{"n": 1}\n{"n": 2}\n')
+        assert validate_jsonl_file(path, {"type": "object"}) == []
 
 
 class TestLiveReportConsistency:

@@ -26,6 +26,8 @@ import pytest
 import repro
 from repro.anycast import CdnRing, IndependentDeployment, withdraw_sites
 from repro.anycast.resilience import failure_impact
+from repro.obs.schema import validate_access_log_file
+from repro.obs.trace import load_trace
 from repro.serve import (
     SERVE_SCHEMA,
     SERVE_SCHEMA_VERSION,
@@ -36,6 +38,9 @@ from repro.serve import (
 )
 from repro.serve.schema import load_checked_in_schema
 from repro.serve.service import MAX_RESOLVE_ROWS, MAX_WHATIF_SITES
+from repro.serve.telemetry import ACCESS_LOG_SCHEMA
+
+DOCS = Path(__file__).parent.parent / "docs"
 
 
 @pytest.fixture(scope="module")
@@ -417,3 +422,251 @@ class TestDrainSemantics:
         out, _ = child.communicate(timeout=120)
         client.join(timeout=60)
         assert child.returncode == 4, f"expected exit 4 (grace expired), got:\n{out}"
+
+
+# -- request-scoped telemetry ------------------------------------------------
+
+def _exchange(base, path, *, headers=None, payload=None):
+    """One request; returns (status, response headers, body bytes)."""
+    data = json.dumps(payload).encode() if payload is not None else None
+    request = urllib.request.Request(base + path, data=data, headers=headers or {})
+    if payload is not None:
+        request.add_header("Content-Type", "application/json")
+    with urllib.request.urlopen(request, timeout=120) as response:
+        return response.status, dict(response.headers), response.read()
+
+
+class TestRequestId:
+    def test_every_response_carries_a_request_id(self, daemon):
+        base, _ = daemon
+        for path in ("/v1/healthz", "/v1/metrics", "/v1/scenario"):
+            _, headers, _ = _exchange(base, path)
+            assert headers.get("X-Request-Id"), f"{path} carries no X-Request-Id"
+
+    def test_generated_id_is_unique_per_request(self, daemon):
+        base, _ = daemon
+        ids = {_exchange(base, "/v1/healthz")[1]["X-Request-Id"] for _ in range(3)}
+        assert len(ids) == 3
+
+    def test_inbound_id_is_honoured(self, daemon):
+        base, _ = daemon
+        _, headers, _ = _exchange(
+            base, "/v1/healthz", headers={"X-Request-Id": "client-abc_1.2"}
+        )
+        assert headers["X-Request-Id"] == "client-abc_1.2"
+
+    @pytest.mark.parametrize("bad", ["has spaces", "x" * 200, "semi;colon"])
+    def test_malformed_inbound_id_is_replaced(self, daemon, bad):
+        base, _ = daemon
+        _, headers, _ = _exchange(base, "/v1/healthz", headers={"X-Request-Id": bad})
+        echoed = headers["X-Request-Id"]
+        assert echoed and echoed != bad
+
+    def test_error_responses_carry_a_request_id(self, daemon):
+        base, _ = daemon
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _exchange(base, "/v1/nope", headers={"X-Request-Id": "err-1"})
+        assert excinfo.value.code == 404
+        assert excinfo.value.headers.get("X-Request-Id") == "err-1"
+
+
+class TestDebugEndpoints:
+    def test_tracez_rings_record_requests(self, daemon):
+        base, _ = daemon
+        _, headers, _ = _exchange(base, "/v1/healthz",
+                                  headers={"X-Request-Id": "tracez-probe"})
+        status, body = _get(base, "/v1/debug/tracez")
+        wrapped = json.loads(body)
+        assert status == 200
+        assert validate_envelope(wrapped) == []
+        payload = wrapped["payload"]
+        assert payload["records_total"] >= 1
+        assert payload["recent"], "recent ring is empty after a request"
+        probe = next(r for r in payload["recent"]
+                     if r["trace_id"] == "tracez-probe")
+        assert probe["endpoint"] == "healthz" and probe["status"] == 200
+        assert probe["dur_ms"] > 0 and "parse" in probe["phases"]
+        slowest = [r["dur_ms"] for r in payload["slowest"]]
+        assert slowest == sorted(slowest, reverse=True)
+
+    def test_statusz_reports_configuration_and_load(self, daemon):
+        base, _ = daemon
+        status, body = _get(base, "/v1/debug/statusz")
+        wrapped = json.loads(body)
+        assert status == 200
+        assert validate_envelope(wrapped) == []
+        payload = wrapped["payload"]
+        assert payload["pid"] > 0
+        assert payload["uptime_s"] > 0
+        assert payload["draining"] is False
+        assert payload["workers"] == 2
+        assert payload["scale"] == "small" and payload["seed"] == 0
+        assert payload["trace_enabled"] is False
+        assert payload["access_log"] is None
+        assert payload["inflight"] >= 1  # at least this request
+        assert payload["queue_depth"] >= 0
+
+    def test_vars_exposes_process_stats_and_metrics(self, daemon):
+        base, _ = daemon
+        status, body = _get(base, "/v1/debug/vars")
+        wrapped = json.loads(body)
+        assert status == 200
+        assert validate_envelope(wrapped) == []
+        payload = wrapped["payload"]
+        assert set(payload) == {"process", "metrics"}
+        assert set(payload["process"]) == {"rss_bytes", "rss_is_peak", "open_fds"}
+        assert payload["metrics"]["counters"]["serve.requests.total"] >= 1
+
+    def test_metrics_exposes_phase_histograms_and_gauges(self, daemon):
+        base, _ = daemon
+        # An offloaded request so the compute phase has been observed.
+        _post(base, "/v1/resolve", {"deployment": "2018-K", "pairs": [[3, 0]]})
+        _, body = _get(base, "/v1/metrics")
+        text = body.decode()
+        for needle in (
+            "repro_serve_phase_parse_ms_bucket",
+            "repro_serve_phase_queue_ms_bucket",
+            "repro_serve_phase_compute_ms_bucket",
+            "repro_serve_phase_serialize_ms_bucket",
+            "repro_serve_inflight",
+            "repro_serve_pool_queue_depth",
+            "repro_process_rss_bytes",
+            "repro_process_open_fds",
+        ):
+            assert needle in text, f"/v1/metrics missing {needle}"
+
+
+class TestAccessLogContract:
+    def test_checked_in_schema_matches_embedded(self):
+        # docs/accesslog.schema.json is the contract log shippers vendor;
+        # the embedded dict must be byte-for-byte the same document.
+        with open(DOCS / "accesslog.schema.json", encoding="utf-8") as handle:
+            assert json.load(handle) == ACCESS_LOG_SCHEMA
+
+
+class TestTracedDaemon:
+    """workers=4 with ``--trace`` and ``--access-log``: the full contract.
+
+    Boots the daemon tracing into a tmp file, issues resolves with
+    client-supplied request ids, drains, then checks the three outputs
+    against each other: response headers, access-log records, and the
+    merged span tree (worker spans re-rooted under the request's compute
+    frame, exclusive times telescoping to the request wall time).
+    """
+
+    REQUESTS = 3
+
+    @pytest.fixture(scope="class")
+    def traced(self, tmp_path_factory, scenario):
+        tmp_path = tmp_path_factory.mktemp("serve-traced")
+        trace_path = tmp_path / "daemon.jsonl"
+        access_path = tmp_path / "access.jsonl"
+        child = subprocess.Popen(
+            _serve_argv("--workers", "4", "--grace", "30",
+                        "--trace", str(trace_path),
+                        "--access-log", str(access_path)),
+            env=_serve_env(),
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        )
+        port = _await_port(child)
+        base = f"http://127.0.0.1:{port}"
+        responses = []
+        for i in range(self.REQUESTS):
+            responses.append(_exchange(
+                base, "/v1/resolve",
+                headers={"X-Request-Id": f"traced-{i}"},
+                payload={"deployment": "2018-K", "pairs": [[3, 0], [7, 1]]},
+            ))
+        child.send_signal(signal.SIGTERM)
+        out, _ = child.communicate(timeout=120)
+        assert child.returncode == 0, f"traced daemon exited dirty:\n{out}"
+        return {
+            "trace": load_trace(trace_path),
+            "access_path": access_path,
+            "access": [json.loads(line)
+                       for line in access_path.read_text().splitlines()],
+            "responses": responses,
+        }
+
+    def test_responses_echo_inbound_ids(self, traced):
+        for i, (status, headers, _) in enumerate(traced["responses"]):
+            assert status == 200
+            assert headers["X-Request-Id"] == f"traced-{i}"
+
+    def test_access_log_is_schema_valid(self, traced):
+        with open(DOCS / "accesslog.schema.json", encoding="utf-8") as handle:
+            schema = json.load(handle)
+        assert validate_access_log_file(traced["access_path"], schema) == []
+
+    def test_access_records_join_responses_by_trace_id(self, traced):
+        by_id = {r["trace_id"]: r for r in traced["access"]}
+        for i in range(self.REQUESTS):
+            record = by_id[f"traced-{i}"]
+            assert record["endpoint"] == "resolve"
+            assert record["method"] == "POST" and record["status"] == 200
+            assert record["bytes_in"] > 0 and record["bytes_out"] > 0
+            assert set(record["phases"]) >= {"parse", "queue", "compute", "serialize"}
+            # Phases never exceed the request wall time they break down.
+            assert sum(record["phases"].values()) <= record["dur_ms"] * 1.01
+
+    def _request_spans(self, records):
+        return [r for r in records if r["name"] == "serve.request"]
+
+    def test_trace_has_one_request_span_per_request(self, traced):
+        records = traced["trace"]
+        root = next(r for r in records if r["parent"] is None)
+        assert root["name"] == "serve.daemon"
+        requests = self._request_spans(records)
+        assert len(requests) == self.REQUESTS
+        assert {r["attrs"]["trace_id"] for r in requests} == {
+            f"traced-{i}" for i in range(self.REQUESTS)
+        }
+        for request in requests:
+            assert request["parent"] == root["id"]
+            assert request["attrs"]["endpoint"] == "resolve"
+            assert request["attrs"]["status"] == 200
+
+    def test_request_spans_have_the_phase_children(self, traced):
+        records = traced["trace"]
+        for request in self._request_spans(records):
+            children = {r["name"] for r in records if r["parent"] == request["id"]}
+            assert children >= {"serve.parse", "serve.queue",
+                               "serve.compute", "serve.serialize"}
+
+    def test_worker_spans_reroot_under_the_compute_frame(self, traced):
+        records = traced["trace"]
+        computes = {r["id"]: r for r in records if r["name"] == "serve.compute"}
+        tasks = [r for r in records if r["name"] == "serve.task"]
+        assert len(tasks) == self.REQUESTS
+        request_pids = {r["pid"] for r in self._request_spans(records)}
+        for task in tasks:
+            assert task["parent"] in computes, "serve.task not under serve.compute"
+            assert task["pid"] not in request_pids, "task span ran in the daemon process"
+            assert task["attrs"]["op"] == "resolve"
+
+    def test_exclusive_times_telescope_per_request(self, traced):
+        """Σ self_s over a request's subtree ≈ the request's wall time.
+
+        This is the acceptance bar for cross-process attribution: the
+        worker's wall time lands in the compute frame's child time, so
+        no duration is counted twice and none goes missing.
+        """
+        records = traced["trace"]
+        children = {}
+        for record in records:
+            children.setdefault(record["parent"], []).append(record)
+        for request in self._request_spans(records):
+            total = 0.0
+            stack = [request]
+            while stack:
+                span = stack.pop()
+                total += span["self_s"]
+                stack.extend(children.get(span["id"], []))
+            assert total == pytest.approx(request["dur_s"], rel=0.05)
+
+    def test_whole_trace_telescopes_to_daemon_wall(self, traced):
+        records = traced["trace"]
+        root = next(r for r in records if r["parent"] is None)
+        assert sum(r["self_s"] for r in records) == pytest.approx(
+            root["dur_s"], rel=0.05
+        )
