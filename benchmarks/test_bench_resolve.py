@@ -83,3 +83,49 @@ def test_bench_cdn_system_resolve_many(benchmark, scenario, population):
     cdn = scenario.cdn
     by_ring = run_once(benchmark, cdn.resolve_many, asns, regions)
     assert set(by_ring) == set(cdn.rings)
+
+
+def test_bench_whatif_delta_speedup(benchmark, scenario, population):
+    """Acceptance bar for `repro.anycast.delta` (ISSUE 9): a single-site
+    withdrawal via the delta path must beat the full rebuild by ≥ 20× at
+    the paper-scale (``medium``) world — while producing a bitwise
+    identical deployment (asserted exhaustively in ``tests/test_delta.py``;
+    spot-checked here on the resolved population)."""
+    import numpy as np
+
+    from repro.anycast.delta import DeltaKernel, plan_withdraw, rebuild
+
+    asns, regions = population
+    letters = scenario.letters_2018
+    deployment = letters["K"]
+    mutation = plan_withdraw(deployment, [0])
+    deployment.resolve_many(asns[:1], regions[:1])
+
+    def _delta():
+        return DeltaKernel(deployment).apply(mutation)
+
+    def _rebuild():
+        mutated = rebuild(deployment, mutation)
+        mutated.resolve_many(asns[:1], regions[:1])  # force the lazy kernel
+        return mutated
+
+    _delta()  # warm both paths out of the timing
+    _rebuild()
+    delta_s, via_delta = min((_time(_delta) for _ in range(5)), key=lambda t: t[0])
+    rebuild_s, via_rebuild = min((_time(_rebuild) for _ in range(3)), key=lambda t: t[0])
+    run_once(benchmark, _delta)
+
+    batch_delta = via_delta.resolve_many(asns, regions)
+    batch_rebuild = via_rebuild.resolve_many(asns, regions)
+    assert np.array_equal(batch_delta.ok, batch_rebuild.ok)
+    assert np.array_equal(batch_delta.site_ids, batch_rebuild.site_ids)
+    assert np.array_equal(
+        batch_delta.base_rtt_ms, batch_rebuild.base_rtt_ms, equal_nan=True
+    )
+
+    speedup = rebuild_s / delta_s if delta_s > 0 else float("inf")
+    if bench_scale() == "medium":
+        assert speedup >= 20.0, (
+            f"delta what-if only {speedup:.1f}x faster than rebuild "
+            f"(delta {delta_s * 1000:.2f}ms, rebuild {rebuild_s * 1000:.2f}ms)"
+        )

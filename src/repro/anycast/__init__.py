@@ -1,9 +1,24 @@
 """Anycast deployments: root letters and the CDN ring system."""
 
-from .batch import FlowBatch, FlowKernel, ResolvedBatch, region_distance_matrix
+from .batch import (
+    FlowBatch,
+    FlowKernel,
+    KernelDelta,
+    ResolvedBatch,
+    region_distance_matrix,
+)
 from .builders import CdnSpec, CdnSystem, LetterSpec, build_cdn, build_letter, sample_site_regions
 from .cdn import CdnFabric, CdnRing, IngressBatch
 from .ddos import AttackOutcome, Botnet, build_botnet, simulate_attack
+from .delta import (
+    DeltaKernel,
+    DeltaUnsupported,
+    DeploymentMutation,
+    apply_mutation,
+    plan_add_regions,
+    plan_withdraw,
+    rebuild,
+)
 from .deployment import Deployment, IndependentDeployment, ServedFlow
 from .hijack import HijackResult, hijack_cdn, hijack_letter, simulate_hijack
 from .resilience import (
@@ -24,9 +39,17 @@ from .site import Site
 __all__ = [
     "FlowBatch",
     "FlowKernel",
+    "KernelDelta",
     "IngressBatch",
     "ResolvedBatch",
     "region_distance_matrix",
+    "DeltaKernel",
+    "DeltaUnsupported",
+    "DeploymentMutation",
+    "apply_mutation",
+    "plan_add_regions",
+    "plan_withdraw",
+    "rebuild",
     "AttackOutcome",
     "Botnet",
     "build_botnet",

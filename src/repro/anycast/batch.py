@@ -33,12 +33,19 @@ from weakref import WeakKeyDictionary
 
 import numpy as np
 
+from ..faults.plan import maybe_fire
 from ..geo.coords import great_circle_km
 from ..geo.latency import SPEED_OF_LIGHT_FIBER_KM_PER_MS
 from ..obs import metrics, trace
 from ..topology.graph import Topology
 
-__all__ = ["ResolvedBatch", "FlowBatch", "FlowKernel", "region_distance_matrix"]
+__all__ = [
+    "ResolvedBatch",
+    "FlowBatch",
+    "FlowKernel",
+    "KernelDelta",
+    "region_distance_matrix",
+]
 
 _NO_ROW = -1  #: sentinel for "no route / no candidate" integer columns
 
@@ -162,6 +169,42 @@ def _as_index_arrays(asns, regions) -> tuple[np.ndarray, np.ndarray]:
     return asns, regions
 
 
+@dataclass(frozen=True, slots=True)
+class KernelDelta:
+    """A repaired routing table plus the ASes whose selected route changed.
+
+    Produced from a :class:`repro.bgp.RoutingDelta` (scoped re-propagation)
+    and consumed by :meth:`FlowKernel.apply_delta`.  ``changed_asns`` must
+    list, in any order, every AS whose route was gained, lost, or modified
+    relative to the kernel's current table; rows for every other AS are
+    carried over untouched.
+
+    The optional attachment-level diff (``removed_attachment_ids``,
+    ``changed_attachments``, ``touched_hosts`` — the corresponding
+    :class:`repro.bgp.RoutingDelta` fields) lets ``apply_delta`` patch
+    the attachment-geometry and candidate tables incrementally.  When
+    ``touched_hosts`` is ``None`` the diff is unknown and those tables
+    are rebuilt wholesale instead; the result is identical either way.
+    """
+
+    routing: object  #: the post-delta :class:`repro.bgp.RoutingTable`
+    changed_asns: tuple[int, ...]
+    removed_attachment_ids: tuple[int, ...] | None = None
+    changed_attachments: tuple | None = None
+    touched_hosts: tuple[int, ...] | None = None
+
+    @classmethod
+    def from_routing_delta(cls, delta) -> "KernelDelta":
+        """Adapt a :class:`repro.bgp.RoutingDelta` (keeps the diff)."""
+        return cls(
+            routing=delta.table,
+            changed_asns=delta.changed_asns,
+            removed_attachment_ids=delta.removed_attachment_ids,
+            changed_attachments=delta.changed_attachments,
+            touched_hosts=delta.touched_hosts,
+        )
+
+
 class FlowKernel:
     """Precomputed batch resolver for one ``(topology, routing)`` pair.
 
@@ -196,33 +239,10 @@ class FlowKernel:
         self._footprint = footprint
         self._footprint_ok = footprint_ok
 
-        # -- attachment geometry ------------------------------------------
-        max_attachment = max(routing.attachments) if routing.attachments else 0
-        att_region = np.full(max_attachment + 1, _NO_ROW, dtype=np.int32)
-        for attachment_id, attachment in routing.attachments.items():
-            att_region[attachment_id] = attachment.region_id
-        self.attachment_region_ids = att_region
-
-        # -- per-host candidate tables (terminal early exit) --------------
-        hosts = sorted(routing.attachments_by_host)
-        host_row = {asn: row for row, asn in enumerate(hosts)}
-        max_candidates = max(
-            (len(v) for v in routing.attachments_by_host.values()), default=1
-        )
-        cand_att = np.full((max(len(hosts), 1), max_candidates), _NO_ROW, dtype=np.int32)
-        cand_region = np.zeros((max(len(hosts), 1), max_candidates), dtype=np.int32)
-        cand_ok = np.zeros((max(len(hosts), 1), max_candidates), dtype=bool)
-        for asn, candidates in routing.attachments_by_host.items():
-            row = host_row[asn]
-            for col, attachment in enumerate(candidates):
-                cand_att[row, col] = attachment.attachment_id
-                cand_region[row, col] = attachment.region_id
-                cand_ok[row, col] = True
-        self._cand_att = cand_att
-        self._cand_region = cand_region
-        self._cand_ok = cand_ok
+        self._build_attachment_tables(routing)
 
         # -- per-route tables ---------------------------------------------
+        host_row = self._host_row
         routed = sorted(asn for asn, _ in routing.items())
         route_row = {asn: row for row, asn in enumerate(routed)}
         self._routed_asns = np.array(routed, dtype=np.int64)
@@ -244,6 +264,280 @@ class FlowKernel:
             terminal_host[row] = host_row.get(terminal_asn, _NO_ROW)
             for depth, hop_asn in enumerate(path[1:-1]):
                 hops[row, depth] = np.searchsorted(as_ids, hop_asn)
+        self._path_len = path_len
+        self._fallback_att = fallback_att
+        self._terminal_host = terminal_host
+        self._hops = hops
+        self._max_mid = max_mid
+
+    def _build_attachment_tables(self, routing) -> None:
+        """(Re)build the attachment-geometry and candidate tables.
+
+        These are O(attachments + hosts) — cheap enough that
+        :meth:`apply_delta` rebuilds them wholesale rather than patching.
+        """
+        # -- attachment geometry ------------------------------------------
+        attachments = routing.attachments
+        n_atts = len(attachments)
+        max_attachment = max(attachments) if attachments else 0
+        att_region = np.full(max_attachment + 1, _NO_ROW, dtype=np.int32)
+        if n_atts:
+            att_ids = np.fromiter(attachments.keys(), dtype=np.int64, count=n_atts)
+            att_region[att_ids] = np.fromiter(
+                (a.region_id for a in attachments.values()),
+                dtype=np.int32,
+                count=n_atts,
+            )
+        self.attachment_region_ids = att_region
+
+        # -- per-host candidate tables (terminal early exit) --------------
+        # Rows follow sorted host order, columns the per-host list order;
+        # both are packed with vectorized scatters (row r spans columns
+        # [0, counts[r])), keeping the rebuild cheap on the delta path.
+        by_host = routing.attachments_by_host
+        hosts = sorted(by_host)
+        n_hosts = len(hosts)
+        host_row = {asn: row for row, asn in enumerate(hosts)}
+        counts = np.fromiter(
+            (len(by_host[asn]) for asn in hosts), dtype=np.intp, count=n_hosts
+        )
+        total = int(counts.sum()) if n_hosts else 0
+        max_candidates = max(int(counts.max()) if n_hosts else 1, 1)
+        shape = (max(n_hosts, 1), max_candidates)
+        cand_att = np.full(shape, _NO_ROW, dtype=np.int32)
+        cand_region = np.zeros(shape, dtype=np.int32)
+        cand_ok = np.zeros(shape, dtype=bool)
+        if total:
+            row_idx = np.repeat(np.arange(n_hosts, dtype=np.intp), counts)
+            col_idx = np.arange(total, dtype=np.intp)
+            col_idx -= np.repeat(np.cumsum(counts) - counts, counts)
+            flat = [a for asn in hosts for a in by_host[asn]]
+            cand_att[row_idx, col_idx] = np.fromiter(
+                (a.attachment_id for a in flat), dtype=np.int32, count=total
+            )
+            cand_region[row_idx, col_idx] = np.fromiter(
+                (a.region_id for a in flat), dtype=np.int32, count=total
+            )
+            cand_ok[row_idx, col_idx] = True
+        self._cand_att = cand_att
+        self._cand_region = cand_region
+        self._cand_ok = cand_ok
+        self._cand_counts = counts
+        self._hosts = np.array(hosts, dtype=np.int64)
+        self._host_row = host_row
+
+    def _patch_attachment_tables(
+        self, routing, removed_ids, changed_atts, touched_hosts
+    ) -> None:
+        """Patch the attachment tables for a known attachment-level diff.
+
+        Bitwise-identical to :meth:`_build_attachment_tables` over the new
+        routing table, but only rows of ``touched_hosts`` are recomputed;
+        everything else is carried over (remapped when the host set — and
+        hence the row order — shifted).
+        """
+        attachments = routing.attachments
+        # -- attachment geometry: copy + point writes ---------------------
+        old_region = self.attachment_region_ids
+        max_attachment = max(attachments) if attachments else 0
+        att_region = np.full(max_attachment + 1, _NO_ROW, dtype=np.int32)
+        copy_len = min(len(old_region), max_attachment + 1)
+        att_region[:copy_len] = old_region[:copy_len]
+        for att_id in removed_ids:
+            if att_id <= max_attachment:
+                att_region[att_id] = _NO_ROW
+        for a in changed_atts:
+            att_region[a.attachment_id] = a.region_id
+        self.attachment_region_ids = att_region
+
+        # -- candidate tables: carry untouched host rows ------------------
+        by_host = routing.attachments_by_host
+        hosts = sorted(by_host)
+        n_hosts = len(hosts)
+        host_row = {asn: row for row, asn in enumerate(hosts)}
+        new_hosts = np.array(hosts, dtype=np.int64)
+        old_hosts = self._hosts
+        touched = set(touched_hosts)
+
+        if len(old_hosts):
+            carried_mask = np.ones(len(old_hosts), dtype=bool)
+            if touched:
+                probe = np.fromiter(touched, dtype=np.int64, count=len(touched))
+                i = np.minimum(old_hosts.searchsorted(probe), len(old_hosts) - 1)
+                carried_mask[i[old_hosts[i] == probe]] = False
+            old_rows = np.nonzero(carried_mask)[0]
+        else:
+            old_rows = np.zeros(0, dtype=np.intp)
+        # Untouched hosts keep their candidate lists, so every carried old
+        # row has an exact match in the new (sorted) host order.
+        new_rows = new_hosts.searchsorted(old_hosts[old_rows])
+
+        counts = np.zeros(n_hosts, dtype=np.intp)
+        counts[new_rows] = self._cand_counts[old_rows]
+        for h in touched:
+            row = host_row.get(h)
+            if row is not None:
+                counts[row] = len(by_host[h])
+        max_candidates = max(int(counts.max()) if n_hosts else 1, 1)
+        shape = (max(n_hosts, 1), max_candidates)
+        cand_att = np.full(shape, _NO_ROW, dtype=np.int32)
+        cand_region = np.zeros(shape, dtype=np.int32)
+        cand_ok = np.zeros(shape, dtype=bool)
+        # Carried rows: copy up to the narrower width; cells beyond a
+        # row's count are padding on both sides, so values line up.
+        width = min(max_candidates, self._cand_att.shape[1])
+        if len(new_rows) and width:
+            cand_att[new_rows, :width] = self._cand_att[old_rows, :width]
+            cand_region[new_rows, :width] = self._cand_region[old_rows, :width]
+            cand_ok[new_rows, :width] = self._cand_ok[old_rows, :width]
+        for h in touched:
+            row = host_row.get(h)
+            if row is None:
+                continue
+            for col, a in enumerate(by_host[h]):
+                cand_att[row, col] = a.attachment_id
+                cand_region[row, col] = a.region_id
+                cand_ok[row, col] = True
+        self._cand_att = cand_att
+        self._cand_region = cand_region
+        self._cand_ok = cand_ok
+        self._cand_counts = counts
+        self._hosts = new_hosts
+        self._host_row = host_row
+
+    # ------------------------------------------------------------------
+    def clone(self) -> "FlowKernel":
+        """A shallow, independent view sharing every table.
+
+        O(1): tables are shared by reference.  Safe because
+        :meth:`apply_delta` replaces tables wholesale instead of writing
+        into them, so mutating the clone never disturbs the original.
+        """
+        other = object.__new__(FlowKernel)
+        other.__dict__.update(self.__dict__)
+        return other
+
+    def apply_delta(self, delta: KernelDelta) -> None:
+        """Patch the kernel in place for a repaired routing table.
+
+        Only the rows named in ``delta.changed_asns`` are recomputed; all
+        other per-route rows are carried over (scattered into the new row
+        order), and the small attachment/candidate tables are rebuilt
+        wholesale.  The result is **bitwise-identical** to a cold
+        ``FlowKernel(topology, delta.routing)`` — same array contents,
+        same padding widths — which the equivalence suite asserts.
+        """
+        with trace.span("kernel.delta", changed=len(delta.changed_asns)) as span:
+            self._apply_delta(delta)
+            span.set(n_routes=len(self._routed_asns))
+        metrics.counter("kernel.delta.applies.total").inc()
+        if maybe_fire("delta_corrupt", f"AS{delta.routing.origin_asn}") is not None:
+            # Chaos meta-fault: shift every patched path length by one so
+            # any downstream equivalence check must detect the corruption.
+            self._path_len = self._path_len + 1
+
+    def _apply_delta(self, delta: KernelDelta) -> None:
+        routing = delta.routing
+        old_routed = self._routed_asns
+        old_path_len = self._path_len
+        old_fallback = self._fallback_att
+        old_terminal = self._terminal_host
+        old_hops = self._hops
+        old_hosts = self._hosts
+
+        if delta.touched_hosts is None:
+            self._build_attachment_tables(routing)
+        else:
+            self._patch_attachment_tables(
+                routing,
+                delta.removed_attachment_ids or (),
+                delta.changed_attachments or (),
+                delta.touched_hosts,
+            )
+        new_hosts = self._hosts
+        host_row = self._host_row
+
+        changed = np.array(sorted(set(delta.changed_asns)), dtype=np.int64)
+        present = np.fromiter(
+            (asn in routing for asn in changed.tolist()), dtype=bool, count=len(changed)
+        )
+        added = changed[present]  # routes gained or modified
+        if len(changed) and len(old_routed):
+            # Both sides are sorted-unique: a searchsorted probe of the
+            # tiny ``changed`` set beats np.isin's merge, and the carried
+            # positions fall straight out of the survivor mask.
+            pos = np.minimum(
+                old_routed.searchsorted(changed), len(old_routed) - 1
+            )
+            survives = np.ones(len(old_routed), dtype=bool)
+            survives[pos[old_routed[pos] == changed]] = False
+            carried = old_routed[survives]
+            carried_pos = np.nonzero(survives)[0]
+        else:
+            carried = old_routed
+            carried_pos = np.arange(len(old_routed), dtype=np.intp)
+        new_routed = np.sort(np.concatenate((carried, added)))
+        n_routes = len(new_routed)
+        added_rows_arr = new_routed.searchsorted(added)
+
+        # Padding width must match a cold build exactly: the max mid-path
+        # length over *all* surviving routes, carried rows included.
+        carried_mid = (
+            int((old_path_len[carried_pos] - 2).max()) if len(carried) else 0
+        )
+        added_routes = [routing.route(int(asn)) for asn in added.tolist()]
+        added_mid = max((len(r.path) - 2 for r in added_routes), default=0)
+        max_mid = max(carried_mid, added_mid, 0)
+
+        path_len = np.zeros(n_routes, dtype=np.int32)
+        fallback_att = np.zeros(n_routes, dtype=np.int32)
+        terminal_host = np.full(n_routes, _NO_ROW, dtype=np.int32)
+        hops = np.full((n_routes, max_mid), _NO_ROW, dtype=np.int32)
+
+        if len(carried):
+            # Carried rows occupy every new slot the added rows don't.
+            new_mask = np.ones(n_routes, dtype=bool)
+            new_mask[added_rows_arr] = False
+            new_pos = np.nonzero(new_mask)[0]
+            path_len[new_pos] = old_path_len[carried_pos]
+            fallback_att[new_pos] = old_fallback[carried_pos]
+            # Terminal hosts are stored as candidate-table row indices;
+            # remap old host rows to new ones (hosts no longer hosting any
+            # attachment map to -1, exactly as a cold build would).
+            remap = np.full(len(old_hosts) + 1, _NO_ROW, dtype=np.int32)
+            if len(old_hosts) and len(new_hosts):
+                idx = np.minimum(
+                    new_hosts.searchsorted(old_hosts), len(new_hosts) - 1
+                )
+                valid = new_hosts[idx] == old_hosts
+                remap[: len(old_hosts)][valid] = idx[valid]
+            terminal_host[new_pos] = remap[old_terminal[carried_pos]]
+            keep = min(max_mid, old_hops.shape[1])
+            if keep:
+                hops[new_pos, :keep] = old_hops[carried_pos, :keep]
+
+        added_rows = added_rows_arr.tolist()
+        hop_rows: list[int] = []
+        hop_depths: list[int] = []
+        hop_asns: list[int] = []
+        for asn, row, route in zip(added.tolist(), added_rows, added_routes):
+            path = route.path
+            path_len[row] = len(path)
+            fallback_att[row] = route.attachment_id
+            terminal_asn = path[-2] if len(path) >= 2 else asn
+            terminal_host[row] = host_row.get(terminal_asn, _NO_ROW)
+            mid = len(path) - 2
+            if mid > 0:
+                hop_rows.extend([row] * mid)
+                hop_depths.extend(range(mid))
+                hop_asns.extend(path[1:-1])
+        if hop_rows:
+            hops[
+                np.array(hop_rows, dtype=np.intp), np.array(hop_depths, dtype=np.intp)
+            ] = self._as_ids.searchsorted(np.array(hop_asns, dtype=np.int64))
+
+        self.routing = routing
+        self._routed_asns = new_routed
         self._path_len = path_len
         self._fallback_att = fallback_att
         self._terminal_host = terminal_host

@@ -298,6 +298,16 @@ class CdnRing(Deployment):
         self._fe_of_pop: dict[int, int] = {}
         self._fe_of_pop_arr: np.ndarray | None = None
 
+    @property
+    def supports_delta(self) -> bool:
+        """Rings share the fabric's routing table and kernel.
+
+        A per-ring delta would have to re-propagate at the *fabric*
+        level and re-derive every sibling ring; callers must use the
+        full-rebuild path (:func:`repro.anycast.resilience.fail_pops`).
+        """
+        return False
+
     def front_end_nearest_pop(self, pop_id: int) -> int:
         """Ring front-end (site id) the WAN delivers to from ``pop_id``.
 

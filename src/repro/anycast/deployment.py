@@ -144,6 +144,17 @@ class Deployment(abc.ABC):
         covered = self.region_min_km() <= radius_km
         return float(populations[covered].sum() / populations.sum())
 
+    # -- delta support ------------------------------------------------------
+    @property
+    def supports_delta(self) -> bool:
+        """Whether :mod:`repro.anycast.delta` can patch this deployment.
+
+        ``False`` by default; deployment styles that own their routing
+        table and kernel outright (independently attached sites) opt in.
+        Callers must fall back to a full rebuild when this is ``False``.
+        """
+        return False
+
     # -- service -----------------------------------------------------------
     def resolve_many(self, asns, regions) -> ResolvedBatch:
         """Resolve service for a whole population of clients at once.
@@ -191,6 +202,9 @@ class IndependentDeployment(Deployment):
         attachments: list[Attachment],
         site_of_attachment: dict[int, int],
         seed: int = 0,
+        *,
+        routing: RoutingTable | None = None,
+        kernel: FlowKernel | None = None,
     ):
         super().__init__(topology, name, origin_asn, sites)
         unknown = set(site_of_attachment.values()) - {s.site_id for s in sites}
@@ -198,9 +212,24 @@ class IndependentDeployment(Deployment):
             raise ValueError(f"attachments reference unknown sites: {sorted(unknown)}")
         self.site_of_attachment = site_of_attachment
         self.seed = seed
-        self.routing: RoutingTable = propagate(topology, origin_asn, attachments, seed=seed)
-        self._kernel: FlowKernel | None = None
+        # The delta path (repro.anycast.delta) hands in a repaired routing
+        # table and patched kernel instead of paying a fresh propagation;
+        # both must describe exactly this announcement set.
+        if routing is None:
+            routing = propagate(topology, origin_asn, attachments, seed=seed)
+        elif routing.origin_asn != origin_asn:
+            raise ValueError(
+                f"routing table is for AS{routing.origin_asn}, "
+                f"deployment announces AS{origin_asn}"
+            )
+        self.routing: RoutingTable = routing
+        self._kernel: FlowKernel | None = kernel
         self._site_of_attachment_arr: np.ndarray | None = None
+
+    @property
+    def supports_delta(self) -> bool:
+        """Independently attached sites own their table: deltas apply."""
+        return True
 
     @property
     def kernel(self) -> FlowKernel:

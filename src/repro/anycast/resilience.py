@@ -37,46 +37,14 @@ def withdraw_sites(
 ) -> IndependentDeployment:
     """Rebuild a letter-style deployment without the failed sites.
 
-    Surviving sites keep their identity (region, global/local flag) but
-    are re-numbered, as the new deployment is a fresh announcement set.
-    The tiebreak seed defaults to the original deployment's, so the
-    *only* change is the withdrawal itself.  Raises if no global site
-    survives (the service would be dark).
+    A thin composition of :func:`repro.anycast.delta.plan_withdraw` and
+    the full-rebuild applier — deliberately *not* the delta path, since
+    failure drills are the oracle side of the delta equivalence suite.
+    Raises if site ids are unknown or no global site survives.
     """
-    if seed is None:
-        seed = deployment.seed
-    failed = set(failed_site_ids)
-    unknown = failed - {s.site_id for s in deployment.sites}
-    if unknown:
-        raise ValueError(f"unknown site ids: {sorted(unknown)}")
-    survivors = [s for s in deployment.sites if s.site_id not in failed]
-    if not any(s.is_global for s in survivors):
-        raise ValueError("cannot withdraw every global site")
+    from .delta import plan_withdraw, rebuild
 
-    from .site import Site
-
-    new_id_of_old = {site.site_id: i for i, site in enumerate(survivors)}
-    new_sites = tuple(
-        Site(site_id=i, region_id=s.region_id, name=s.name, is_global=s.is_global)
-        for i, s in enumerate(survivors)
-    )
-    attachments: list[Attachment] = []
-    site_of_attachment: dict[int, int] = {}
-    for attachment in deployment.routing.attachments.values():
-        old_site = deployment.site_of_attachment[attachment.attachment_id]
-        if old_site in failed:
-            continue
-        attachments.append(attachment)
-        site_of_attachment[attachment.attachment_id] = new_id_of_old[old_site]
-    return IndependentDeployment(
-        topology=deployment.topology,
-        name=f"{deployment.name} (-{len(failed)} sites)",
-        origin_asn=deployment.origin_asn,
-        sites=new_sites,
-        attachments=attachments,
-        site_of_attachment=site_of_attachment,
-        seed=seed,
-    )
+    return rebuild(deployment, plan_withdraw(deployment, failed_site_ids, seed=seed))
 
 
 def fail_region(

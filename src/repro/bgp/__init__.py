@@ -1,5 +1,6 @@
 """BGP substrate: routes, policy tiebreaking, valley-free propagation."""
 
+from .delta import RepropagationOverflow, RoutingDelta, repropagate
 from .flows import FlowResolution, resolve_flow
 from .pathlat import route_rtt_ms, route_waypoints
 from .policy import DefaultTieBreaker
@@ -7,6 +8,9 @@ from .propagation import RoutingTable, propagate
 from .route import Attachment, Route, RouteClass
 
 __all__ = [
+    "RepropagationOverflow",
+    "RoutingDelta",
+    "repropagate",
     "FlowResolution",
     "resolve_flow",
     "route_rtt_ms",

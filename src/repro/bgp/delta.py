@@ -1,0 +1,485 @@
+"""Scoped re-propagation: repair a routing table after an attachment delta.
+
+A single-site edit to an anycast deployment (withdraw a site, announce a
+new one, move an attachment) leaves the vast majority of per-AS route
+selections untouched — only ASes whose best route flowed through the
+changed origin set can change.  :func:`repropagate` exploits this: instead
+of re-running the full three-phase Gao–Rexford propagation, it recomputes
+routes with an event-driven worklist seeded at the hosts of the changed
+attachments and lets changes ripple only along edges whose selections
+could actually be affected.
+
+Correctness rests on the fact that the level-synchronous BFS in
+:func:`repro.bgp.propagation._propagate` computes the unique fixed point of
+three *local* selection equations (one per phase), each of the form
+"shortlist the minimum announced-length candidates from direct attachments
+and neighbor exports, then tiebreak".  Repairing that fixed point locally,
+starting from the old table and rescanning an AS only when a neighbor's
+exported value changed in a way that could alter its shortlist, reproduces
+the cold result *bitwise* — same `Route` objects, same tiebreaks.  The
+hypothesis suite in ``tests/test_delta.py`` asserts exactly this against
+cold :func:`repro.bgp.propagate` oracles.
+
+A work budget (default ``8 * len(topology)`` rescans) guards against
+pathological topologies; exceeding it raises
+:class:`RepropagationOverflow`, which callers treat as "fall back to a
+full rebuild".
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from ..obs import get_logger, metrics, trace
+from ..topology.graph import Topology
+from ..topology.kinds import Relationship
+from .policy import DefaultTieBreaker
+from .propagation import RoutingTable
+from .route import Attachment, Route, RouteClass
+
+__all__ = ["RepropagationOverflow", "RoutingDelta", "repropagate"]
+
+_log = get_logger("bgp.delta")
+
+_NO_ATTS: list[Attachment] = []
+
+
+class RepropagationOverflow(RuntimeError):
+    """Scoped re-propagation exceeded its work budget; do a full rebuild."""
+
+
+@dataclass(frozen=True)
+class RoutingDelta:
+    """Result of :func:`repropagate`.
+
+    ``table`` is the repaired routing table (value-identical to a cold
+    :func:`repro.bgp.propagate` over the new attachment set), and
+    ``changed_asns`` lists, in ascending order, every AS whose selected
+    route differs from the old table — gained, lost, or modified.
+
+    The attachment-level diff is carried along so downstream consumers
+    (:meth:`repro.anycast.FlowKernel.apply_delta`) can patch their
+    attachment-geometry tables without rescanning the full attachment
+    set: ``removed_attachment_ids`` are ids present only in the old
+    table, ``changed_attachments`` the new-side objects of added or
+    modified attachments, and ``touched_hosts`` every host AS whose
+    direct-candidate list changed.
+    """
+
+    table: RoutingTable
+    changed_asns: tuple[int, ...]
+    rescans: int
+    removed_attachment_ids: tuple[int, ...] = ()
+    changed_attachments: tuple[Attachment, ...] = ()
+    touched_hosts: tuple[int, ...] = ()
+
+
+def repropagate(
+    topology: Topology,
+    old: RoutingTable,
+    attachments: list[Attachment],
+    seed: int = 0,
+    *,
+    max_rescans: int | None = None,
+) -> RoutingDelta:
+    """Repair ``old`` for a new attachment set; see module docstring."""
+    with trace.span(
+        "bgp.repropagate", origin=old.origin_asn, attachments=len(attachments)
+    ) as span:
+        delta = _repropagate(topology, old, attachments, seed, max_rescans)
+        span.set(changed=len(delta.changed_asns), rescans=delta.rescans)
+    metrics.counter("bgp.repropagations.total").inc()
+    _log.debug(
+        "repropagated AS%d: %d/%d routes changed in %d rescans",
+        old.origin_asn, len(delta.changed_asns), len(delta.table), delta.rescans,
+    )
+    return delta
+
+
+def _repropagate(
+    topology: Topology,
+    old: RoutingTable,
+    attachments: list[Attachment],
+    seed: int,
+    max_rescans: int | None,
+) -> RoutingDelta:
+    if not attachments:
+        raise ValueError("cannot announce a prefix with no attachments")
+    by_id = {a.attachment_id: a for a in attachments}
+    if len(by_id) != len(attachments):
+        raise ValueError("attachment ids must be unique")
+
+    origin = old.origin_asn
+    tiebreaker = DefaultTieBreaker(topology, by_id, seed=seed)
+    budget = max_rescans if max_rescans is not None else max(256, 8 * len(topology))
+    rescans = 0
+
+    def spend() -> None:
+        nonlocal rescans
+        rescans += 1
+        if rescans > budget:
+            raise RepropagationOverflow(
+                f"delta repropagation for AS{origin} exceeded {budget} rescans"
+            )
+
+    # Diff the attachment sets.  Identity is checked first because planners
+    # carry surviving Attachment objects over unchanged, which keeps the
+    # diff O(changed) in practice.  Hosts already present in the old table
+    # were validated when it was built; only new-side changes need checking.
+    old_atts = old.attachments
+    changed_old: list[Attachment] = []
+    changed_new: list[Attachment] = []
+    removed_ids: list[int] = []
+    for att_id, after in by_id.items():
+        before = old_atts.get(att_id)
+        if before is None:
+            changed_new.append(after)
+        elif before is not after and before != after:
+            changed_old.append(before)
+            changed_new.append(after)
+    for att_id, before in old_atts.items():
+        if att_id not in by_id:
+            changed_old.append(before)
+            removed_ids.append(att_id)
+    for attachment in changed_new:
+        if attachment.host_asn not in topology:
+            raise KeyError(f"attachment host AS{attachment.host_asn} not in topology")
+
+    # Direct-candidate lists per host: unchanged hosts reuse the old
+    # table's lists; touched hosts are rebuilt in new-list order (the order
+    # :class:`FlowKernel` packs candidate columns in).
+    touched_hosts = {a.host_asn for a in changed_old}
+    touched_hosts.update(a.host_asn for a in changed_new)
+    patched_by_host: dict[int, list[Attachment]] = {h: [] for h in touched_hosts}
+    if touched_hosts:
+        for attachment in attachments:
+            if attachment.host_asn in touched_hosts:
+                patched_by_host[attachment.host_asn].append(attachment)
+    old_by_host = old.attachments_by_host
+
+    def atts_at(asn: int) -> list[Attachment]:
+        got = patched_by_host.get(asn)
+        if got is None:
+            return old_by_host.get(asn, _NO_ATTS)
+        return got
+
+    # Seed the worklists at the hosts of every changed attachment (both the
+    # old-side and new-side host, so moves dirty both ends).
+    seeds1: set[int] = set()
+    dirty2: set[int] = set()
+    for side in changed_old:
+        (seeds1 if side.origin_role is Relationship.CUSTOMER else dirty2).add(side.host_asn)
+    for side in changed_new:
+        (seeds1 if side.origin_role is Relationship.CUSTOMER else dirty2).add(side.host_asn)
+
+    # Per-phase value recovery from the old table.  The selected route's
+    # class tells us which phase produced it: CUSTOMER routes are phase-1
+    # winners, PEER routes phase-2 winners (implying no customer route),
+    # PROVIDER routes imply neither existed.
+    ccr_over: dict[int, Route | None] = {}
+    peer_over: dict[int, Route | None] = {}
+    final_over: dict[int, Route | None] = {}
+
+    # Hot-path locals: the repair loops below hit these thousands of times
+    # per delta, so method lookups and closure indirection are bound once.
+    old_routes = old._routes  # same-package peek; read-only
+    routes_get = old_routes.get
+    customers_of = topology.customers_of
+    peers_of = topology.peers_of
+    providers_of = topology.providers_of
+    choose = tiebreaker.choose
+    _CUSTOMER = RouteClass.CUSTOMER
+    _PEER = RouteClass.PEER
+
+    def eff_ccr(asn: int) -> Route | None:
+        if asn in ccr_over:
+            return ccr_over[asn]
+        route = routes_get(asn)
+        return route if route is not None and route.cls is _CUSTOMER else None
+
+    def eff_peer(asn: int) -> Route | None:
+        if asn in peer_over:
+            return peer_over[asn]
+        route = routes_get(asn)
+        return route if route is not None and route.cls is _PEER else None
+
+    def eff_final(asn: int) -> Route | None:
+        if asn in final_over:
+            return final_over[asn]
+        return routes_get(asn)
+
+    # ---- local selection equations (candidate lengths first, Route
+    # construction only at the winning level).  The ``eff_*`` recoveries are
+    # inlined inside the neighbor scans — these loops dominate the repair.
+
+    def compute_ccr(asn: int) -> Route | None:
+        best: int | None = None
+        directs = [
+            a for a in atts_at(asn) if a.origin_role is Relationship.CUSTOMER
+        ]
+        for a in directs:
+            length = 2 + a.prepend
+            if best is None or length < best:
+                best = length
+        exts: list[tuple[int, Route]] = []
+        for customer in customers_of(asn):
+            if customer in ccr_over:
+                rc = ccr_over[customer]
+            else:
+                rc = routes_get(customer)
+                if rc is not None and rc.cls is not _CUSTOMER:
+                    rc = None
+            if rc is not None and not rc.local:
+                length = rc.announced_len + 1
+                exts.append((length, rc))
+                if best is None or length < best:
+                    best = length
+        if best is None:
+            return None
+        shortlist = [
+            Route(
+                cls=RouteClass.CUSTOMER,
+                path=(asn, origin),
+                attachment_id=a.attachment_id,
+                announced_len=2 + a.prepend,
+                local=a.local,
+            )
+            for a in directs
+            if 2 + a.prepend == best
+        ]
+        shortlist.extend(
+            Route(
+                cls=RouteClass.CUSTOMER,
+                path=(asn,) + rc.path,
+                attachment_id=rc.attachment_id,
+                announced_len=length,
+            )
+            for length, rc in exts
+            if length == best
+        )
+        return choose(asn, shortlist)
+
+    def compute_peer(asn: int) -> Route | None:
+        if eff_ccr(asn) is not None:
+            return None  # the AS prefers its own customer route
+        best: int | None = None
+        directs = [a for a in atts_at(asn) if a.origin_role is Relationship.PEER]
+        for a in directs:
+            length = 2 + a.prepend
+            if best is None or length < best:
+                best = length
+        exts: list[tuple[int, Route]] = []
+        for peer in peers_of(asn):
+            if peer in ccr_over:
+                rp = ccr_over[peer]
+            else:
+                rp = routes_get(peer)
+                if rp is not None and rp.cls is not _CUSTOMER:
+                    rp = None
+            if rp is not None and not rp.local:
+                length = rp.announced_len + 1
+                exts.append((length, rp))
+                if best is None or length < best:
+                    best = length
+        if best is None:
+            return None
+        shortlist = [
+            Route(
+                cls=RouteClass.PEER,
+                path=(asn, origin),
+                attachment_id=a.attachment_id,
+                announced_len=2 + a.prepend,
+                local=a.local,
+            )
+            for a in directs
+            if 2 + a.prepend == best
+        ]
+        shortlist.extend(
+            Route(
+                cls=RouteClass.PEER,
+                path=(asn,) + rp.path,
+                attachment_id=rp.attachment_id,
+                announced_len=length,
+            )
+            for length, rp in exts
+            if length == best
+        )
+        return choose(asn, shortlist)
+
+    def compute_final(asn: int) -> Route | None:
+        route = eff_ccr(asn)
+        if route is not None:
+            return route
+        route = eff_peer(asn)
+        if route is not None:
+            return route
+        best: int | None = None
+        exts: list[tuple[int, Route]] = []
+        for provider in providers_of(asn):
+            if provider in final_over:
+                rp = final_over[provider]
+            else:
+                rp = routes_get(provider)
+            if rp is not None:
+                length = rp.announced_len + 1
+                exts.append((length, rp))
+                if best is None or length < best:
+                    best = length
+        if best is None:
+            return None
+        shortlist = [
+            Route(
+                cls=RouteClass.PROVIDER,
+                path=(asn,) + rp.path,
+                attachment_id=rp.attachment_id,
+                announced_len=length,
+                local=rp.local,
+            )
+            for length, rp in exts
+            if length == best
+        ]
+        return choose(asn, shortlist)
+
+    # A dependent needs a full rescan only if the event could touch its
+    # minimum-length shortlist: its current selection is absent, routes via
+    # the event source, or either the old or new exported contribution sits
+    # at or below the selection's announced length.  Anything else provably
+    # leaves the shortlist — hence the tiebreak — untouched.
+    def unaffected(selected: Route | None, source: int,
+                   old_len: int | None, new_len: int | None) -> bool:
+        if selected is None:
+            return new_len is None
+        s_len = selected.announced_len
+        if len(selected.path) >= 3 and selected.path[1] == source:
+            return False
+        if old_len is not None and old_len <= s_len:
+            return False
+        if new_len is not None and new_len <= s_len:
+            return False
+        return True
+
+    # ---- phase 1: customer routes (worklist up provider edges) ------------
+    events: deque[tuple[int, Route | None, Route | None]] = deque()
+
+    def set_ccr(asn: int, new: Route | None) -> None:
+        prev = eff_ccr(asn)
+        if new == prev:
+            return
+        ccr_over[asn] = new
+        events.append((asn, prev, new))
+
+    def upward_len(route: Route | None) -> int | None:
+        # Local routes are never exported to providers or peers.
+        if route is None or route.local:
+            return None
+        return route.announced_len + 1
+
+    for asn in sorted(seeds1):
+        spend()
+        set_ccr(asn, compute_ccr(asn))
+    while events:
+        source, prev, new = events.popleft()
+        old_len, new_len = upward_len(prev), upward_len(new)
+        if old_len is None and new_len is None:
+            continue  # export unchanged: nothing upstream can see this
+        for provider in providers_of(source):
+            if not unaffected(eff_ccr(provider), source, old_len, new_len):
+                spend()
+                set_ccr(provider, compute_ccr(provider))
+
+    # ---- phase 2: peer routes (single pass over the dirty set) ------------
+    # Peer values depend only on (now-final) customer routes and direct
+    # attachments, so one pass suffices: hosts of changed peer attachments
+    # and ASes whose own customer route changed always recompute; peers of
+    # a changed AS recompute only if the change could touch their shortlist.
+    def recompute_peer(asn: int) -> None:
+        spend()
+        prev = eff_peer(asn)
+        new = compute_peer(asn)
+        if new != prev:
+            peer_over[asn] = new
+
+    done2 = set(dirty2)
+    done2.update(ccr_over)  # their peer-route gate flipped
+    for asn in sorted(done2):
+        recompute_peer(asn)
+    for source in sorted(ccr_over):
+        prev_route = routes_get(source)
+        if prev_route is not None and prev_route.cls is not _CUSTOMER:
+            prev_route = None
+        old_len = upward_len(prev_route)
+        new_len = upward_len(ccr_over[source])
+        if old_len is None and new_len is None:
+            continue
+        for peer in peers_of(source):
+            if peer in done2 or eff_ccr(peer) is not None:
+                continue
+            if not unaffected(eff_peer(peer), source, old_len, new_len):
+                done2.add(peer)
+                recompute_peer(peer)
+
+    # ---- phase 3: provider routes (worklist down customer edges) ----------
+    events3: deque[tuple[int, Route | None, Route | None]] = deque()
+
+    def set_final(asn: int, new: Route | None) -> None:
+        prev = eff_final(asn)
+        if new == prev:
+            return
+        final_over[asn] = new
+        events3.append((asn, prev, new))
+
+    for asn in sorted(set(ccr_over) | set(peer_over)):
+        spend()
+        set_final(asn, compute_final(asn))
+    while events3:
+        source, prev, new = events3.popleft()
+        old_len = None if prev is None else prev.announced_len + 1
+        new_len = None if new is None else new.announced_len + 1
+        for customer in customers_of(source):
+            # Inline eff_ccr/eff_peer/eff_final with a single old-table
+            # read: a customer pinned by its own customer or peer route
+            # never takes a provider route.
+            r = routes_get(customer)
+            if customer in ccr_over:
+                if ccr_over[customer] is not None:
+                    continue
+            elif r is not None and r.cls is _CUSTOMER:
+                continue
+            if customer in peer_over:
+                if peer_over[customer] is not None:
+                    continue
+            elif r is not None and r.cls is _PEER:
+                continue
+            cur = final_over[customer] if customer in final_over else r
+            if not unaffected(cur, source, old_len, new_len):
+                spend()
+                set_final(customer, compute_final(customer))
+
+    routes = dict(old.items())
+    for asn, new in final_over.items():
+        if new is None:
+            routes.pop(asn, None)
+        else:
+            routes[asn] = new
+    by_host = dict(old_by_host)
+    for host in touched_hosts:
+        candidates = patched_by_host[host]
+        if candidates:
+            by_host[host] = candidates
+        else:
+            by_host.pop(host, None)
+    table = RoutingTable(
+        origin_asn=origin,
+        routes=routes,
+        attachments=by_id,
+        attachments_by_host=by_host,
+    )
+    return RoutingDelta(
+        table=table,
+        changed_asns=tuple(sorted(final_over)),
+        rescans=rescans,
+        removed_attachment_ids=tuple(removed_ids),
+        changed_attachments=tuple(changed_new),
+        touched_hosts=tuple(sorted(touched_hosts)),
+    )

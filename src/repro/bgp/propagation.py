@@ -42,13 +42,21 @@ _log = get_logger("bgp.propagation")
 class RoutingTable:
     """Selected route per AS for one anycast prefix."""
 
-    def __init__(self, origin_asn: int, routes: dict[int, Route], attachments: dict[int, Attachment]):
+    def __init__(
+        self,
+        origin_asn: int,
+        routes: dict[int, Route],
+        attachments: dict[int, Attachment],
+        attachments_by_host: dict[int, list[Attachment]] | None = None,
+    ):
         self.origin_asn = origin_asn
         self._routes = routes
         self.attachments = attachments
-        self.attachments_by_host: dict[int, list[Attachment]] = {}
-        for attachment in attachments.values():
-            self.attachments_by_host.setdefault(attachment.host_asn, []).append(attachment)
+        if attachments_by_host is None:
+            attachments_by_host = {}
+            for attachment in attachments.values():
+                attachments_by_host.setdefault(attachment.host_asn, []).append(attachment)
+        self.attachments_by_host: dict[int, list[Attachment]] = attachments_by_host
 
     def route(self, asn: int) -> Route | None:
         return self._routes.get(asn)

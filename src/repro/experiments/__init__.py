@@ -6,7 +6,7 @@ to drive them.
 """
 
 from ..engine import ArtifactCache, ExperimentResults, RunReport, run_experiments
-from . import figures_cdn, figures_local, figures_roots, figures_system, tables  # noqa: F401
+from . import figures_cdn, figures_local, figures_roots, figures_system, tables, whatif  # noqa: F401
 from .base import (
     RESULT_SCHEMA_VERSION,
     ExperimentResult,

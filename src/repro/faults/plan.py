@@ -44,6 +44,10 @@ Fault kinds:
                        matched experiment is dispatched — evaluated in
                        the *parent* at the dispatch chokepoint, so the
                        drain point is the same for any worker count
+``delta_corrupt``      perturb a freshly patched ``FlowKernel`` table after
+                       ``apply_delta`` (context is ``"AS<origin>"``) — the
+                       meta-fault the delta equivalence suite proves it
+                       would catch
 =====================  =======================================================
 
 This module is nearly a leaf: it imports only :mod:`repro.obs` (fault
@@ -96,6 +100,7 @@ FAULT_KINDS = frozenset(
         "slow_stage",
         "slow_request",
         "preempt",
+        "delta_corrupt",
     }
 )
 

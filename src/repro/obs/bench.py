@@ -325,10 +325,76 @@ def _bench_serve_http(ctx: _Context) -> dict:
     }
 
 
+def _whatif_subject(ctx: _Context):
+    """K-root and a planned single-site withdrawal — the canonical what-if.
+
+    Both what-if benches share this so the delta and rebuild paths are
+    timed over the *same* mutation; planning stays outside the timed
+    region (it is common to both paths and microseconds anyway).
+    """
+    from ..anycast.delta import plan_withdraw
+
+    deployment = ctx.scenario.letters_2018["K"]
+    return deployment, plan_withdraw(deployment, [0])
+
+
+def _bench_whatif_delta(ctx: _Context) -> dict:
+    """Single-site withdrawal via the delta path (repropagate + patch).
+
+    The numerator of the incremental-what-if speedup claim: scoped BGP
+    re-propagation plus an in-place ``FlowKernel.apply_delta``.  Each
+    round repeats the mutation so the body stays above timer jitter at
+    the small scale.
+    """
+    from ..anycast.delta import DeltaKernel
+
+    deployment, mutation = _whatif_subject(ctx)
+    reps = 48 if ctx.quick else 64
+    DeltaKernel(deployment).apply(mutation)  # warm the kernel tables
+
+    def run():
+        for _ in range(reps):
+            DeltaKernel(deployment).apply(mutation)
+
+    times = _time_rounds(run, ctx.rounds)
+    return {
+        "times": times,
+        "units": reps,
+        "extra": {"deployment": "2018-K", "removed_sites": 1, "reps": reps},
+    }
+
+
+def _bench_whatif_rebuild(ctx: _Context) -> dict:
+    """The same withdrawal via full rebuild (cold propagate + new kernel).
+
+    The denominator of the speedup claim — and the oracle the delta
+    path is equivalence-tested against.  ``benchmarks/`` asserts
+    delta ≥ 20× faster than this at the paper scale.
+    """
+    from ..anycast.delta import rebuild
+
+    deployment, mutation = _whatif_subject(ctx)
+    reps = 8
+    rebuild(deployment, mutation).kernel  # warm: lazy kernel built here
+
+    def run():
+        for _ in range(reps):
+            rebuild(deployment, mutation).resolve_many([1], [0])
+
+    times = _time_rounds(run, ctx.rounds)
+    return {
+        "times": times,
+        "units": reps,
+        "extra": {"deployment": "2018-K", "removed_sites": 1, "reps": reps},
+    }
+
+
 #: The trajectory suite: name → benchmark body.  Order is report order.
 SUITE: dict = {
     "kernel.resolve_many": _bench_resolve_many,
     "kernel.resolve_single": _bench_resolve_single,
+    "kernel.whatif_delta": _bench_whatif_delta,
+    "kernel.whatif_rebuild": _bench_whatif_rebuild,
     "engine.cached_run": _bench_engine_cached,
     "obs.span_disabled": _bench_span_disabled,
     "serve.http_resolve": _bench_serve_http,

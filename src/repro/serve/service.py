@@ -20,16 +20,12 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..anycast import IndependentDeployment, withdraw_sites
-from ..anycast.builders import _hosting_transits
+from ..anycast import IndependentDeployment
+from ..anycast.delta import apply_mutation, plan_add_regions, plan_withdraw
 from ..anycast.deployment import Deployment
 from ..anycast.resilience import failure_impact
-from ..anycast.site import Site
-from ..bgp import Attachment
 from ..core.cdf import WeightedCdf
-from ..geo import make_rng
 from ..obs import MetricsRegistry, get_logger, metrics, set_trace_id, trace
-from ..topology import Relationship
 
 __all__ = [
     "ServiceError",
@@ -266,10 +262,16 @@ class AnycastService:
                 raise _bad_request(f"add_regions: region {region} outside [0, {n_regions})")
         modified = deployment
         try:
+            # Each step plans the edit then applies it via the delta path
+            # (scoped re-propagation + kernel patch); apply_mutation falls
+            # back to — and is equivalence-tested against — a full rebuild.
             if remove_sites:
-                modified = withdraw_sites(modified, remove_sites)
+                modified = apply_mutation(modified, plan_withdraw(modified, remove_sites))
             if add_regions:
-                modified = self._with_added_sites(modified, add_regions)
+                modified = apply_mutation(
+                    modified,
+                    plan_add_regions(self.scenario.internet, modified, add_regions),
+                )
         except ValueError as error:
             raise _bad_request(str(error)) from None
         impact = failure_impact(deployment, modified, self.scenario.user_base)
@@ -299,56 +301,6 @@ class AnycastService:
         ):
             raise _bad_request(f"{name} must be a list of integers")
         return values
-
-    def _with_added_sites(
-        self, deployment: IndependentDeployment, region_ids: list[int]
-    ) -> IndependentDeployment:
-        """A copy of ``deployment`` with new global sites in ``region_ids``.
-
-        Mirrors :func:`~repro.anycast.builders.build_letter`'s transit
-        hosting for the new sites; the RNG is keyed on the deployment
-        seed and the added regions, so the same what-if always builds
-        the same announcement set.
-        """
-        sites = list(deployment.sites)
-        attachments = list(deployment.routing.attachments.values())
-        site_of_attachment = dict(deployment.site_of_attachment)
-        next_attachment = max(site_of_attachment, default=-1) + 1
-        rng = make_rng(
-            deployment.seed, f"serve.whatif:{','.join(map(str, region_ids))}"
-        )
-        internet = self.scenario.internet
-        for region_id in region_ids:
-            site_id = len(sites)
-            sites.append(
-                Site(
-                    site_id=site_id,
-                    region_id=region_id,
-                    name=f"W{site_id:03d}",
-                    is_global=True,
-                )
-            )
-            for host in _hosting_transits(internet, region_id, rng, 1):
-                attachments.append(
-                    Attachment(
-                        attachment_id=next_attachment,
-                        host_asn=host,
-                        origin_role=Relationship.CUSTOMER,
-                        region_id=region_id,
-                        local=False,
-                    )
-                )
-                site_of_attachment[next_attachment] = site_id
-                next_attachment += 1
-        return IndependentDeployment(
-            topology=deployment.topology,
-            name=f"{deployment.name} (+{len(region_ids)} sites)",
-            origin_asn=deployment.origin_asn,
-            sites=tuple(sites),
-            attachments=attachments,
-            site_of_attachment=site_of_attachment,
-            seed=deployment.seed,
-        )
 
     # -- dispatch ----------------------------------------------------------
     def execute(self, op: str, kwargs: dict) -> dict:

@@ -9,7 +9,7 @@ ALL_EXPERIMENTS = (
     "fig01", "fig02a", "fig02b", "fig03", "fig04a", "fig04b", "fig05a",
     "fig05b", "fig06a", "fig06b", "fig07a", "fig07b", "fig08", "fig09",
     "fig10", "fig11a", "fig11b", "fig12", "fig13", "fig14",
-    "table1", "table2", "table3", "table4", "table5", "appc",
+    "table1", "table2", "table3", "table4", "table5", "appc", "whatif01",
 )
 
 

@@ -50,6 +50,20 @@ def test_digest_matches_golden(results, experiment_id):
     )
 
 
+def test_golden_whatif_delta_matches_oracle(results):
+    """The golden-locked delta sequence must agree with cold rebuilds.
+
+    ``whatif01`` applies every mutation twice — via ``DeltaKernel`` and
+    via ``rebuild`` — and records per-step bitwise agreement; a False
+    here means the delta path diverged from a fresh propagation.
+    """
+    data = results["whatif01"].data
+    assert data["delta_matches_rebuild"] is True
+    for key, value in data.items():
+        if key.endswith("matches_rebuild"):
+            assert value is True, f"{key} diverged from the rebuild oracle"
+
+
 def test_canonical_payload_is_json_stable():
     """The digest currency itself must serialise deterministically."""
     import numpy as np

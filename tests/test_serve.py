@@ -670,3 +670,119 @@ class TestTracedDaemon:
         assert sum(r["self_s"] for r in records) == pytest.approx(
             root["dur_s"], rel=0.05
         )
+
+
+# -- soak: sustained mixed load against the 4-worker daemon -----------------
+
+@pytest.mark.soak
+def test_whatif_soak(scenario):
+    """Keep-alive clients hammer ``/v1/{resolve,whatif}`` for a while.
+
+    The production question behind the delta work: can a 4-worker daemon
+    absorb a sustained stream of incremental what-ifs without leaking?
+    Bars: zero 5xx responses, ``kernel.delta.applies.total`` growing in
+    ``/v1/metrics`` (the delta path is actually carrying the traffic),
+    and ``process.rss_bytes`` stable between warm-up and teardown.
+
+    Duration comes from ``REPRO_SOAK_SECONDS`` (default 3 — a smoke
+    pass inside tier-1; CI's soak job runs it longer).
+    """
+    import http.client
+
+    duration = float(os.environ.get("REPRO_SOAK_SECONDS", "3"))
+    clients = 4
+    child = subprocess.Popen(
+        _serve_argv("--workers", "4", "--grace", "30"), env=_serve_env(),
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+    )
+    try:
+        port = _await_port(child)
+        base = f"http://127.0.0.1:{port}"
+
+        def debug_vars():
+            _, body = _get(base, "/v1/debug/vars")
+            return json.loads(body)["payload"]
+
+        def delta_applies_from_metrics():
+            _, body = _get(base, "/v1/metrics")
+            for line in body.decode().splitlines():
+                if line.startswith("repro_kernel_delta_applies_total "):
+                    return int(float(line.split()[1]))
+            return 0
+
+        # Warm every path once so RSS is measured post-allocation.
+        _post(base, "/v1/resolve", {"deployment": "2018-K", "pairs": [[3, 0]]})
+        _post(base, "/v1/whatif", {"deployment": "2018-K", "remove_sites": [0]})
+        warm = debug_vars()
+        rss_warm = warm["process"]["rss_bytes"]
+        applies_before = delta_applies_from_metrics()
+
+        pairs = _user_pairs(scenario, 16)
+        stop = threading.Event()
+        lock = threading.Lock()
+        tally = {"requests": 0, "whatifs": 0, "5xx": 0, "errors": []}
+
+        def hammer(worker_id):
+            conn = http.client.HTTPConnection("127.0.0.1", port, timeout=120)
+            n = 0
+            while not stop.is_set():
+                if n % 3 == 0:
+                    path, body = "/v1/whatif", {
+                        "deployment": "2018-K",
+                        "remove_sites": [(worker_id + n) % 4],
+                        "add_regions": [n % 7] if n % 2 else None,
+                    }
+                else:
+                    path, body = "/v1/resolve", {
+                        "deployment": "2018-K" if n % 2 else "R110",
+                        "pairs": pairs,
+                    }
+                try:
+                    conn.request("POST", path, body=json.dumps(body).encode(),
+                                 headers={"Content-Type": "application/json"})
+                    response = conn.getresponse()
+                    response.read()  # drain so the connection is reusable
+                    with lock:
+                        tally["requests"] += 1
+                        tally["whatifs"] += path.endswith("whatif")
+                        tally["5xx"] += response.status >= 500
+                except (http.client.HTTPException, OSError) as error:
+                    if stop.is_set():
+                        break
+                    with lock:
+                        tally["errors"].append(repr(error))
+                    conn.close()
+                    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=120)
+                n += 1
+            conn.close()
+
+        threads = [threading.Thread(target=hammer, args=(i,)) for i in range(clients)]
+        for thread in threads:
+            thread.start()
+        time.sleep(duration)
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=120)
+
+        after = debug_vars()
+        rss_after = after["process"]["rss_bytes"]
+        applies_after = delta_applies_from_metrics()
+
+        assert tally["5xx"] == 0, f"{tally['5xx']} 5xx responses under soak"
+        assert not tally["errors"], f"transport errors under soak: {tally['errors'][:3]}"
+        assert tally["whatifs"] > 0 and tally["requests"] > tally["whatifs"]
+        assert applies_after > applies_before, (
+            "kernel.delta.applies.total did not grow — what-ifs are not "
+            "taking the delta path"
+        )
+        if rss_warm is not None and rss_after is not None:
+            growth = rss_after - rss_warm
+            assert growth < max(rss_warm * 0.5, 256 * 1024 * 1024), (
+                f"RSS grew {growth / 1e6:.0f} MB under soak "
+                f"({rss_warm / 1e6:.0f} → {rss_after / 1e6:.0f} MB)"
+            )
+    finally:
+        if child.poll() is None:
+            child.send_signal(signal.SIGTERM)
+        out, _ = child.communicate(timeout=120)
+    assert child.returncode == 0, f"daemon exited {child.returncode}:\n{out}"
