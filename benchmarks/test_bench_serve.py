@@ -229,3 +229,57 @@ def test_served_resolve_is_byte_identical(daemon, scenario):
     expected_rtt = [None if v != v else float(v) for v in batch.base_rtt_ms]
     assert served["base_rtt_ms"] == expected_rtt
     assert served["min_km"] == [float(v) for v in batch.min_km]
+
+
+#: Shed-answer floor: refusing work must stay cheap, or admission
+#: control just moves the collapse.  Loopback 429s are sub-millisecond,
+#: so even a shared CI box clears this with a wide margin.
+MIN_SHEDS_PER_S = 200.0
+
+
+def test_bench_shed_latency_floor(scenario):
+    """Every admission-shed 429 carries Retry-After and turns around fast.
+
+    Boots the daemon in-process with an always-firing ``queue_flood``
+    fault, so each keep-alive request exercises exactly the overload
+    path: route, admission check, shed, error envelope, write.  The
+    rate floor is asserted at the paper scale only; the contract
+    (status, header, envelope shape) is asserted at every scale.
+    """
+    from repro import faults
+    from repro.obs._loopback import LoopbackDaemon
+    from repro.serve.lifecycle import ServeConfig
+    from repro.serve.schema import validate_envelope
+    from repro.serve.server import App
+    from repro.serve.service import AnycastService
+
+    app = App(AnycastService(scenario), ServeConfig(workers=0))
+    previous = faults.active_plan()
+    faults.install(faults.FaultPlan(specs=(faults.FaultSpec(kind="queue_flood"),)))
+    try:
+        with LoopbackDaemon(app) as port:
+            connection = http.client.HTTPConnection("127.0.0.1", port, timeout=120)
+            requests = 200
+            connection.request("GET", "/v1/inflation/2018-K")
+            first = connection.getresponse()
+            envelope = json.loads(first.read())
+            assert first.status == 429
+            assert first.getheader("Retry-After") == "1"
+            assert validate_envelope(envelope) == []
+            assert envelope["payload"]["error"]["reason"] == "queue_full"
+            begin = time.perf_counter()
+            for _ in range(requests):
+                connection.request("GET", "/v1/inflation/2018-K")
+                response = connection.getresponse()
+                response.read()
+                assert response.status == 429
+            elapsed = time.perf_counter() - begin
+            connection.close()
+    finally:
+        faults.install(previous)
+    rate = requests / elapsed
+    if bench_scale() == "medium":
+        assert rate >= MIN_SHEDS_PER_S, (
+            f"shed {requests} requests in {elapsed:.2f}s = {rate:.0f}/s, "
+            f"below the {MIN_SHEDS_PER_S:.0f}/s floor"
+        )

@@ -171,6 +171,24 @@ def build_parser() -> argparse.ArgumentParser:
     daemon.add_argument("--max-inflight", type=int, default=32, metavar="N",
                         help="concurrent offloaded queries before "
                              "backpressure (default 32)")
+    daemon.add_argument("--max-queue", type=int, default=64, metavar="N",
+                        help="admission-queue depth; requests beyond it are "
+                             "shed with 429 + Retry-After (default 64)")
+    daemon.add_argument("--shed-policy", choices=("tail", "head"), default="tail",
+                        help="queue-full victim: tail sheds the newcomer, "
+                             "head displaces the oldest waiter (default tail)")
+    daemon.add_argument("--breaker-threshold", type=int, default=5, metavar="N",
+                        help="consecutive pool failures that open the circuit "
+                             "breaker and switch to degraded in-process "
+                             "answers (default 5)")
+    daemon.add_argument("--breaker-cooldown", type=float, default=30.0,
+                        metavar="SECONDS",
+                        help="seconds the breaker stays open before a "
+                             "half-open probe tries the pool again (default 30)")
+    daemon.add_argument("--deadline-ms", type=int, default=None, metavar="MS",
+                        help="override every per-endpoint compute-budget "
+                             "default (clients can still set X-Deadline-Ms "
+                             "per request)")
     daemon.add_argument("--whatif-concurrency", type=int, default=2, metavar="N",
                         help="concurrent what-if re-propagations (default 2)")
     daemon.add_argument(
@@ -606,6 +624,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         workers=args.workers,
         grace=args.grace,
         max_inflight=args.max_inflight,
+        max_queue=args.max_queue,
+        shed_policy=args.shed_policy,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown=args.breaker_cooldown,
+        deadline_ms=args.deadline_ms,
         whatif_concurrency=args.whatif_concurrency,
         cache_dir=args.cache_dir,
         no_cache=args.no_cache,
@@ -614,6 +637,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     )
     if config.port < 0 or config.workers < 0 or config.grace < 0:
         print("serve: --port, --workers and --grace must be >= 0", file=sys.stderr)
+        return 2
+    if config.max_queue < 0 or config.breaker_threshold < 1 or config.breaker_cooldown < 0:
+        print("serve: --max-queue must be >= 0, --breaker-threshold >= 1, "
+              "--breaker-cooldown >= 0", file=sys.stderr)
+        return 2
+    if config.deadline_ms is not None and config.deadline_ms < 1:
+        print("serve: --deadline-ms must be >= 1", file=sys.stderr)
         return 2
     return serve(config)
 

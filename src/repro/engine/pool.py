@@ -42,6 +42,7 @@ from dataclasses import dataclass, field
 from multiprocessing.connection import wait as _connection_wait
 
 from ..obs import get_logger, metrics
+from ..obs.metrics import LATENCY_BUCKETS_MS
 
 __all__ = ["MonitoredPool", "TaskOutcome", "AttemptFailure"]
 
@@ -144,6 +145,7 @@ class MonitoredPool:
         self._serve_thread: threading.Thread | None = None
         self._serve_lock = threading.Lock()
         self._serve_queue: deque[tuple[tuple, Future]] = deque()
+        self._abandoned: list[Future] = []
         self._wake_recv = None
         self._wake_send = None
 
@@ -161,6 +163,7 @@ class MonitoredPool:
 
     def _replace(self, worker: _Worker) -> None:
         """Kill (if needed) and respawn one worker in place."""
+        began = time.monotonic()
         try:
             worker.conn.close()
         except OSError:
@@ -174,6 +177,11 @@ class MonitoredPool:
         fresh = self._spawn()
         worker.process, worker.conn = fresh.process, fresh.conn
         worker.task, worker.deadline = None, None
+        # How long a crash/abandon leaves the pool one worker short —
+        # the serve daemon's self-healing latency.
+        metrics.histogram(
+            "engine.pool.respawn_ms", buckets=LATENCY_BUCKETS_MS
+        ).observe((time.monotonic() - began) * 1000.0)
 
     def shutdown(self) -> None:
         if self._serving or self._serve_thread is not None:
@@ -252,6 +260,31 @@ class MonitoredPool:
             pass
         return future
 
+    def abandon(self, future: Future) -> bool:
+        """Give up on a submitted task whose caller stopped waiting.
+
+        A queued task is simply cancelled.  A task already running holds
+        a worker that may never answer (the whole reason the caller's
+        deadline expired) — that worker is killed and respawned by the
+        scheduler, which is what reclaims the slot.  Returns False when
+        the task already completed (nothing to reclaim).  Counted in
+        ``engine.pool.abandoned.total``.
+        """
+        if future.cancel():
+            metrics.counter("engine.pool.abandoned.total").inc()
+            return True
+        if future.done():
+            return False
+        with self._serve_lock:
+            self._abandoned.append(future)
+        if self._wake_send is not None:
+            try:
+                self._wake_send.send(None)
+            except OSError:  # pragma: no cover - scheduler tearing down
+                pass
+        metrics.counter("engine.pool.abandoned.total").inc()
+        return True
+
     def stop_serving(self) -> None:
         """Stop accepting work, let in-flight tasks finish, join the loop.
 
@@ -289,6 +322,21 @@ class MonitoredPool:
             with self._serve_lock:
                 while self._serve_queue:
                     pending.append(self._serve_queue.popleft())
+                abandoned, self._abandoned = self._abandoned, []
+            for left in abandoned:
+                # The caller's deadline expired while this task ran: the
+                # worker may be wedged, so reclaim the slot by respawn.
+                # A completion that raced the abandon wins — nothing to do.
+                for key, (worker, future) in list(running.items()):
+                    if future is not left:
+                        continue
+                    self._replace(worker)
+                    del running[key]
+                    if not future.done():
+                        future.set_exception(
+                            RuntimeError("task abandoned (caller deadline expired)")
+                        )
+                    break
             if not self._serving and not running:
                 for _, future in pending:
                     future.cancel()

@@ -40,6 +40,12 @@ Fault kinds:
 ``slow_request``       sleep ``s`` seconds inside a ``repro serve`` request
                        (context is ``"METHOD /v1/path"``; pairs with the
                        daemon's ``--grace`` for drain-under-load drills)
+``queue_flood``        make the daemon's admission queue report full for the
+                       matched request (context is the endpoint name), so the
+                       429 shed path is drillable on an idle daemon
+``deadline_expire``    clamp the matched request's remaining deadline to ``s``
+                       seconds (default 0 — expire it now) just before
+                       compute dispatch; context is ``"serve.<op>"``
 ``preempt``            drain the run (graceful preemption) before the
                        matched experiment is dispatched — evaluated in
                        the *parent* at the dispatch chokepoint, so the
@@ -99,6 +105,8 @@ FAULT_KINDS = frozenset(
         "cache_partial_write",
         "slow_stage",
         "slow_request",
+        "queue_flood",
+        "deadline_expire",
         "preempt",
         "delta_corrupt",
     }

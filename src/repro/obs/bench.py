@@ -325,6 +325,48 @@ def _bench_serve_http(ctx: _Context) -> dict:
     }
 
 
+def _bench_serve_overload(ctx: _Context) -> dict:
+    """Shed latency: how fast the daemon says 429 at the admission gate.
+
+    Installs an always-firing ``queue_flood`` fault so every request is
+    shed at admission, then times keep-alive GETs through the loopback
+    daemon.  Under a real overload the daemon answers this path far
+    more often than any other — shedding must stay orders of magnitude
+    cheaper than serving, or admission control just moves the collapse.
+    """
+    import http.client
+
+    from .. import faults
+    from ..serve.lifecycle import ServeConfig
+    from ..serve.server import App
+    from ._loopback import LoopbackDaemon
+
+    n = 150 if ctx.quick else 300
+    app = App(ctx.service, ServeConfig(workers=0))
+    previous = faults.active_plan()
+    faults.install(faults.FaultPlan(specs=(faults.FaultSpec(kind="queue_flood"),)))
+    try:
+        with LoopbackDaemon(app) as port:
+            connection = http.client.HTTPConnection("127.0.0.1", port, timeout=120)
+
+            def run():
+                for _ in range(n):
+                    connection.request("GET", "/v1/inflation/2018-K")
+                    response = connection.getresponse()
+                    payload = response.read()
+                    if response.status != 429:  # pragma: no cover - wiring bug
+                        raise RuntimeError(f"HTTP {response.status}: {payload[:200]!r}")
+                    if not response.getheader("Retry-After"):  # pragma: no cover
+                        raise RuntimeError("shed answer lacks Retry-After")
+
+            run()  # warm: connection + shed counters registered
+            times = _time_rounds(run, ctx.rounds)
+            connection.close()
+    finally:
+        faults.install(previous)
+    return {"times": times, "units": n, "extra": {"status": 429, "sheds": n}}
+
+
 def _whatif_subject(ctx: _Context):
     """K-root and a planned single-site withdrawal — the canonical what-if.
 
@@ -398,6 +440,7 @@ SUITE: dict = {
     "engine.cached_run": _bench_engine_cached,
     "obs.span_disabled": _bench_span_disabled,
     "serve.http_resolve": _bench_serve_http,
+    "serve.overload": _bench_serve_overload,
 }
 
 

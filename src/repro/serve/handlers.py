@@ -13,13 +13,16 @@ which is exactly what ``/v1/metrics`` then exposes.
 
 from __future__ import annotations
 
+import asyncio
 import json
+import math
 import os
 import time
 from dataclasses import dataclass, field
 
 from ..obs import metrics, sample_process_stats, trace
 from ..obs.metrics import LATENCY_BUCKETS_MS
+from .overload import DRAIN_RETRY_AFTER_S, Deadline, DeadlineExpired, count_expired
 from .schema import envelope
 from .service import ServiceError
 from .telemetry import add_phase
@@ -32,8 +35,10 @@ _REASONS = {
     404: "Not Found",
     405: "Method Not Allowed",
     413: "Payload Too Large",
+    429: "Too Many Requests",
     500: "Internal Server Error",
     503: "Service Unavailable",
+    504: "Gateway Timeout",
 }
 
 #: The public surface: (method, endpoint name).  Path routing below must
@@ -100,8 +105,25 @@ def _json_response(status: int, endpoint: str, payload: dict) -> Response:
     return Response(status=status, body=body, endpoint=endpoint)
 
 
-def error_response(status: int, endpoint: str, message: str) -> Response:
-    return _json_response(status, endpoint, {"error": {"status": status, "message": message}})
+def error_response(status: int, endpoint: str, message: str, *,
+                   retry_after_s: float | None = None,
+                   details: dict | None = None) -> Response:
+    """The standard error envelope, with the overload-contract extras.
+
+    ``details`` (``reason`` / ``deadline_ms`` / ``where``) land as extra
+    keys of ``payload.error``; ``retry_after_s`` additionally sets a
+    ``Retry-After`` header (whole seconds, rounded up — every shed
+    answer tells the client when coming back is worth it).
+    """
+    error = {"status": status, "message": message}
+    if details:
+        error.update(details)
+    if retry_after_s is not None:
+        error["retry_after_s"] = retry_after_s
+    response = _json_response(status, endpoint, {"error": error})
+    if retry_after_s is not None:
+        response.headers["Retry-After"] = str(max(1, math.ceil(retry_after_s)))
+    return response
 
 
 def _route(method: str, path: str) -> tuple[str, str | None]:
@@ -136,13 +158,26 @@ async def handle(app, request: Request, *, reject_draining: bool = False) -> Res
     try:
         endpoint, argument = _route(request.method, request.path)
         if reject_draining and endpoint not in _DRAIN_EXEMPT:
+            metrics.counter("serve.shed.total").inc()
+            metrics.counter("serve.shed.drain.total").inc()
             response = error_response(
-                503, endpoint, f"draining ({app.lifecycle.reason}); not accepting work"
+                503, endpoint,
+                f"draining ({app.lifecycle.reason}); not accepting work",
+                retry_after_s=DRAIN_RETRY_AFTER_S, details={"reason": "drain"},
             )
         else:
-            response = await _dispatch(app, endpoint, argument, request)
+            # The compute budget starts here: per-endpoint default,
+            # overridable (either way) by X-Deadline-Ms.
+            deadline = Deadline.for_request(
+                endpoint, request.headers, app.config.deadline_ms
+            )
+            response = await _dispatch(app, endpoint, argument, request, deadline)
     except ServiceError as error:
-        response = error_response(error.status, endpoint, str(error))
+        response = error_response(
+            error.status, endpoint, str(error),
+            retry_after_s=getattr(error, "retry_after_s", None),
+            details=getattr(error, "details", None),
+        )
     except Exception as error:  # noqa: BLE001 - the daemon must not die per-request
         response = error_response(500, endpoint, f"{type(error).__name__}: {error}")
     metrics.counter("serve.requests.total").inc()
@@ -154,13 +189,15 @@ async def handle(app, request: Request, *, reject_draining: bool = False) -> Res
     return response
 
 
-async def _dispatch(app, endpoint: str, argument: str | None, request: Request) -> Response:
+async def _dispatch(app, endpoint: str, argument: str | None, request: Request,
+                    deadline: Deadline | None = None) -> Response:
     if endpoint == "healthz":
         lifecycle = app.lifecycle
         return _json_response(200, endpoint, {
             "status": "draining" if lifecycle.draining else "ok",
             "uptime_s": lifecycle.uptime_s,
             "inflight": lifecycle.inflight,
+            "breaker": app.breaker.state,
             "scale": app.service.scenario.params.scale,
             "seed": app.service.scenario.params.seed,
             "workers": app.config.workers,
@@ -193,6 +230,13 @@ async def _dispatch(app, endpoint: str, argument: str | None, request: Request) 
             "inflight": lifecycle.inflight,
             "workers": config.workers,
             "max_inflight": config.max_inflight,
+            "max_queue": config.max_queue,
+            "shed_policy": config.shed_policy,
+            "admission_inflight": app.admission.inflight,
+            "admission_queued": app.admission.queued,
+            "breaker": app.breaker.state,
+            "breaker_threshold": config.breaker_threshold,
+            "breaker_cooldown": config.breaker_cooldown,
             "grace": config.grace,
             "scale": app.service.scenario.params.scale,
             "seed": app.service.scenario.params.seed,
@@ -206,24 +250,40 @@ async def _dispatch(app, endpoint: str, argument: str | None, request: Request) 
             "metrics": metrics.snapshot(),
         })
     if endpoint == "scenario":
-        return _json_response(200, endpoint, await app.execute("scenario", {}))
+        return _json_response(200, endpoint, await app.execute("scenario", {}, deadline))
     if endpoint == "resolve":
         data = request.json()
         payload = await app.execute(
             "resolve",
             {"deployment": data.get("deployment"), "pairs": data.get("pairs")},
+            deadline,
         )
         return _json_response(200, endpoint, payload)
     if endpoint in ("catchment", "inflation"):
-        payload = await app.execute(endpoint, {"deployment": argument})
+        payload = await app.execute(endpoint, {"deployment": argument}, deadline)
         return _json_response(200, endpoint, payload)
     if endpoint == "whatif":
         data = request.json()
-        async with app.whatif_semaphore:
+        await _acquire_within(app.whatif_semaphore, deadline)
+        try:
             payload = await app.execute("whatif", {
                 "deployment": data.get("deployment"),
                 "remove_sites": data.get("remove_sites"),
                 "add_regions": data.get("add_regions"),
-            })
+            }, deadline)
+        finally:
+            app.whatif_semaphore.release()
         return _json_response(200, endpoint, payload)
     raise ServiceError(404, f"unrouted endpoint {endpoint!r}")  # pragma: no cover
+
+
+async def _acquire_within(semaphore, deadline: Deadline | None) -> None:
+    """Acquire the what-if semaphore inside the request's budget (504 past it)."""
+    if deadline is None:
+        await semaphore.acquire()
+        return
+    try:
+        await asyncio.wait_for(semaphore.acquire(), deadline.remaining_s())
+    except (TimeoutError, asyncio.TimeoutError):
+        count_expired("queue")
+        raise DeadlineExpired(deadline.budget_ms, where="queue") from None

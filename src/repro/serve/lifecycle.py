@@ -47,6 +47,11 @@ class ServeConfig:
     workers: int = 2  #: pool processes; 0 = in-process thread offload
     grace: float = 30.0  #: drain window for in-flight requests, seconds
     max_inflight: int = 32  #: concurrent offloaded queries (backpressure)
+    max_queue: int = 64  #: admission-queue depth before requests are shed
+    shed_policy: str = "tail"  #: queue-full victim: ``tail`` | ``head``
+    breaker_threshold: int = 5  #: consecutive pool failures that open the breaker
+    breaker_cooldown: float = 30.0  #: seconds open before a half-open probe
+    deadline_ms: int | None = None  #: override every per-endpoint deadline default
     whatif_concurrency: int = 2  #: the what-if worker semaphore
     cache_dir: str | None = None
     no_cache: bool = False
@@ -67,6 +72,7 @@ class Lifecycle:
         self._drain_requested = asyncio.Event()
         self._idle = asyncio.Event()
         self._idle.set()
+        self._drain_callbacks: list = []
 
     # -- accounting --------------------------------------------------------
     @property
@@ -88,6 +94,17 @@ class Lifecycle:
             self._idle.set()
 
     # -- drain -------------------------------------------------------------
+    def on_drain(self, callback) -> None:
+        """Register a callback to run once, when the drain begins.
+
+        Callbacks run on the event loop (``request_drain`` is invoked
+        from ``loop.add_signal_handler`` or request handlers, never a
+        raw signal frame), so they may touch loop-confined state — the
+        admission queue uses this to shed its waiters the moment a
+        drain starts instead of letting them sit out ``--grace``.
+        """
+        self._drain_callbacks.append(callback)
+
     def request_drain(self, reason: str) -> None:
         """Sticky, idempotent: the first reason wins (signal handler safe)."""
         if not self.draining:
@@ -96,6 +113,11 @@ class Lifecycle:
             self._drain_requested.set()
             _log.warning("drain requested (%s): %d request(s) in flight",
                          reason, self._inflight)
+            for callback in self._drain_callbacks:
+                try:
+                    callback()
+                except Exception:  # noqa: BLE001 - a drain must never fail
+                    _log.exception("drain callback failed")
 
     async def wait_for_drain(self) -> None:
         await self._drain_requested.wait()

@@ -38,12 +38,18 @@ __all__ = [
 ]
 
 #: Bumped whenever the envelope layout or any documented payload shape
-#: changes incompatibly.  v1: initial public surface (PR 6).
+#: changes incompatibly.  v1: initial public surface (PR 6); still v1
+#: after the overload work — the error-payload extras below are
+#: additive (new optional keys, old clients unaffected).
 SERVE_SCHEMA_VERSION = 1
 
 #: The envelope contract.  ``docs/serve.schema.json`` is the checked-in
 #: copy of exactly this object; ``tests/test_serve.py`` asserts the two
-#: never drift apart.
+#: never drift apart.  ``payload.error`` — present exactly when the
+#: response status is an error — is pinned too: ``status``/``message``
+#: always, plus the overload extras (``reason`` for shed 429/503s,
+#: ``retry_after_s`` mirroring the ``Retry-After`` header,
+#: ``deadline_ms``/``where`` on 504s).
 SERVE_SCHEMA: dict = {
     "type": "object",
     "required": ["schema_version", "code_version", "endpoint", "payload"],
@@ -52,7 +58,24 @@ SERVE_SCHEMA: dict = {
         "schema_version": {"type": "integer"},
         "code_version": {"type": "string"},
         "endpoint": {"type": "string"},
-        "payload": {"type": "object"},
+        "payload": {
+            "type": "object",
+            "properties": {
+                "error": {
+                    "type": "object",
+                    "required": ["status", "message"],
+                    "additionalProperties": False,
+                    "properties": {
+                        "status": {"type": "integer"},
+                        "message": {"type": "string"},
+                        "reason": {"type": "string"},
+                        "retry_after_s": {"type": "number"},
+                        "deadline_ms": {"type": "number"},
+                        "where": {"type": "string"},
+                    },
+                },
+            },
+        },
     },
 }
 

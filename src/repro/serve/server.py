@@ -8,9 +8,16 @@ beyond the stdlib.
 Concurrency model: parsing and light endpoints run on the event loop;
 query endpoints offload through :meth:`App.execute` — either to a
 forked :class:`~repro.engine.pool.MonitoredPool` worker (``--workers
-N``, the default) or to a thread (``--workers 0``) — bounded by a
-``--max-inflight`` semaphore so a burst backs up in the kernel's accept
-queue instead of in Python memory.  Workers fork *after* the service
+N``, the default) or to a thread (``--workers 0``) — through the
+:mod:`repro.serve.overload` admission queue: ``--max-inflight``
+requests compute, ``--max-queue`` wait, and the rest are shed with 429
+(so a burst costs a bounded amount of memory and every refused client
+hears so immediately).  Each request carries a deadline (per-endpoint
+default or ``X-Deadline-Ms``); expiry answers 504 and abandons the
+pool task, killing + respawning its worker to reclaim the slot.  A
+circuit breaker around the pool trips on consecutive worker failures
+and routes queries to the warm in-process kernels until half-open
+probes prove the pool healthy again.  Workers fork *after* the service
 warm-up, so every worker shares the resident kernels copy-on-write.
 
 Request telemetry: every request gets a ``trace_id`` (honouring an
@@ -46,6 +53,14 @@ from ..engine import ArtifactCache, MonitoredPool
 from ..obs import current_trace_id, get_logger, metrics, sample_process_stats, set_trace_id, trace
 from .handlers import Request, Response, error_response, handle
 from .lifecycle import EXIT_IO, EXIT_PREEMPTED, EXIT_USAGE, Lifecycle, ServeConfig
+from .overload import (
+    AdmissionQueue,
+    CircuitBreaker,
+    Deadline,
+    DeadlineExpired,
+    WorkerLost,
+    count_expired,
+)
 from .service import AnycastService, ServiceError, install_service, service_task
 from .telemetry import (
     ACCESS_LOG_SCHEMA_VERSION,
@@ -90,63 +105,177 @@ class App:
         self.pool = pool
         self.lifecycle = Lifecycle(grace=config.grace)
         self.telemetry = RequestTelemetry(config.access_log)
-        self._offload_semaphore = asyncio.Semaphore(max(1, config.max_inflight))
+        self.admission = AdmissionQueue(
+            config.max_inflight, config.max_queue, config.shed_policy
+        )
+        self.breaker = CircuitBreaker(
+            config.breaker_threshold, config.breaker_cooldown
+        )
         self.whatif_semaphore = asyncio.Semaphore(max(1, config.whatif_concurrency))
+        self._task_seq = 0  #: per-daemon pool submission counter (fault keying)
+        # Requests queued at drain-start must not sit out --grace
+        # holding connections: shed them all with 503 + Retry-After.
+        self.lifecycle.on_drain(self.admission.shed_queued)
 
-    async def execute(self, op: str, kwargs: dict) -> dict:
+    async def execute(self, op: str, kwargs: dict,
+                      deadline: Deadline | None = None) -> dict:
         """Run one service operation off the event loop; returns its payload.
 
         Raises :class:`ServiceError` for client-attributable failures
         (the worker ships them back reified, so a bad request never
-        burns a retry or a worker).
+        burns a retry or a worker) — including the overload verdicts:
+        shed (429/503), deadline expired (504), workers lost (503).
 
-        Two phases are accounted here: ``serve.queue`` (waiting for a
-        ``--max-inflight`` slot) and ``serve.compute`` (the pool or
-        thread round-trip).  With tracing on, a pool worker re-roots its
-        spans under this context's compute frame, and the worker's wall
-        time is attributed to that frame's child time — the same
-        telescoping contract the batch runner keeps.
+        Two phases are accounted here: ``serve.queue`` (the admission
+        queue — its span says whether the request was admitted or shed,
+        and why) and ``serve.compute`` (the pool or thread round-trip,
+        bounded by ``deadline``).  With tracing on, a pool worker
+        re-roots its spans under this context's compute frame, and the
+        worker's wall time is attributed to that frame's child time —
+        the same telescoping contract the batch runner keeps.
         """
-        with trace.span("serve.queue") as queue_span:
-            await self._offload_semaphore.acquire()
-        add_phase("queue", queue_span.dur_s)
         try:
-            with trace.span("serve.compute", op=op) as compute_span:
-                if self.pool is not None:
-                    trace_ctx = None
-                    if trace.enabled and trace.shard_dir is not None:
-                        trace_ctx = (
-                            str(trace.shard_dir),
-                            compute_span.span_id,
-                            current_trace_id(),
-                        )
-                    ok, payload, detail = await asyncio.wrap_future(
-                        self.pool.submit((op, kwargs, trace_ctx))
+            with trace.span("serve.queue") as queue_span:
+                try:
+                    await self.admission.acquire(op, deadline)
+                except ServiceError as error:
+                    queue_span.set(
+                        outcome=f"shed:{getattr(error, 'reason', None) or 'deadline'}"
                     )
-                    if not ok:
-                        raise RuntimeError(detail or "service task failed")
-                    verdict, delta, worker_dur_s = payload
-                    if delta is not None:
-                        metrics.merge(delta)
-                    # The worker's top span is this frame's child in
-                    # another process; attribute its wall time here so
-                    # exclusive times keep telescoping across the hop.
-                    compute_span.child_s += worker_dur_s
-                else:
-                    # run_in_executor does not propagate contextvars, so
-                    # carry the context over explicitly — kernel spans in
-                    # the thread then nest under this compute frame.
-                    loop = asyncio.get_running_loop()
-                    context = contextvars.copy_context()
-                    verdict = await loop.run_in_executor(
-                        None, lambda: context.run(self.service.execute_safe, op, kwargs)
-                    )
+                    raise
+                queue_span.set(outcome="admitted")
         finally:
-            self._offload_semaphore.release()
+            # dur_s is final only once the span closes, so attribute the
+            # phase here — on the shed path too.
+            add_phase("queue", queue_span.dur_s)
+        try:
+            return await self._compute(op, kwargs, deadline)
+        finally:
+            self.admission.release()
+
+    async def _compute(self, op: str, kwargs: dict,
+                       deadline: Deadline | None) -> dict:
+        expire = faults.maybe_fire("deadline_expire", f"serve.{op}")
+        if expire is not None and deadline is not None:
+            deadline.expire_in(expire.delay())
+        route = self.breaker.route() if self.pool is not None else "thread"
+        degraded = route == "degraded"
+        if deadline is not None and deadline.expired:
+            # The budget drained in the admission queue (or an injected
+            # expiry): answer 504 now rather than burn compute on an
+            # answer nobody is waiting for.
+            count_expired("compute")
+            raise DeadlineExpired(deadline.budget_ms, where="compute")
+        with trace.span("serve.compute", op=op) as compute_span:
+            if self.pool is not None and not degraded:
+                verdict, worker_dur_s = await self._pool_compute(
+                    op, kwargs, deadline, route, compute_span
+                )
+                # The worker's top span is this frame's child in
+                # another process; attribute its wall time here so
+                # exclusive times keep telescoping across the hop.
+                compute_span.child_s += worker_dur_s
+            else:
+                if degraded:
+                    compute_span.set(degraded=True)
+                    metrics.counter("serve.degraded.total").inc()
+                    metrics.counter(f"serve.{op}.degraded.total").inc()
+                verdict = await self._thread_compute(op, kwargs, deadline, degraded)
         add_phase("compute", compute_span.dur_s)
         if verdict[0] == "error":
             raise ServiceError(verdict[1], verdict[2])
         return verdict[1]
+
+    async def _pool_compute(self, op: str, kwargs: dict,
+                            deadline: Deadline | None, route: str,
+                            compute_span) -> tuple:
+        """One pool round-trip: deadline-bounded, one retry on worker death.
+
+        Returns ``(verdict, worker_dur_s)``.  Every submission gets a
+        fresh ``seq`` (the fault layer's attempt key), so a retry after
+        a ``worker_crash`` firing is a new draw, not a doomed replay.
+        The breaker hears about every round-trip: worker death and
+        deadline expiry are failures; a delivered verdict — even a
+        reified client error — is a success.
+        """
+        last_death = "worker died"
+        for attempt in range(2):
+            trace_ctx = None
+            if trace.enabled and trace.shard_dir is not None:
+                trace_ctx = (
+                    str(trace.shard_dir),
+                    compute_span.span_id,
+                    current_trace_id(),
+                )
+            seq, self._task_seq = self._task_seq, self._task_seq + 1
+            future = self.pool.submit((op, kwargs, trace_ctx, seq))
+            timeout = deadline.remaining_s() if deadline is not None else None
+            try:
+                ok, payload, detail = await asyncio.wait_for(
+                    asyncio.wrap_future(future), timeout
+                )
+            except (TimeoutError, asyncio.TimeoutError):
+                # The slot must come back even though the task will not:
+                # abandon kills + respawns the worker running it.
+                self.pool.abandon(future)
+                self.breaker.record_failure(route, "deadline expired")
+                count_expired("compute")
+                raise DeadlineExpired(deadline.budget_ms, where="compute") from None
+            except RuntimeError as error:  # worker died (or was abandoned)
+                last_death = str(error)
+                metrics.counter("serve.worker_lost.total").inc()
+                self.breaker.record_failure(route, last_death)
+                retryable = (
+                    attempt == 0
+                    and route == "pool"
+                    and not self.lifecycle.draining
+                    and (deadline is None or not deadline.expired)
+                )
+                if not retryable:
+                    break
+                metrics.counter("serve.retries.total").inc()
+                _log.warning("%s serving %s; retrying on a fresh worker",
+                             last_death, op)
+                continue
+            if not ok:
+                # Worker-side harness failure (not a reified client
+                # error) — a bug, so surface a 500, but count it against
+                # the breaker like any other pool failure.
+                self.breaker.record_failure(route, detail or "task failed")
+                raise RuntimeError(detail or "service task failed")
+            verdict, delta, worker_dur_s = payload
+            if delta is not None:
+                metrics.merge(delta)
+            self.breaker.record_success(route)
+            return verdict, worker_dur_s
+        raise WorkerLost(
+            f"pool workers kept dying under this request ({last_death}); "
+            "retry shortly"
+        )
+
+    async def _thread_compute(self, op: str, kwargs: dict,
+                              deadline: Deadline | None,
+                              degraded: bool) -> tuple:
+        # run_in_executor does not propagate contextvars, so carry the
+        # context over explicitly — kernel spans in the thread then
+        # nest under this compute frame.
+        loop = asyncio.get_running_loop()
+        context = contextvars.copy_context()
+        if degraded and op == "whatif":
+            # Browned out: take the full-rebuild oracle, the simplest
+            # code path, instead of the delta kernel.
+            kwargs = dict(kwargs, degraded=True)
+        future = loop.run_in_executor(
+            None, lambda: context.run(self.service.execute_safe, op, kwargs)
+        )
+        timeout = deadline.remaining_s() if deadline is not None else None
+        try:
+            return await asyncio.wait_for(future, timeout)
+        except (TimeoutError, asyncio.TimeoutError):
+            # The thread cannot be killed; it finishes into the void
+            # while the client gets its 504 on time.
+            count_expired("compute")
+            raise DeadlineExpired(deadline.budget_ms, where="compute") from None
 
     # -- connection handling ----------------------------------------------
     async def handle_client(self, reader: asyncio.StreamReader,
@@ -316,6 +445,8 @@ async def _sample_resources(app: App, period: float = SAMPLE_PERIOD_S) -> None:
         metrics.gauge("serve.pool.queue_depth").set(
             app.pool.queue_depth if app.pool is not None else 0
         )
+        metrics.gauge("serve.admission.inflight").set(app.admission.inflight)
+        metrics.gauge("serve.admission.queued").set(app.admission.queued)
         await asyncio.sleep(period)
 
 

@@ -18,10 +18,13 @@ shortest-repr float round-trip is exact.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 
+from .. import faults
 from ..anycast import IndependentDeployment
-from ..anycast.delta import apply_mutation, plan_add_regions, plan_withdraw
+from ..anycast.delta import apply_mutation, plan_add_regions, plan_withdraw, rebuild
 from ..anycast.deployment import Deployment
 from ..anycast.resilience import failure_impact
 from ..core.cdf import WeightedCdf
@@ -240,7 +243,8 @@ class AnycastService:
             "latency_inflation_ms": summary(batch.latency_inflation_ms[ok]),
         }
 
-    def whatif_payload(self, deployment_name, remove_sites, add_regions) -> dict:
+    def whatif_payload(self, deployment_name, remove_sites, add_regions,
+                       degraded: bool = False) -> dict:
         deployment = self._deployment(deployment_name)
         if not isinstance(deployment, IndependentDeployment):
             raise _bad_request(
@@ -261,14 +265,20 @@ class AnycastService:
             if not 0 <= region < n_regions:
                 raise _bad_request(f"add_regions: region {region} outside [0, {n_regions})")
         modified = deployment
+        # Each step plans the edit then applies it.  The normal path is
+        # the delta kernel (scoped re-propagation + kernel patch);
+        # ``degraded`` — set while the circuit breaker is open — takes
+        # the full-rebuild oracle instead: slower, but the simplest code
+        # path in the system, which is exactly what a browned-out daemon
+        # should be running.
+        apply = rebuild if degraded else apply_mutation
+        if degraded:
+            metrics.counter("serve.whatif.degraded_rebuilds.total").inc()
         try:
-            # Each step plans the edit then applies it via the delta path
-            # (scoped re-propagation + kernel patch); apply_mutation falls
-            # back to — and is equivalence-tested against — a full rebuild.
             if remove_sites:
-                modified = apply_mutation(modified, plan_withdraw(modified, remove_sites))
+                modified = apply(modified, plan_withdraw(modified, remove_sites))
             if add_regions:
-                modified = apply_mutation(
+                modified = apply(
                     modified,
                     plan_add_regions(self.scenario.internet, modified, add_regions),
                 )
@@ -318,6 +328,7 @@ class AnycastService:
                 kwargs.get("deployment"),
                 kwargs.get("remove_sites"),
                 kwargs.get("add_regions"),
+                degraded=bool(kwargs.get("degraded", False)),
             )
         raise _bad_request(f"unknown operation {op!r}")
 
@@ -346,7 +357,7 @@ def install_service(service: AnycastService | None) -> None:
 
 
 def service_task(op: str, kwargs: dict, trace_ctx: tuple | None = None,
-                 attempt: int = 0) -> tuple:
+                 seq: int = 0, attempt: int = 0) -> tuple:
     """``MonitoredPool`` task: run one op against the inherited service.
 
     Returns ``(ok, (verdict, metrics_delta, task_dur_s))`` — the delta
@@ -357,6 +368,17 @@ def service_task(op: str, kwargs: dict, trace_ctx: tuple | None = None,
     span, which the parent attributes to its compute frame so exclusive
     times telescope across the process hop.
 
+    ``seq`` is a parent-assigned, monotonically increasing submission
+    number.  It stands in for the batch engine's attempt counter in the
+    fault layer (``faults.set_attempt``), so worker-kind fault plans
+    stay deterministic in serving mode: a ``worker_crash:p=...`` draw
+    differs per submission (a parent-side retry is a *new* submission,
+    so it is not doomed to the same draw), and ``worker_crash:n=1``
+    kills exactly the first submitted task rather than every task a
+    freshly forked worker ever sees.  The ``worker_crash`` chokepoint
+    fires here — only ever inside a forked pool worker, never on the
+    thread/degraded path, where ``os._exit`` would kill the daemon.
+
     ``trace_ctx`` is ``(shard_dir, parent_span_id, trace_id)`` when the
     daemon is tracing: the worker shards into ``shard_dir`` (a no-op
     when the forked tracer already does — then it just re-roots, one
@@ -365,6 +387,9 @@ def service_task(op: str, kwargs: dict, trace_ctx: tuple | None = None,
     """
     if _SERVICE is None:  # pragma: no cover - wiring bug
         return False, None
+    faults.set_attempt(seq)
+    if faults.maybe_fire("worker_crash", f"serve.{op}") is not None:
+        os._exit(faults.CRASH_EXIT_CODE)
     if trace_ctx is not None:
         shard_dir, parent_id, trace_id = trace_ctx
         if trace.shard_dir is None or str(trace.shard_dir) != str(shard_dir):

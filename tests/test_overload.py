@@ -1,0 +1,827 @@
+"""Overload control under live load: admission, deadlines, breaker, chaos.
+
+Three layers, mirroring how the machinery is built:
+
+* **Unit** — :class:`~repro.serve.overload.AdmissionQueue`,
+  :class:`~repro.serve.overload.CircuitBreaker` (driven by a fake
+  clock), :class:`~repro.serve.overload.Deadline`, and
+  ``MonitoredPool.abandon`` are exercised directly.
+* **In-process daemon** — a real ``App`` over :class:`LoopbackDaemon`
+  with a monkeypatched slow operation, so genuine queue saturation and
+  the drain-shed path are deterministic (no timing-dependent bursts).
+* **Subprocess daemon** — the actual ``repro serve`` process with
+  deterministic fault plans (``queue_flood`` / ``deadline_expire`` /
+  ``worker_crash``) proving the wire contract: schema-valid 429/503/504
+  envelopes, ``Retry-After``, worker respawn under keep-alive clients,
+  and the breaker opening, degrading, and re-closing.
+
+The ``soak``-marked test at the bottom is the acceptance scenario from
+the overload milestone: a burst of 4x ``--max-inflight`` keep-alive
+clients against a 4-worker daemon with ``worker_crash:p=0.05:seed=1``
+— zero hung connections, every answer schema-valid, shed answers carry
+``Retry-After``, accepted latencies stay inside the endpoint deadline,
+and the breaker provably opens and re-closes.  ``REPRO_SOAK_SECONDS``
+stretches the load phase (CI uses 10; the default keeps it quick).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import http.client
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.engine.pool import MonitoredPool
+from repro.obs import metrics
+from repro.obs._loopback import LoopbackDaemon
+from repro.serve.lifecycle import Lifecycle, ServeConfig
+from repro.serve.overload import (
+    DEFAULT_DEADLINE_MS,
+    MAX_DEADLINE_MS,
+    AdmissionQueue,
+    CircuitBreaker,
+    Deadline,
+    DeadlineExpired,
+    ShedError,
+)
+from repro.serve.schema import validate_envelope
+from repro.serve.server import App
+from repro.serve.service import AnycastService, ServiceError
+
+
+@pytest.fixture(scope="module")
+def service(scenario):
+    return AnycastService(scenario)
+
+
+# -- Deadline ---------------------------------------------------------------
+
+class TestDeadline:
+    def test_per_endpoint_defaults(self):
+        for endpoint, budget_ms in DEFAULT_DEADLINE_MS.items():
+            deadline = Deadline.for_request(endpoint, {})
+            assert deadline is not None
+            assert deadline.budget_ms == budget_ms
+
+    def test_light_endpoints_run_unbounded(self):
+        assert Deadline.for_request("healthz", {}) is None
+        assert Deadline.for_request("metrics", {}) is None
+
+    def test_header_overrides_default(self):
+        deadline = Deadline.for_request("resolve", {"x-deadline-ms": "250"})
+        assert deadline.budget_ms == 250.0
+        assert not deadline.expired
+        assert 0.0 < deadline.remaining_s() <= 0.25
+
+    def test_flag_overrides_default(self):
+        deadline = Deadline.for_request("resolve", {}, 1_500)
+        assert deadline.budget_ms == 1_500.0
+
+    def test_malformed_header_is_a_400(self):
+        with pytest.raises(ServiceError) as excinfo:
+            Deadline.for_request("resolve", {"x-deadline-ms": "soon"})
+        assert excinfo.value.status == 400
+
+    @pytest.mark.parametrize("raw", ["0", "-5", str(MAX_DEADLINE_MS + 1)])
+    def test_out_of_range_header_is_a_400(self, raw):
+        with pytest.raises(ServiceError) as excinfo:
+            Deadline.for_request("resolve", {"x-deadline-ms": raw})
+        assert excinfo.value.status == 400
+
+    def test_expire_in_only_pulls_forward(self):
+        deadline = Deadline(60_000)
+        deadline.expire_in(120.0)  # later than the budget: no-op
+        assert not deadline.expired
+        deadline.expire_in(0.0)
+        assert deadline.expired
+        assert deadline.remaining_s() <= 0.0
+
+
+# -- AdmissionQueue ---------------------------------------------------------
+
+class TestAdmissionQueue:
+    def test_admits_queues_and_grants_fifo(self):
+        async def scenario():
+            queue = AdmissionQueue(1, 4)
+            await queue.acquire("resolve")
+            assert (queue.inflight, queue.queued) == (1, 0)
+            order = []
+
+            async def waiter(tag):
+                await queue.acquire("resolve")
+                order.append(tag)
+
+            tasks = [asyncio.create_task(waiter(tag)) for tag in ("a", "b")]
+            await asyncio.sleep(0)
+            assert (queue.inflight, queue.queued) == (1, 2)
+            queue.release()
+            await asyncio.gather(tasks[0])
+            assert order == ["a"]
+            queue.release()
+            await asyncio.gather(tasks[1])
+            assert order == ["a", "b"]
+            assert (queue.inflight, queue.queued) == (1, 0)
+            queue.release()
+            assert queue.inflight == 0
+
+        asyncio.run(scenario())
+
+    def test_tail_policy_sheds_the_newcomer(self):
+        async def scenario():
+            queue = AdmissionQueue(1, 1)
+            await queue.acquire("resolve")
+            waiter = asyncio.create_task(queue.acquire("resolve"))
+            await asyncio.sleep(0)
+            with pytest.raises(ShedError) as excinfo:
+                await queue.acquire("resolve")
+            assert excinfo.value.status == 429
+            assert excinfo.value.reason == "queue_full"
+            assert excinfo.value.retry_after_s > 0
+            # The queued request is untouched by the shed.
+            queue.release()
+            await waiter
+            assert (queue.inflight, queue.queued) == (1, 0)
+
+        asyncio.run(scenario())
+
+    def test_head_policy_displaces_the_oldest_waiter(self):
+        async def scenario():
+            queue = AdmissionQueue(1, 1, "head")
+            await queue.acquire("resolve")
+            old = asyncio.create_task(queue.acquire("old"))
+            await asyncio.sleep(0)
+            new = asyncio.create_task(queue.acquire("new"))
+            await asyncio.sleep(0)
+            with pytest.raises(ShedError) as excinfo:
+                await old
+            assert excinfo.value.status == 429
+            assert excinfo.value.reason == "displaced"
+            queue.release()
+            await new  # the newcomer inherited the queue slot
+            assert (queue.inflight, queue.queued) == (1, 0)
+
+        asyncio.run(scenario())
+
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(ValueError, match="shed policy"):
+            AdmissionQueue(1, 1, "coinflip")
+
+    def test_deadline_expires_while_queued(self):
+        async def scenario():
+            queue = AdmissionQueue(1, 4)
+            await queue.acquire("resolve")
+            deadline = Deadline(50)
+            with pytest.raises(DeadlineExpired) as excinfo:
+                await queue.acquire("resolve", deadline)
+            assert excinfo.value.status == 504
+            assert excinfo.value.where == "queue"
+            assert queue.queued == 0  # the dead waiter was removed
+            expired = Deadline(10_000)
+            expired.expire_in(0.0)
+            with pytest.raises(DeadlineExpired):
+                await queue.acquire("resolve", expired)
+            queue.release()
+            assert (queue.inflight, queue.queued) == (0, 0)
+
+        asyncio.run(scenario())
+
+    def test_drain_sheds_every_waiter(self):
+        async def scenario():
+            queue = AdmissionQueue(1, 4)
+            lifecycle = Lifecycle(grace=1.0)
+            lifecycle.on_drain(queue.shed_queued)
+            await queue.acquire("resolve")
+            waiters = [
+                asyncio.create_task(queue.acquire("resolve")) for _ in range(3)
+            ]
+            await asyncio.sleep(0)
+            assert queue.queued == 3
+            lifecycle.request_drain("test drain")
+            for waiter in waiters:
+                with pytest.raises(ShedError) as excinfo:
+                    await waiter
+                assert excinfo.value.status == 503
+                assert excinfo.value.reason == "drain"
+                assert excinfo.value.retry_after_s >= 1.0
+            # In-flight work is untouched; only the waiting room empties.
+            assert (queue.inflight, queue.queued) == (1, 0)
+            queue.release()
+
+        asyncio.run(scenario())
+
+
+# -- CircuitBreaker ---------------------------------------------------------
+
+class _FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestCircuitBreaker:
+    def test_opens_after_consecutive_failures(self):
+        clock = _FakeClock()
+        breaker = CircuitBreaker(2, 5.0, clock=clock)
+        assert breaker.route() == "pool"
+        breaker.record_failure("pool")
+        assert breaker.state == "closed"
+        breaker.record_failure("pool")
+        assert breaker.state == "open"
+        assert breaker.route() == "degraded"
+        assert metrics.gauge("serve.breaker.state").value == 2
+
+    def test_success_resets_the_streak(self):
+        breaker = CircuitBreaker(2, 5.0, clock=_FakeClock())
+        breaker.record_failure("pool")
+        breaker.record_success("pool")
+        breaker.record_failure("pool")
+        assert breaker.state == "closed"
+
+    def test_half_open_probe_success_closes(self):
+        clock = _FakeClock()
+        breaker = CircuitBreaker(1, 5.0, clock=clock)
+        breaker.record_failure("pool")
+        assert breaker.state == "open"
+        assert breaker.route() == "degraded"
+        clock.now += 5.0
+        assert breaker.route() == "probe"
+        assert breaker.state == "half_open"
+        # Only one probe slot: everyone else stays degraded meanwhile.
+        assert breaker.route() == "degraded"
+        breaker.record_success("probe")
+        assert breaker.state == "closed"
+        assert breaker.route() == "pool"
+        assert metrics.gauge("serve.breaker.state").value == 0
+
+    def test_half_open_probe_failure_reopens(self):
+        clock = _FakeClock()
+        breaker = CircuitBreaker(1, 5.0, clock=clock)
+        breaker.record_failure("pool")
+        clock.now += 5.0
+        assert breaker.route() == "probe"
+        breaker.record_failure("probe", "still dying")
+        assert breaker.state == "open"
+        assert breaker.route() == "degraded"
+        # The cooldown restarts from the failed probe.
+        clock.now += 5.0
+        assert breaker.route() == "probe"
+        breaker.record_success("probe")
+        assert breaker.state == "closed"
+
+    def test_stale_failures_do_not_stack_while_open(self):
+        clock = _FakeClock()
+        breaker = CircuitBreaker(1, 5.0, clock=clock)
+        breaker.record_failure("pool")
+        opened = metrics.counter("serve.breaker.to_open.total").value
+        breaker.record_failure("pool")  # completion from before the trip
+        assert breaker.state == "open"
+        assert metrics.counter("serve.breaker.to_open.total").value == opened
+
+    def test_transitions_are_counted(self):
+        clock = _FakeClock()
+        before = metrics.counter("serve.breaker.transitions.total").value
+        breaker = CircuitBreaker(1, 5.0, clock=clock)
+        breaker.record_failure("pool")
+        clock.now += 5.0
+        breaker.route()
+        breaker.record_success("probe")
+        delta = metrics.counter("serve.breaker.transitions.total").value - before
+        assert delta == 3  # closed->open->half_open->closed
+
+
+# -- MonitoredPool.abandon --------------------------------------------------
+
+def _sleepy_task(duration, attempt=0):
+    time.sleep(duration)
+    return True, {"slept": duration}
+
+
+class TestPoolAbandon:
+    def test_abandon_running_task_respawns_the_worker(self):
+        before = metrics.snapshot()
+        pool = MonitoredPool(1, task=_sleepy_task)
+        try:
+            pool.start_serving()
+            future = pool.submit((30.0,))
+            deadline = time.monotonic() + 30.0
+            while not future.running() and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert future.running(), "task never dispatched"
+            assert pool.abandon(future) is True
+            with pytest.raises(RuntimeError, match="abandoned"):
+                future.result(timeout=30.0)
+            # The replacement worker serves the next request: the slot
+            # came back long before the 30s sleep would have finished.
+            ok, payload, detail = pool.submit((0.01,)).result(timeout=60.0)
+            assert (ok, detail) == (True, None)
+            assert payload == {"slept": 0.01}
+        finally:
+            pool.shutdown()
+        delta = metrics.diff(metrics.snapshot(), before)
+        assert delta["counters"].get("engine.pool.abandoned.total", 0) == 1
+        respawns = delta["histograms"].get("engine.pool.respawn_ms", {})
+        assert respawns.get("count", 0) >= 1
+
+    def test_abandon_is_a_noop_on_completed_tasks(self):
+        pool = MonitoredPool(1, task=_sleepy_task)
+        try:
+            pool.start_serving()
+            done = pool.submit((0.0,))
+            done.result(timeout=60.0)
+            assert pool.abandon(done) is False
+            # A queued-but-unstarted task is simply cancelled.
+            slow = pool.submit((10.0,))
+            deadline = time.monotonic() + 30.0
+            while not slow.running() and time.monotonic() < deadline:
+                time.sleep(0.01)
+            queued = pool.submit((1.0,))
+            assert pool.abandon(queued) is True
+            assert queued.cancelled()
+            assert pool.abandon(slow) is True
+        finally:
+            pool.shutdown()
+
+
+# -- in-process daemon: genuine saturation, deterministic -------------------
+
+def _fetch(port, path, *, headers=None, timeout=60):
+    """One keep-alive-capable request; returns (status, headers, body, secs)."""
+    connection = http.client.HTTPConnection("127.0.0.1", port, timeout=timeout)
+    try:
+        started = time.monotonic()
+        connection.request("GET", path, headers=headers or {})
+        response = connection.getresponse()
+        body = response.read()
+        elapsed = time.monotonic() - started
+        return response.status, {k.lower(): v for k, v in response.getheaders()}, body, elapsed
+    finally:
+        connection.close()
+
+
+def _slow_service(service, monkeypatch, op, delay_s):
+    """Make one operation genuinely slow on the thread path."""
+    real = service.execute_safe
+
+    def slowed(requested_op, kwargs):
+        if requested_op == op:
+            time.sleep(delay_s)
+        return real(requested_op, kwargs)
+
+    monkeypatch.setattr(service, "execute_safe", slowed)
+
+
+class TestSaturationInProcess:
+    def test_full_queue_sheds_429_immediately(self, service, monkeypatch):
+        _slow_service(service, monkeypatch, "catchment", 1.5)
+        app = App(service, ServeConfig(workers=0, max_inflight=1, max_queue=0))
+        results = {}
+        with LoopbackDaemon(app) as port:
+            holder = threading.Thread(
+                target=lambda: results.update(hold=_fetch(port, "/v1/catchment/2018-K"))
+            )
+            holder.start()
+            deadline = time.monotonic() + 10.0
+            while app.admission.inflight < 1 and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert app.admission.inflight == 1
+            status, headers, body, elapsed = _fetch(port, "/v1/inflation/2018-K")
+            holder.join(timeout=30.0)
+        assert status == 429
+        assert elapsed < 1.0, "shed answers must not wait for the slot"
+        assert headers["retry-after"] == "1"
+        wrapped = json.loads(body)
+        assert validate_envelope(wrapped) == []
+        error = wrapped["payload"]["error"]
+        assert error["reason"] == "queue_full"
+        assert error["retry_after_s"] == 1.0
+        assert results["hold"][0] == 200  # the admitted request was untouched
+
+    def test_drain_sheds_queued_requests_fast(self, service, monkeypatch):
+        _slow_service(service, monkeypatch, "catchment", 1.5)
+        before = metrics.counter("serve.shed.drain.total").value
+        app = App(service, ServeConfig(workers=0, max_inflight=1, max_queue=4, grace=10))
+        results = {}
+        daemon = LoopbackDaemon(app)
+        with daemon as port:
+            holder = threading.Thread(
+                target=lambda: results.update(hold=_fetch(port, "/v1/catchment/2018-K"))
+            )
+            holder.start()
+            deadline = time.monotonic() + 10.0
+            while app.admission.inflight < 1 and time.monotonic() < deadline:
+                time.sleep(0.01)
+            queued = threading.Thread(
+                target=lambda: results.update(queued=_fetch(port, "/v1/inflation/2018-K"))
+            )
+            queued.start()
+            deadline = time.monotonic() + 10.0
+            while app.admission.queued < 1 and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert app.admission.queued == 1
+            daemon._loop.call_soon_threadsafe(app.lifecycle.request_drain, "test drain")
+            queued.join(timeout=10.0)
+            holder.join(timeout=30.0)
+        status, headers, body, elapsed = results["queued"]
+        assert status == 503
+        assert elapsed < 1.2, "queued requests must not sit out the grace window"
+        assert headers["retry-after"] == "5"
+        wrapped = json.loads(body)
+        assert validate_envelope(wrapped) == []
+        assert wrapped["payload"]["error"]["reason"] == "drain"
+        assert results["hold"][0] == 200  # in-flight work rode out the drain
+        assert metrics.counter("serve.shed.drain.total").value - before >= 1
+
+
+# -- the real daemon under injected faults ----------------------------------
+
+def _serve_argv(*extra):
+    return [sys.executable, "-u", "-m", "repro.cli", "serve",
+            "--scale", "small", "--seed", "0", "--port", "0", *extra]
+
+
+def _serve_env(**overrides):
+    src_dir = Path(repro.__file__).resolve().parents[1]
+    env = os.environ.copy()
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (str(src_dir), env.get("PYTHONPATH", "")) if p
+    )
+    env.pop("REPRO_FAULTS", None)
+    env.update(overrides)
+    return env
+
+
+def _await_port(child, timeout=240.0):
+    deadline = time.monotonic() + timeout
+    lines = []
+    while time.monotonic() < deadline:
+        line = child.stdout.readline()
+        if not line:
+            break
+        lines.append(line)
+        if line.startswith("serving on http://"):
+            return int(line.rsplit(":", 1)[1])
+    raise AssertionError(f"daemon never became ready:\n{''.join(lines)}")
+
+
+class _Daemon:
+    """One throwaway ``repro serve`` subprocess per chaos scenario."""
+
+    def __init__(self, *extra):
+        self.child = subprocess.Popen(
+            _serve_argv(*extra), env=_serve_env(),
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        )
+        try:
+            self.port = _await_port(self.child)
+        except BaseException:
+            self.child.kill()
+            self.child.wait(timeout=30)
+            raise
+        self.base = f"http://127.0.0.1:{self.port}"
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        if self.child.poll() is None:
+            self.child.send_signal(signal.SIGTERM)
+        out, _ = self.child.communicate(timeout=120)
+        assert self.child.returncode == 0, (
+            f"daemon exited {self.child.returncode}:\n{out}"
+        )
+
+    def exchange(self, method, path, *, headers=None, payload=None, timeout=120):
+        """Returns (status, headers, envelope) without raising on 4xx/5xx."""
+        body = None if payload is None else json.dumps(payload).encode()
+        request = urllib.request.Request(
+            self.base + path, data=body, method=method,
+            headers={"Content-Type": "application/json", **(headers or {})},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=timeout) as response:
+                return response.status, dict(response.headers), json.loads(response.read())
+        except urllib.error.HTTPError as error:
+            return error.code, dict(error.headers), json.loads(error.read())
+
+    def counters(self):
+        _, _, wrapped = self.exchange("GET", "/v1/debug/vars")
+        return wrapped["payload"]["metrics"]["counters"]
+
+    def breaker_state(self):
+        _, _, wrapped = self.exchange("GET", "/v1/healthz")
+        return wrapped["payload"]["breaker"]
+
+
+def _assert_error_envelope(wrapped, status, **expected):
+    assert validate_envelope(wrapped) == []
+    error = wrapped["payload"]["error"]
+    assert error["status"] == status
+    for key, value in expected.items():
+        assert error.get(key) == value, f"error[{key!r}]: {error}"
+
+
+class TestChaosDaemon:
+    def test_queue_flood_sheds_with_contract(self, scenario):
+        with _Daemon("--workers", "0",
+                     "--inject", "queue_flood:match=inflation") as daemon:
+            status, headers, wrapped = daemon.exchange("GET", "/v1/inflation/2018-K")
+            assert status == 429
+            assert headers["Retry-After"] == "1"
+            _assert_error_envelope(wrapped, 429, reason="queue_full",
+                                   retry_after_s=1.0)
+            # Only the matched endpoint floods; the daemon stays healthy.
+            status, _, wrapped = daemon.exchange("GET", "/v1/catchment/2018-K")
+            assert status == 200
+            counters = daemon.counters()
+            assert counters["serve.shed.total"] >= 1
+            assert counters["serve.shed.queue_full.total"] >= 1
+
+    def test_deadlines_end_to_end(self, scenario):
+        with _Daemon("--workers", "0",
+                     "--inject", "deadline_expire:match=serve.resolve") as daemon:
+            # The injected expiry clamps the default 10s resolve budget
+            # to zero at compute dispatch: a deterministic 504.
+            status, _, wrapped = daemon.exchange(
+                "POST", "/v1/resolve",
+                payload={"deployment": "2018-K", "pairs": [[3, 0]]},
+            )
+            assert status == 504
+            _assert_error_envelope(
+                wrapped, 504,
+                deadline_ms=float(DEFAULT_DEADLINE_MS["resolve"]), where="compute",
+            )
+            # A genuine 1ms budget via the header expires too (wherever
+            # the clock runs out first).
+            status, _, wrapped = daemon.exchange(
+                "POST", "/v1/whatif", headers={"X-Deadline-Ms": "1"},
+                payload={"deployment": "2018-K", "remove_sites": [0]},
+            )
+            assert status == 504
+            assert validate_envelope(wrapped) == []
+            error = wrapped["payload"]["error"]
+            assert error["deadline_ms"] == 1.0
+            assert error["where"] in ("queue", "compute")
+            # Budget asks that are nonsense get told so, not clamped.
+            for bad in ("soon", "0", str(MAX_DEADLINE_MS + 1)):
+                status, _, wrapped = daemon.exchange(
+                    "GET", "/v1/catchment/2018-K",
+                    headers={"X-Deadline-Ms": bad},
+                )
+                assert status == 400
+                assert validate_envelope(wrapped) == []
+            # Unmatched endpoints never saw a fault.
+            status, _, _ = daemon.exchange("GET", "/v1/catchment/2018-K")
+            assert status == 200
+            counters = daemon.counters()
+            assert counters["serve.deadline.expired.total"] >= 2
+            assert counters["serve.deadline.compute.expired.total"] >= 1
+
+    def test_worker_crash_is_retried_on_a_live_connection(self, scenario):
+        with _Daemon("--workers", "2",
+                     "--inject", "worker_crash:n=1:match=serve.resolve") as daemon:
+            connection = http.client.HTTPConnection("127.0.0.1", daemon.port,
+                                                    timeout=120)
+            try:
+                # First pool submission (seq 0): the worker is shot
+                # mid-request.  The daemon respawns it and retries; the
+                # client sees a plain 200 on the same connection.
+                body = json.dumps({"deployment": "2018-K", "pairs": [[3, 0]]})
+                connection.request("POST", "/v1/resolve", body=body,
+                                   headers={"Content-Type": "application/json"})
+                response = connection.getresponse()
+                wrapped = json.loads(response.read())
+                assert response.status == 200
+                assert validate_envelope(wrapped) == []
+                assert wrapped["payload"]["rows"] == 1
+                # The keep-alive connection survived the crash: reuse it.
+                connection.request("GET", "/v1/catchment/2018-K")
+                response = connection.getresponse()
+                assert response.status == 200
+                json.loads(response.read())
+            finally:
+                connection.close()
+            counters = daemon.counters()
+            assert counters["engine.worker_crashes.total"] == 1
+            assert counters["serve.worker_lost.total"] == 1
+            assert counters["serve.retries.total"] == 1
+            assert daemon.breaker_state() == "closed"  # one blip, no trip
+
+    def test_breaker_browns_out_instead_of_blacking_out(self, scenario):
+        # Threshold 1 and a prohibitive cooldown: the first crash opens
+        # the breaker and every endpoint must keep answering in-process.
+        with _Daemon("--workers", "2",
+                     "--breaker-threshold", "1", "--breaker-cooldown", "600",
+                     "--inject", "worker_crash:n=2:match=serve.scenario") as daemon:
+            status, headers, wrapped = daemon.exchange("GET", "/v1/scenario")
+            assert status == 503  # crash, retry, crash again: workers lost
+            assert "Retry-After" in headers
+            _assert_error_envelope(wrapped, 503, reason="worker_lost")
+            assert daemon.breaker_state() == "open"
+            # Degraded serving: warm in-process kernels answer reads...
+            for path in ("/v1/scenario", "/v1/catchment/2018-K",
+                         "/v1/inflation/2018-K"):
+                status, _, wrapped = daemon.exchange("GET", path)
+                assert status == 200, f"{path} failed degraded: {wrapped}"
+                assert validate_envelope(wrapped) == []
+            # ...and what-if falls back to the full-rebuild oracle.
+            status, _, wrapped = daemon.exchange(
+                "POST", "/v1/whatif",
+                payload={"deployment": "2018-K", "remove_sites": [0]},
+            )
+            assert status == 200
+            assert validate_envelope(wrapped) == []
+            counters = daemon.counters()
+            assert counters["serve.degraded.total"] >= 4
+            assert counters["serve.whatif.degraded_rebuilds.total"] >= 1
+            assert counters["serve.breaker.to_open.total"] == 1
+            assert daemon.breaker_state() == "open"
+
+    def test_breaker_recovers_through_a_probe(self, scenario):
+        with _Daemon("--workers", "2",
+                     "--breaker-threshold", "1", "--breaker-cooldown", "1",
+                     "--inject", "worker_crash:n=2:match=serve.inflation") as daemon:
+            status, _, wrapped = daemon.exchange("GET", "/v1/inflation/2018-K")
+            assert status == 503
+            _assert_error_envelope(wrapped, 503, reason="worker_lost")
+            assert daemon.breaker_state() == "open"
+            time.sleep(1.3)  # ride out the cooldown
+            # The next request is the half-open probe; the fault plan is
+            # exhausted (n=2 consumed seq 0 and 1), so it succeeds and
+            # the breaker closes.
+            status, _, wrapped = daemon.exchange("GET", "/v1/inflation/2018-K")
+            assert status == 200
+            assert validate_envelope(wrapped) == []
+            assert daemon.breaker_state() == "closed"
+            counters = daemon.counters()
+            # closed->open, open->half_open, half_open->closed
+            assert counters["serve.breaker.transitions.total"] == 3
+            assert counters["serve.breaker.to_open.total"] == 1
+            assert counters["serve.breaker.to_half_open.total"] == 1
+            assert counters["serve.breaker.to_closed.total"] == 1
+
+
+# -- the acceptance soak: chaos under a live burst --------------------------
+
+def _parse_prometheus(text):
+    values = {}
+    for line in text.splitlines():
+        if line.startswith("#") or not line.strip():
+            continue
+        name, _, value = line.rpartition(" ")
+        try:
+            values[name] = float(value)
+        except ValueError:
+            continue
+    return values
+
+
+class _BurstClient(threading.Thread):
+    """One keep-alive client hammering the daemon until told to stop."""
+
+    _PLAN = (
+        ("GET", "/v1/catchment/2018-K", None),
+        ("GET", "/v1/inflation/2018-K", None),
+        ("POST", "/v1/resolve", {"deployment": "2018-K", "pairs": [[3, 0], [5, 1]]}),
+        ("GET", "/v1/scenario", None),
+    )
+
+    def __init__(self, index, port, stop):
+        super().__init__(name=f"burst-{index}", daemon=True)
+        self.index = index
+        self.port = port
+        self.stop = stop
+        self.outcomes = []  #: (endpoint, status, headers, envelope, secs)
+        self.transport_errors = []
+
+    def run(self):
+        connection = http.client.HTTPConnection("127.0.0.1", self.port, timeout=60)
+        step = self.index  # stagger the request mix across clients
+        try:
+            while not self.stop.is_set():
+                method, path, payload = self._PLAN[step % len(self._PLAN)]
+                step += 1
+                body = None if payload is None else json.dumps(payload)
+                started = time.monotonic()
+                try:
+                    connection.request(
+                        method, path, body=body,
+                        headers={"Content-Type": "application/json"},
+                    )
+                    response = connection.getresponse()
+                    raw = response.read()
+                    elapsed = time.monotonic() - started
+                    headers = {k.lower(): v for k, v in response.getheaders()}
+                    self.outcomes.append(
+                        (path.split("/")[2], response.status, headers,
+                         json.loads(raw), elapsed)
+                    )
+                except Exception as error:  # noqa: BLE001 - tallied, then asserted on
+                    self.transport_errors.append(f"{type(error).__name__}: {error}")
+                    connection.close()
+                    connection = http.client.HTTPConnection(
+                        "127.0.0.1", self.port, timeout=60
+                    )
+        finally:
+            connection.close()
+
+
+@pytest.mark.soak
+def test_overload_soak_chaos_under_burst(scenario):
+    """The milestone acceptance drill: burst + crashes, nothing wedges.
+
+    4x ``--max-inflight`` keep-alive clients against a 4-worker daemon
+    whose pool crashes on ~5% of submissions.  Every connection must
+    resolve (no hangs, no tears), every answer must be schema-valid,
+    every shed must carry the retry contract, accepted latencies must
+    respect the endpoint deadline, and the breaker must both open under
+    the crash storm and re-close after it.
+    """
+    duration_s = float(os.environ.get("REPRO_SOAK_SECONDS", "3"))
+    max_inflight = 4
+    with _Daemon("--workers", "4",
+                 "--max-inflight", str(max_inflight), "--max-queue", "2",
+                 "--breaker-threshold", "1", "--breaker-cooldown", "0.5",
+                 "--grace", "30",
+                 "--inject", "worker_crash:p=0.05:seed=1") as daemon:
+        stop = threading.Event()
+        clients = [
+            _BurstClient(index, daemon.port, stop)
+            for index in range(4 * max_inflight)
+        ]
+        for client in clients:
+            client.start()
+        time.sleep(duration_s)
+        stop.set()
+        for client in clients:
+            client.join(timeout=120.0)
+        hung = [client.name for client in clients if client.is_alive()]
+        assert not hung, f"clients never got an answer: {hung}"
+
+        outcomes = [outcome for client in clients for outcome in client.outcomes]
+        errors = [error for client in clients for error in client.transport_errors]
+        assert not errors, f"torn/hung connections: {errors[:5]}"
+        assert len(outcomes) >= len(clients), "the burst barely ran"
+
+        by_status: dict[int, int] = {}
+        for endpoint, status, headers, wrapped, elapsed in outcomes:
+            by_status[status] = by_status.get(status, 0) + 1
+            assert validate_envelope(wrapped) == [], f"malformed: {wrapped}"
+            assert status in (200, 429, 503, 504), f"unexpected {status}: {wrapped}"
+            if status in (429, 503):
+                assert "retry-after" in headers, f"shed without Retry-After: {wrapped}"
+                assert "reason" in wrapped["payload"]["error"]
+            if status == 504:
+                assert wrapped["payload"]["error"]["where"] in ("queue", "compute")
+        assert by_status.get(200, 0) > 0, f"no request ever succeeded: {by_status}"
+
+        # Accepted answers stayed inside their endpoint budget (p99,
+        # because a tail answer can land just as its deadline expires).
+        for endpoint, budget_ms in DEFAULT_DEADLINE_MS.items():
+            latencies = sorted(
+                elapsed for point, status, _, _, elapsed in outcomes
+                if point == endpoint and status == 200
+            )
+            if not latencies:
+                continue
+            p99 = latencies[min(len(latencies) - 1, int(len(latencies) * 0.99))]
+            assert p99 <= budget_ms / 1000.0, (
+                f"{endpoint} p99 {p99:.3f}s blew its {budget_ms}ms budget"
+            )
+
+        # The crash storm actually happened, and self-healing followed:
+        # workers respawned and the breaker opened.
+        counters = daemon.counters()
+        assert counters.get("engine.worker_crashes.total", 0) >= 1
+        assert counters.get("serve.breaker.to_open.total", 0) >= 1
+
+        # Recovery: once the storm quiets, probes re-close the breaker.
+        deadline = time.monotonic() + 30.0
+        while daemon.breaker_state() != "closed" and time.monotonic() < deadline:
+            time.sleep(0.3)
+            daemon.exchange("GET", "/v1/catchment/2018-K")
+        assert daemon.breaker_state() == "closed", "breaker never re-closed"
+
+        with urllib.request.urlopen(daemon.base + "/v1/metrics", timeout=120) as response:
+            assert response.status == 200
+            metrics_text = response.read().decode()
+        exposition = _parse_prometheus(metrics_text)
+        assert exposition.get("repro_serve_breaker_transitions_total", 0) >= 2
+        assert exposition.get("repro_serve_breaker_state") == 0.0
+        shed = exposition.get("repro_serve_shed_total", 0)
+        expired = exposition.get("repro_serve_deadline_expired_total", 0)
+        retried = exposition.get("repro_serve_retries_total", 0)
+        print(f"soak: {len(outcomes)} answers {by_status}, "
+              f"{shed:.0f} shed, {expired:.0f} expired, {retried:.0f} retried")
